@@ -1,0 +1,55 @@
+// Ablation — placement policy vs. durability and availability.
+//
+// DESIGN.md lists placement as a first-class software design axis (§4.6's
+// Figure 1 explores Random vs RoundRobin). This ablation adds Copyset
+// placement [Cidon et al., ATC'13] and separates two metrics Figure 1
+// folds together:
+//
+//   P(any user unavailable | f failures)   — quorum loss, transient
+//   P(any user's data LOST | f failures)   — all replicas gone, permanent
+//
+// The classic result reproduced here: copyset placement barely changes
+// unavailability but slashes the probability that a random simultaneous
+// f-failure erases some object, because only O(N/n) replica sets exist
+// instead of ~C(N, n).
+
+#include <cstdio>
+
+#include "wt/soft/availability_static.h"
+
+int main() {
+  using namespace wt;
+
+  StaticAvailabilityConfig config;
+  config.num_nodes = 30;
+  config.num_users = 10000;
+  config.placement_samples = 10;
+  config.trials_per_placement = 200;
+  config.seed = 77;
+
+  ReplicationScheme scheme = ReplicationScheme::Majority(3);
+
+  std::printf(
+      "Ablation: placement policy vs durability (N=30, n=3, 10,000 users)\n\n");
+  std::printf("%-13s %-4s %-22s %-18s\n", "placement", "f",
+              "P(any unavailable)", "P(any data lost)");
+
+  for (const char* placement_name : {"random", "round_robin", "copyset"}) {
+    auto placement = PlacementPolicy::Create(placement_name).value();
+    for (int f : {3, 5, 8}) {
+      StaticAvailabilityPoint p =
+          EstimateStaticUnavailability(scheme, *placement, config, f);
+      std::printf("%-13s %-4d %-22.4f %-18.4f\n", placement_name, f,
+                  p.p_any_unavailable, p.p_any_lost);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape: all three policies lose someone's QUORUM with similar (high)\n"
+      "probability once f grows — but random placement also LOSES DATA far\n"
+      "more often than copyset, whose few replica sets are rarely covered\n"
+      "by a random failure set. The wind tunnel separates the two SLAs\n"
+      "(availability vs durability) that motivate the choice.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// E10 — simulator validation table (§4.3): every analytically tractable
+// corner of the wind tunnel checked against its closed form.
+//
+//   rows 1-3: queueing (DES resource queues vs M/M/1 / M/M/c / M/G/1)
+//   row  4  : CTMC replica availability vs the dynamic failure/repair DES
+//             in the exponential regime
+//   rows 5-6: Figure 1 Monte Carlo vs exact combinatorics
+//
+// "We advocate using analytical models in that role."
+
+#include <cstdio>
+
+#include "wt/analytics/combinatorics.h"
+#include "wt/analytics/markov.h"
+#include "wt/analytics/queueing.h"
+#include "wt/hw/failure.h"
+#include "wt/soft/availability_static.h"
+#include "wt/stats/time_weighted.h"
+#include "wt/workload/perf_sim.h"
+
+namespace {
+
+void Row(const char* what, double sim, double analytic) {
+  double err = analytic != 0 ? (sim - analytic) / analytic * 100.0 : 0.0;
+  std::printf("%-46s %-14.5g %-14.5g %+7.1f%%\n", what, sim, analytic, err);
+}
+
+wt::PerfWorkloadSpec QueueWorkload(double lambda, double mu_per_s,
+                                   double var_scale) {
+  wt::PerfWorkloadSpec w;
+  w.name = "primary";
+  w.arrival_rate = lambda;
+  w.read_fraction = 1.0;
+  if (var_scale == 1.0) {
+    w.disk_service_s = std::make_unique<wt::ExponentialDist>(mu_per_s);
+  } else {
+    w.disk_service_s = std::make_unique<wt::DeterministicDist>(1.0 / mu_per_s);
+  }
+  w.cpu_service_s = std::make_unique<wt::DeterministicDist>(0.0);
+  w.request_bytes = 1.0;
+  w.zipf_s = 0.0;
+  return w;
+}
+
+double MeasureMeanLatencySeconds(int servers, wt::PerfWorkloadSpec spec) {
+  wt::PerfSimConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.cores_per_node = 64;
+  cfg.disks_per_node = servers;
+  cfg.nic_gbps = 1000.0;
+  cfg.replication = 1;
+  cfg.duration_s = 3000.0;
+  cfg.warmup_s = 300.0;
+  cfg.seed = 20140901;
+  std::vector<wt::PerfWorkloadSpec> specs;
+  specs.push_back(std::move(spec));
+  auto r = wt::RunPerfSim(cfg, specs);
+  if (!r.ok()) return -1;
+  return r->workloads.at("primary").latency_ms.mean() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wt;
+
+  std::printf("E10: simulator vs closed forms\n\n");
+  std::printf("%-46s %-14s %-14s %-8s\n", "quantity", "simulated",
+              "analytic", "error");
+
+  {  // M/M/1 mean response, lambda=40, mu=50.
+    double sim = MeasureMeanLatencySeconds(1, QueueWorkload(40, 50, 1.0));
+    MM1 q{.lambda = 40, .mu = 50};
+    Row("M/M/1 mean response (rho=0.8)", sim, q.W());
+  }
+  {  // M/M/2 mean response, lambda=75, mu=50 per server.
+    double sim = MeasureMeanLatencySeconds(2, QueueWorkload(75, 50, 1.0));
+    MMc q{.lambda = 75, .mu = 50, .c = 2};
+    Row("M/M/2 mean response (rho=0.75)", sim, q.W());
+  }
+  {  // M/D/1 mean response (deterministic service).
+    double sim = MeasureMeanLatencySeconds(1, QueueWorkload(40, 50, 0.0));
+    MG1 q{.lambda = 40, .service_mean = 0.02, .service_variance = 0.0};
+    Row("M/D/1 mean response (rho=0.8)", sim, q.W());
+  }
+  {  // CTMC 3-replica availability vs the DES failure processes driving
+     // the *same* model: three components failing at rate lambda, each
+     // repairing independently at rate mu (= the chain with parallel
+     // repair). Validates the DES kernel + failure machinery exactly
+     // before the richer storage stack builds on them (§4.3's "validate
+     // simple simulation models" step).
+    const double lambda = 1.0 / 100.0;  // per hour
+    const double mu = 1.0 / 10.0;
+    Simulator sim;
+    DatacenterConfig dcfg;
+    dcfg.num_racks = 1;
+    dcfg.nodes_per_rack = 3;
+    Datacenter dc(dcfg);
+    ExponentialDist ttf(lambda);
+    ExponentialDist ttr(mu);
+    auto procs = MakeNodeFailureProcesses(&sim, &dc, ttf, &ttr, RngStream(11));
+    TimeWeightedFraction unavailable;
+    auto recount = [&] {
+      int up = 0;
+      for (NodeIndex i = 0; i < 3; ++i) up += dc.NodeUp(i) ? 1 : 0;
+      unavailable.Set(sim.Now().hours(), up < 2);
+    };
+    recount();
+    for (auto& p : procs) {
+      p->AddListener([&](ComponentId, bool, SimTime) { recount(); });
+      p->Start();
+    }
+    double horizon_h = 8760.0 * 250;  // stay inside the ~292-year clock
+    sim.RunUntil(SimTime::Hours(horizon_h));
+    ReplicaChainParams chain;
+    chain.n = 3;
+    chain.lambda = lambda;
+    chain.mu = mu;
+    chain.quorum = 2;
+    chain.parallel_repair = true;
+    double analytic = ReplicaChainUnavailability(chain).value();
+    Row("3-replica unavailability (CTMC vs DES)",
+        unavailable.Fraction(horizon_h), analytic);
+  }
+  {  // Figure 1 MC vs exact: round robin.
+    StaticAvailabilityConfig cfg;
+    cfg.num_nodes = 10;
+    cfg.num_users = 10000;
+    cfg.placement_samples = 20;
+    cfg.trials_per_placement = 200;
+    cfg.seed = 7;
+    ReplicationScheme scheme = ReplicationScheme::Majority(3);
+    RoundRobinPlacement rr;
+    auto mc = EstimateStaticUnavailability(scheme, rr, cfg, 2);
+    Row("Fig1 P(unavail) RR n=3 N=10 f=2", mc.p_any_unavailable,
+        RoundRobinAnyUnavailable(10, 3, 2, 2).value());
+    RandomPlacement random;
+    auto mc2 = EstimateStaticUnavailability(scheme, random, cfg, 3);
+    Row("Fig1 P(unavail) Random n=3 N=10 f=3", mc2.p_any_unavailable,
+        RandomPlacementAnyUnavailable(10, 3, 2, 3, 10000));
+  }
+
+  std::printf(
+      "\nShape (paper §4.3): every tractable sub-model agrees with its\n"
+      "closed form to within sampling error, licensing the simulator for\n"
+      "the questions that have no closed form.\n");
+  return 0;
+}

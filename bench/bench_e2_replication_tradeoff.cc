@@ -1,0 +1,70 @@
+// E2 — the paper's §1 motivating example as a systematic sweep: can a
+// cluster drop from n to n-1 replicas and recover the lost availability
+// with a faster network (hardware) and/or parallel repair (software)?
+//
+// Grid: replication {2, 3} x NIC {1, 10 Gbps} x repair parallelism {1, 8}.
+// Reported per design: availability, nines, repair latency, repair bytes,
+// and the monthly cost including replication-proportional storage.
+
+#include <cstdio>
+
+#include "wt/common/string_util.h"
+#include "wt/hw/cost.h"
+#include "wt/sla/sla.h"
+#include "wt/soft/availability_dynamic.h"
+
+int main() {
+  using namespace wt;
+
+  std::printf(
+      "E2: replication factor vs repair speed (12 nodes, 2000 users x 20 GB,"
+      "\nnode AFR 30%%, Weibull(0.8) TTF, lognormal hardware replacement,\n"
+      "2 simulated years)\n\n");
+  std::printf("%-4s %-8s %-9s %-14s %-8s %-13s %-12s %-10s\n", "n",
+              "nic_gbps", "parallel", "availability", "nines",
+              "repair_hours", "repair_GB", "$/month");
+
+  CostModel cost;
+  for (int n : {3, 2}) {
+    for (double nic : {1.0, 10.0}) {
+      for (int parallel : {1, 8}) {
+        DynamicAvailabilityConfig cfg;
+        cfg.datacenter.num_racks = 1;
+        cfg.datacenter.nodes_per_rack = 12;
+        cfg.datacenter.node.nic.bandwidth_gbps = nic;
+        cfg.storage.num_users = 2000;
+        cfg.storage.object_size_gb = 20.0;
+        cfg.storage.num_nodes = 12;
+        cfg.redundancy = StrFormat("replication(%d)", n);
+        cfg.placement = "random";
+        cfg.node_ttf = MakeTtfFromAfr(0.30, 0.8);
+        cfg.node_replace = std::make_unique<LogNormalDist>(
+            LogNormalDist::FromMoments(24.0, 12.0));
+        cfg.repair.max_concurrent = parallel;
+        cfg.sim_years = 2.0;
+        cfg.seed = 777;
+
+        auto m = RunDynamicAvailability(cfg);
+        if (!m.ok()) {
+          std::fprintf(stderr, "run failed: %s\n",
+                       m.status().ToString().c_str());
+          return 1;
+        }
+        double monthly =
+            cost.MonthlyCostUsd(cfg.datacenter) +
+            cost.MonthlyStorageCostUsd(cfg.datacenter, 2000 * 20.0 * n);
+        std::printf("%-4d %-8.0f %-9d %-14.6f %-8.2f %-13.2f %-12.0f %-10.0f\n",
+                    n, nic, parallel, m->availability(),
+                    AvailabilityToNines(m->availability()),
+                    m->repair_latency_hours.mean(), m->repair_bytes / 1e9,
+                    monthly);
+      }
+    }
+  }
+
+  std::printf(
+      "\nShape (paper §1): n=2 with 10 GbE + parallel repair approaches the\n"
+      "availability of n=3 with slow sequential repair, at ~2/3 the storage\n"
+      "cost — the co-design interaction an iterative process misses.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E3 — performance SLAs under workload interaction and cluster events (§3).
+//
+// The same primary workload measured: (a) alone, (b) co-located with a
+// second tenant, (c) co-located while a node is down and re-replication
+// I/O hits the survivors. An event-blind M/M/c prediction is printed as
+// the baseline a DBSeer-style model would produce: it tracks (a)/(b)
+// reasonably and has no way to see (c).
+
+#include <cstdio>
+#include <vector>
+
+#include "wt/analytics/queueing.h"
+#include "wt/workload/perf_sim.h"
+
+namespace {
+
+wt::PerfWorkloadSpec MakeWorkload(const char* name, double rate,
+                                  double read_fraction) {
+  wt::PerfWorkloadSpec w;
+  w.name = name;
+  w.arrival_rate = rate;
+  w.read_fraction = read_fraction;
+  w.disk_service_s = std::make_unique<wt::ExponentialDist>(1000.0 / 4.0);
+  w.cpu_service_s = std::make_unique<wt::ExponentialDist>(1000.0 / 1.0);
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wt;
+
+  PerfSimConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.cores_per_node = 8;
+  cfg.disks_per_node = 2;
+  cfg.replication = 3;
+  cfg.duration_s = 900.0;
+  cfg.warmup_s = 90.0;
+  cfg.seed = 99;
+
+  std::printf(
+      "E3: primary workload 600 req/s on 4 nodes (8 cores, 2 disks each)\n\n");
+  std::printf("%-36s %9s %9s %9s %11s\n", "scenario", "p50 ms", "p95 ms",
+              "p99 ms", "thru/s");
+
+  auto report = [](const char* label, const WorkloadResult& r) {
+    std::printf("%-36s %9.1f %9.1f %9.1f %11.0f\n", label,
+                r.latency_ms.P50(), r.latency_ms.P95(), r.latency_ms.P99(),
+                r.throughput_per_s);
+  };
+
+  {
+    std::vector<PerfWorkloadSpec> specs;
+    specs.push_back(MakeWorkload("primary", 600.0, 0.95));
+    auto r = RunPerfSim(cfg, specs);
+    if (!r.ok()) return 1;
+    report("(a) alone", r->workloads.at("primary"));
+  }
+  {
+    std::vector<PerfWorkloadSpec> specs;
+    specs.push_back(MakeWorkload("primary", 600.0, 0.95));
+    specs.push_back(MakeWorkload("tenant_b", 400.0, 0.8));
+    auto r = RunPerfSim(cfg, specs);
+    if (!r.ok()) return 1;
+    report("(b) + co-located tenant", r->workloads.at("primary"));
+  }
+  {
+    std::vector<PerfWorkloadSpec> specs;
+    specs.push_back(MakeWorkload("primary", 600.0, 0.95));
+    specs.push_back(MakeWorkload("tenant_b", 400.0, 0.8));
+    OutageEvent outage;
+    outage.at_s = 300.0;
+    outage.node = 0;
+    outage.duration_s = 300.0;
+    outage.repair_disk_jobs_per_s = 120.0;
+    outage.repair_disk_service_s = 0.02;
+    auto r = RunPerfSim(cfg, specs, {outage});
+    if (!r.ok()) return 1;
+    report("(c) + node outage & repair I/O", r->workloads.at("primary"));
+  }
+
+  // Event-blind analytic baseline for scenario (b)'s disk stage.
+  double disk_rate_per_node =
+      (600.0 * 0.95 + 600.0 * 0.05 * 3 + 400.0 * 0.8 + 400.0 * 0.2 * 3) /
+      4.0;
+  MMc mmc{.lambda = disk_rate_per_node, .mu = 1000.0 / 4.0, .c = 2};
+  if (mmc.Validate().ok()) {
+    std::printf(
+        "\nEvent-blind M/M/c disk-stage prediction (scenario b): mean %.1f "
+        "ms\n",
+        mmc.W() * 1000.0);
+  }
+  std::printf(
+      "\nShape (paper §3): co-location inflates the tail, and cluster events"
+      "\npush it far beyond what an event-blind prediction can anticipate.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E6 — run-ordering optimization (§4.2): monotone-dominance pruning and
+// Monte-Carlo early abort.
+//
+// Part 1: a 3-dimensional design space (NIC bandwidth x memory x disk) is
+// swept against an unattainable latency SLA, with and without the
+// "HIGHER nic/memory IS BETTER" hints. Reported: runs executed vs pruned.
+//
+// Part 2: the Wilson-interval early-abort monitor decides availability
+// configurations after a fraction of the trial budget.
+
+#include <cstdio>
+
+#include "wt/core/early_abort.h"
+#include "wt/core/wind_tunnel.h"
+#include "wt/query/builtin_sims.h"
+#include "wt/soft/availability_static.h"
+
+namespace {
+
+// A cheap analytic stand-in sim so the pruning accounting is exact: p95
+// latency improves with NIC bandwidth and memory.
+wt::RunFn LatencyModel() {
+  return [](const wt::DesignPoint& p, wt::RngStream&)
+             -> wt::Result<wt::MetricMap> {
+    double nic = p.GetDouble("nic_gbps", 1);
+    double mem = p.GetDouble("memory_gb", 16);
+    double disk_ms = p.GetString("disk", "hdd") == "ssd" ? 0.1 : 8.0;
+    wt::MetricMap m;
+    m["latency_p95_ms"] = 5.0 + 400.0 / nic + 2000.0 / mem + disk_ms;
+    return m;
+  };
+}
+
+}  // namespace
+
+int main() {
+  using namespace wt;
+
+  std::printf("E6 part 1: dominance pruning on a 4x4x2 design space\n\n");
+  DesignSpace space;
+  (void)space.AddDimension("nic_gbps",
+                           {Value(1), Value(10), Value(25), Value(40)});
+  (void)space.AddDimension(
+      "memory_gb", {Value(16), Value(32), Value(64), Value(128)});
+  (void)space.AddDimension("disk", {Value("hdd"), Value("ssd")});
+
+  std::vector<SlaConstraint> sla = {
+      {"latency_p95_ms", SlaOp::kAtMost, 1.0}};  // unattainable
+  std::vector<MonotoneHint> hints = {
+      {"nic_gbps", MonotoneDirection::kHigherIsBetter},
+      {"memory_gb", MonotoneDirection::kHigherIsBetter}};
+
+  for (bool pruning : {false, true}) {
+    WindTunnelOptions opts;
+    opts.enable_pruning = pruning;
+    WindTunnel tunnel(opts);
+    (void)tunnel.RegisterSimulation("latency", LatencyModel());
+    auto records =
+        tunnel.RunSweep(pruning ? "with" : "without", space, "latency", sla,
+                        pruning ? hints : std::vector<MonotoneHint>{});
+    if (!records.ok()) return 1;
+    const SweepStats& s = tunnel.last_sweep_stats();
+    std::printf("  pruning=%-5s total=%zu executed=%zu pruned=%zu\n",
+                pruning ? "on" : "off", s.total_points, s.executed,
+                s.pruned);
+  }
+
+  std::printf(
+      "\nE6 part 2: early abort of Monte-Carlo availability estimates\n"
+      "(SLA: P(no user unavailable) >= 0.9, 99%% confidence, budget 2000 "
+      "trials)\n\n");
+  std::printf("%-22s %-10s %-14s %-10s\n", "config (N=10, n=3)", "failures",
+              "decision", "trials");
+
+  StaticAvailabilityConfig mc;
+  mc.num_nodes = 10;
+  mc.num_users = 2000;
+  mc.placement_samples = 1;
+  mc.trials_per_placement = 1;  // we drive trials manually below
+  ReplicationScheme scheme = ReplicationScheme::Majority(3);
+  auto placement = PlacementPolicy::Create("round_robin").value();
+
+  for (int f : {1, 2, 4}) {
+    BernoulliAbortMonitor monitor(0.9, SlaOp::kAtLeast, 0.99, 50);
+    int64_t used = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+      StaticAvailabilityConfig one = mc;
+      one.seed = 1000 + static_cast<uint64_t>(trial);
+      StaticAvailabilityPoint point =
+          EstimateStaticUnavailability(scheme, *placement, one, f);
+      monitor.Record(point.p_any_unavailable == 0.0);
+      used = monitor.trials();
+      if (monitor.Decide() != AbortDecision::kContinue) break;
+    }
+    std::printf("%-22s %-10d %-14s %-10lld\n", "round_robin", f,
+                AbortDecisionToString(monitor.Decide()),
+                static_cast<long long>(used));
+  }
+
+  std::printf(
+      "\nShape (paper §4.2): the hinted sweep executes two runs — the best\n"
+      "configuration per value of the non-hinted 'disk' dimension — instead\n"
+      "of 32, and clear-cut availability configs resolve in tens of trials\n"
+      "instead of the full budget.\n");
+  return 0;
+}

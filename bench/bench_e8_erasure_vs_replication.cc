@@ -1,0 +1,60 @@
+// E8 — replication vs erasure coding (§3 "Availability SLAs", ref [14]
+// "XORing Elephants"): storage overhead, repair network traffic, and
+// realized availability/durability for
+//   replication(3)  vs  RS(10,4)  vs  LRC(10,4,2).
+//
+// LRC trades a little extra storage over RS for local repairs that read 5
+// fragments instead of 10 — the Xorbas design point.
+
+#include <cstdio>
+
+#include "wt/soft/availability_dynamic.h"
+
+int main() {
+  using namespace wt;
+
+  std::printf(
+      "E8: redundancy schemes on a 20-node cluster, 400 users x 50 GB,\n"
+      "node AFR 30%%, 2 simulated years, 8-way parallel repair, 10 GbE\n\n");
+  std::printf("%-18s %-10s %-12s %-14s %-12s %-10s\n", "scheme", "overhead",
+              "repair_GB", "availability", "lost_objs", "rep_hours");
+
+  for (const char* scheme :
+       {"replication(3)", "rs(10,4)", "lrc(10,4,2)"}) {
+    DynamicAvailabilityConfig cfg;
+    cfg.datacenter.num_racks = 2;
+    cfg.datacenter.nodes_per_rack = 10;
+    cfg.datacenter.node.nic.bandwidth_gbps = 10.0;
+    cfg.storage.num_users = 400;
+    cfg.storage.object_size_gb = 50.0;
+    cfg.storage.num_nodes = 20;
+    cfg.redundancy = scheme;
+    cfg.placement = "random";
+    cfg.node_ttf = MakeTtfFromAfr(0.30, 0.8);
+    cfg.node_replace = std::make_unique<LogNormalDist>(
+        LogNormalDist::FromMoments(24.0, 12.0));
+    cfg.repair.max_concurrent = 8;
+    cfg.sim_years = 2.0;
+    cfg.seed = 555;
+
+    auto scheme_obj = RedundancyScheme::Create(scheme).value();
+    auto m = RunDynamicAvailability(cfg);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s: %s\n", scheme,
+                   m.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-18s %-10.2f %-12.0f %-14.6f %-12lld %-10.2f\n", scheme,
+                scheme_obj->storage_overhead(), m->repair_bytes / 1e9,
+                m->availability(),
+                static_cast<long long>(m->objects_lost),
+                m->repair_latency_hours.mean());
+  }
+
+  std::printf(
+      "\nShape (paper ref [14]): RS(10,4) stores 1.4x vs replication's 3x\n"
+      "but moves ~10x the bytes per repaired fragment; LRC(10,4,2) pays\n"
+      "1.6x storage to halve RS's repair traffic. Availability stays\n"
+      "comparable because all three tolerate multiple failures.\n");
+  return 0;
+}

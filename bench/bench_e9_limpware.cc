@@ -1,0 +1,71 @@
+// E9 — limpware (§4.5, ref [5] "Limplock"): the impact of a single
+// underperforming NIC on whole-cluster tail latency.
+//
+// "Another problem often encountered in large DCs is hardware whose
+// performance deteriorates significantly compared to its specification ...
+// This kind of behavior (e.g., an under-performing NIC card) is hard to
+// reproduce in practice." — here it's one line of configuration.
+
+#include <cstdio>
+#include <vector>
+
+#include "wt/workload/perf_sim.h"
+
+int main() {
+  using namespace wt;
+
+  std::printf(
+      "E9: one node's NIC degraded to a fraction of nominal; primary\n"
+      "workload 400 req/s of 256 KB responses on 4 nodes, 1 Gbps NICs\n\n");
+  std::printf("%-12s %9s %9s %9s %11s %8s\n", "nic perf", "p50 ms", "p95 ms",
+              "p99 ms", "thru/s", "failed");
+
+  for (double perf : {1.0, 0.5, 0.1, 0.01}) {
+    PerfSimConfig cfg;
+    cfg.num_nodes = 4;
+    cfg.cores_per_node = 8;
+    cfg.disks_per_node = 2;
+    cfg.nic_gbps = 1.0;
+    cfg.replication = 3;
+    cfg.duration_s = 600.0;
+    cfg.warmup_s = 60.0;
+    cfg.seed = 4242;
+
+    std::vector<PerfWorkloadSpec> specs;
+    specs.emplace_back();
+    specs[0].name = "primary";
+    specs[0].arrival_rate = 400.0;
+    specs[0].read_fraction = 0.95;
+    specs[0].zipf_s = 0.6;  // mild skew: keep the healthy baseline stable
+    specs[0].request_bytes = 256 * 1024.0;
+    specs[0].disk_service_s = std::make_unique<ExponentialDist>(1000.0 / 2.0);
+    specs[0].cpu_service_s = std::make_unique<ExponentialDist>(1000.0 / 0.5);
+
+    std::vector<DegradeEvent> degrades;
+    if (perf < 1.0) {
+      DegradeEvent ev;
+      ev.at_s = 0.0;
+      ev.node = 0;
+      ev.resource = DegradeEvent::Resource::kNic;
+      ev.perf_factor = perf;
+      degrades.push_back(ev);
+    }
+
+    auto r = RunPerfSim(cfg, specs, {}, degrades);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    const WorkloadResult& w = r->workloads.at("primary");
+    std::printf("%-12.2f %9.1f %9.1f %9.1f %11.0f %8lld\n", perf,
+                w.latency_ms.P50(), w.latency_ms.P95(), w.latency_ms.P99(),
+                w.throughput_per_s, static_cast<long long>(w.failed));
+  }
+
+  std::printf(
+      "\nShape (ref [5]): the node stays 'up', so traffic keeps routing to\n"
+      "it; at 1%% NIC speed its queue backs up without bound and the\n"
+      "cluster-wide p99 collapses — limplock, reproduced in a wind tunnel\n"
+      "instead of a production incident.\n");
+  return 0;
+}

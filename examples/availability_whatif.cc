@@ -1,0 +1,91 @@
+// The paper's motivating example (§1), run as a wind-tunnel experiment:
+//
+//   "In some environments, one can reduce the replication factor to n-1,
+//    thereby decreasing the storage cost ... the latency of the repair
+//    process can be reduced by using a faster network (hardware), or by
+//    optimizing the repair algorithm (software), or both."
+//
+// We compare four designs of a 12-node cluster over two simulated years:
+//   A. n=3 replicas, 1 GbE, sequential repair   (the "safe default")
+//   B. n=2 replicas, 1 GbE, sequential repair   (naive cost cut)
+//   C. n=2 replicas, 10 GbE, sequential repair  (faster hardware)
+//   D. n=2 replicas, 10 GbE, 8-way parallel repair (hardware + software)
+//
+// Run: ./build/examples/example_availability_whatif
+
+#include <cstdio>
+
+#include "wt/common/string_util.h"
+#include "wt/hw/cost.h"
+#include "wt/sla/sla.h"
+#include "wt/soft/availability_dynamic.h"
+
+namespace {
+
+struct Design {
+  const char* label;
+  int replication;
+  double nic_gbps;
+  int repair_parallel;
+};
+
+}  // namespace
+
+int main() {
+  using namespace wt;
+
+  const Design designs[] = {
+      {"A: n=3, 1GbE, sequential repair", 3, 1.0, 1},
+      {"B: n=2, 1GbE, sequential repair", 2, 1.0, 1},
+      {"C: n=2, 10GbE, sequential repair", 2, 10.0, 1},
+      {"D: n=2, 10GbE, parallel repair x8", 2, 10.0, 8},
+  };
+
+  std::printf("12-node cluster, 2000 users x 20 GB, node AFR 30%%,\n");
+  std::printf("2 simulated years. SLA: availability >= 99.99%%.\n\n");
+  std::printf("%-36s %-14s %-12s %-14s %-10s\n", "design", "availability",
+              "nines", "repair hours", "$/month");
+
+  CostModel cost;
+  for (const Design& d : designs) {
+    DynamicAvailabilityConfig cfg;
+    cfg.datacenter.num_racks = 1;
+    cfg.datacenter.nodes_per_rack = 12;
+    cfg.datacenter.node.nic.bandwidth_gbps = d.nic_gbps;
+    cfg.storage.num_users = 2000;
+    cfg.storage.object_size_gb = 20.0;
+    cfg.storage.num_nodes = 12;
+    cfg.redundancy = StrFormat("replication(%d)", d.replication);
+    cfg.placement = "random";
+    cfg.node_ttf = MakeTtfFromAfr(0.30, 0.8);  // Weibull wear profile
+    cfg.node_replace = std::make_unique<LogNormalDist>(
+        LogNormalDist::FromMoments(24.0, 12.0));
+    cfg.repair.max_concurrent = d.repair_parallel;
+    cfg.sim_years = 2.0;
+    cfg.seed = 99;
+
+    auto metrics = RunDynamicAvailability(cfg);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", d.label,
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    // Storage cost scales with the replication factor; NIC upgrades move
+    // the per-node cost.
+    double monthly = cost.MonthlyCostUsd(cfg.datacenter) +
+                     cost.MonthlyStorageCostUsd(
+                         cfg.datacenter,
+                         2000 * 20.0 * d.replication);
+    std::printf("%-36s %-14.6f %-12.2f %-14.2f %-10.0f\n", d.label,
+                metrics->availability(),
+                AvailabilityToNines(metrics->availability()),
+                metrics->repair_latency_hours.mean(), monthly);
+  }
+
+  std::printf(
+      "\nReading: B shows why naively dropping a replica is dangerous; C and"
+      "\nD recover most of the lost availability through faster repair while"
+      "\nkeeping the ~1/3 storage saving — the hardware/software interaction"
+      "\nthe paper argues must be explored jointly.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Performance SLAs under co-location and cluster events (§3):
+//
+//   "a performance prediction method that takes into account the impact of
+//    other cluster events (e.g., hardware failures, control operations) on
+//    workload performance, has not been proposed. Carefully designed,
+//    holistic simulation ... can capture the impact of these events."
+//
+// Three runs of the same primary workload:
+//   1. alone on the cluster,
+//   2. co-located with a second tenant,
+//   3. co-located, plus a node outage with re-replication I/O mid-run.
+// An M/M/c prediction (which knows nothing about events) is printed next
+// to the simulated numbers.
+//
+// Run: ./build/examples/example_performance_colocation
+
+#include <cstdio>
+
+#include "wt/analytics/queueing.h"
+#include "wt/workload/perf_sim.h"
+
+namespace {
+
+wt::PerfWorkloadSpec Primary() {
+  wt::PerfWorkloadSpec w;
+  w.name = "primary";
+  w.arrival_rate = 600.0;
+  w.read_fraction = 0.95;
+  w.disk_service_s = std::make_unique<wt::ExponentialDist>(1000.0 / 4.0);
+  w.cpu_service_s = std::make_unique<wt::ExponentialDist>(1000.0 / 1.0);
+  return w;
+}
+
+wt::PerfWorkloadSpec Tenant() {
+  wt::PerfWorkloadSpec w;
+  w.name = "tenant_b";
+  w.arrival_rate = 400.0;
+  w.read_fraction = 0.8;
+  w.disk_service_s = std::make_unique<wt::ExponentialDist>(1000.0 / 4.0);
+  w.cpu_service_s = std::make_unique<wt::ExponentialDist>(1000.0 / 1.0);
+  return w;
+}
+
+void Report(const char* label, const wt::WorkloadResult& r) {
+  std::printf("%-34s %9.1f %9.1f %9.1f %11.0f %8lld\n", label,
+              r.latency_ms.P50(), r.latency_ms.P95(), r.latency_ms.P99(),
+              r.throughput_per_s, static_cast<long long>(r.failed));
+}
+
+}  // namespace
+
+int main() {
+  using namespace wt;
+
+  PerfSimConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.cores_per_node = 8;
+  cfg.disks_per_node = 2;
+  cfg.replication = 3;
+  cfg.duration_s = 600.0;
+  cfg.warmup_s = 60.0;
+  cfg.seed = 7;
+
+  std::printf("4 nodes x (8 cores, 2 disks); primary: 600 req/s.\n\n");
+  std::printf("%-34s %9s %9s %9s %11s %8s\n", "scenario", "p50 ms", "p95 ms",
+              "p99 ms", "thru/s", "failed");
+
+  {  // 1. alone
+    std::vector<PerfWorkloadSpec> specs;
+    specs.push_back(Primary());
+    auto r = RunPerfSim(cfg, specs);
+    if (!r.ok()) return 1;
+    Report("1. primary alone", r->workloads.at("primary"));
+  }
+  {  // 2. co-located
+    std::vector<PerfWorkloadSpec> specs;
+    specs.push_back(Primary());
+    specs.push_back(Tenant());
+    auto r = RunPerfSim(cfg, specs);
+    if (!r.ok()) return 1;
+    Report("2. + co-located tenant", r->workloads.at("primary"));
+  }
+  {  // 3. co-located + outage + repair traffic
+    std::vector<PerfWorkloadSpec> specs;
+    specs.push_back(Primary());
+    specs.push_back(Tenant());
+    OutageEvent outage;
+    outage.at_s = 200.0;
+    outage.node = 0;
+    outage.duration_s = 200.0;
+    outage.repair_disk_jobs_per_s = 120.0;
+    outage.repair_disk_service_s = 0.02;
+    auto r = RunPerfSim(cfg, specs, {outage});
+    if (!r.ok()) return 1;
+    Report("3. + node outage w/ repair I/O", r->workloads.at("primary"));
+  }
+
+  // The event-blind analytic prediction: disks as one M/M/c per node.
+  // Per-node disk arrivals: (reads + write fanout) / nodes.
+  double disk_rate_per_node =
+      (600.0 * 0.95 + 600.0 * 0.05 * 3 + 400.0 * 0.8 + 400.0 * 0.2 * 3) /
+      4.0;
+  MMc disks{.lambda = disk_rate_per_node, .mu = 1000.0 / 4.0, .c = 2};
+  if (disks.Validate().ok()) {
+    std::printf(
+        "\nEvent-blind M/M/c prediction of mean disk stage: %.1f ms — it\n"
+        "cannot anticipate scenario 3's failover + repair interference,\n"
+        "which is the gap the wind tunnel closes.\n",
+        disks.W() * 1000.0);
+  }
+  return 0;
+}

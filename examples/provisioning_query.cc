@@ -1,0 +1,66 @@
+// Hardware provisioning via the declarative query language (§3, §4.1):
+//
+//   "Should I invest in storage or memory in order to satisfy the SLAs of
+//    95% of my customers and minimize the total operating cost?"
+//
+// The query explores memory sizes and disk technologies, keeps the designs
+// whose p95 latency meets the SLA, and orders them by monthly cost — the
+// whole §4.2 pipeline (grid, SLA filter, ordering) in one statement.
+//
+// Run: ./build/examples/example_provisioning_query
+
+#include <cstdio>
+
+#include "wt/query/builtin_sims.h"
+#include "wt/query/executor.h"
+
+int main() {
+  using namespace wt;
+
+  WindTunnel tunnel;
+  if (Status s = RegisterBuiltinSimulations(&tunnel); !s.ok()) {
+    std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const char* query = R"(
+    EXPLORE memory_gb IN [16, 32, 64, 128, 224],
+            disk IN ['hdd', 'ssd']
+    SIMULATE provisioning
+        WITH working_set_gb = 256, rate = 400,
+             nodes = 4, duration_s = 120
+    WHERE latency_p95_ms <= 30
+    ORDER BY cost_monthly_usd ASC
+  )";
+
+  std::printf("Query:\n%s\n", query);
+  auto result = RunQuery(&tunnel, query, "provisioning_sweep");
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Sweep: %zu configurations, %zu executed, %zu pruned\n\n",
+              result->stats.total_points, result->stats.executed,
+              result->stats.pruned);
+
+  auto view = result->satisfying.Project(
+      {"memory_gb", "disk", "cache_hit_ratio", "latency_p95_ms",
+       "cost_monthly_usd"});
+  if (!view.ok()) {
+    std::fprintf(stderr, "%s\n", view.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Designs meeting the p95 <= 30 ms SLA, cheapest first:\n%s\n",
+              view->ToCsv().c_str());
+
+  if (view->num_rows() > 0) {
+    std::printf("Recommendation: %s GB of memory on %s disks.\n",
+                view->At(0, 0).ToString().c_str(),
+                view->At(0, 1).ToString().c_str());
+  } else {
+    std::printf("No design meets the SLA; relax it or widen the space.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Data-driven models from operational logs (§4.4):
+//
+//   "transformation algorithms that convert log data into meaningful models
+//    (e.g., probability distributions) that can be used by the wind tunnel,
+//    must be developed."
+//
+// This example plays the role of an operator: it takes a cluster log (here
+// synthesized from the published failure studies, see DESIGN.md §2), fits
+// empirical TTF/repair distributions from it, and then runs the same
+// availability scenario twice — once with a naive exponential assumption
+// at the same mean, once with the log-driven models — to show how much the
+// exponential shortcut misestimates availability (§2.2's argument).
+//
+// Run: ./build/examples/example_trace_driven_models
+
+#include <cstdio>
+
+#include "wt/soft/availability_dynamic.h"
+#include "wt/workload/trace.h"
+
+int main() {
+  using namespace wt;
+
+  // 1. An "operational log": 200 nodes, 10 years. Ground truth follows the
+  //    published fits — Weibull TTF (shape 0.7, heavy infant mortality),
+  //    lognormal repairs. The AFR is high (a worn fleet) so the target
+  //    scenario below actually exercises the availability machinery.
+  auto true_ttf = MakeTtfFromAfr(0.9, 0.7);
+  LogNormalDist true_ttr = LogNormalDist::FromMoments(36.0, 30.0);
+  auto log = GenerateFailureTrace(200, 10.0, *true_ttf, true_ttr, 4242);
+  std::printf("synthesized operational log: %zu records\n", log.size());
+
+  // 2. Fit distributions from the log (the wind-tunnel ingestion path).
+  auto fitted_ttf = FitTimeToFailure(log);
+  auto fitted_ttr = FitRepairTime(log);
+  if (!fitted_ttf.ok() || !fitted_ttr.ok()) {
+    std::fprintf(stderr, "fit failed\n");
+    return 1;
+  }
+  std::printf("fitted TTF:    %s hours\n", fitted_ttf->ToString().c_str());
+  std::printf("fitted repair: %s hours\n\n", fitted_ttr->ToString().c_str());
+
+  // 3. Same scenario, two failure models at identical means.
+  auto run = [&](const char* label, DistributionPtr ttf,
+                 DistributionPtr ttr) {
+    DynamicAvailabilityConfig cfg;
+    cfg.datacenter.num_racks = 1;
+    cfg.datacenter.nodes_per_rack = 16;
+    // Modest repair bandwidth: re-replication windows are hours, so
+    // failure clustering (or its absence) shows up in availability.
+    cfg.datacenter.node.nic.bandwidth_gbps = 0.2;
+    cfg.storage.num_users = 800;
+    cfg.storage.object_size_gb = 10.0;
+    cfg.storage.num_nodes = 16;
+    cfg.redundancy = "replication(3)";
+    cfg.placement = "random";
+    cfg.node_ttf = std::move(ttf);
+    cfg.node_replace = std::move(ttr);
+    cfg.repair.max_concurrent = 4;
+    cfg.sim_years = 6.0;
+    cfg.seed = 31;
+    auto m = RunDynamicAvailability(cfg);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s: %s\n", label, m.status().ToString().c_str());
+      return;
+    }
+    std::printf(
+        "%-28s unavailability=%.3g  events=%lld  lost=%lld  failures=%lld\n",
+        label, m->mean_unavailable_fraction,
+        static_cast<long long>(m->unavailability_events),
+        static_cast<long long>(m->objects_lost),
+        static_cast<long long>(m->node_failures));
+  };
+
+  run("log-driven (empirical)",
+      DistributionPtr(fitted_ttf->Clone()),
+      DistributionPtr(fitted_ttr->Clone()));
+  run("exponential assumption",
+      std::make_unique<ExponentialDist>(1.0 / fitted_ttf->Mean()),
+      std::make_unique<DeterministicDist>(fitted_ttr->Mean()));
+
+  std::printf(
+      "\nReading: both runs share the fitted means, but the log-driven\n"
+      "model keeps the Weibull/lognormal *shapes* the exponential shortcut\n"
+      "throws away — and the event counts and availability diverge\n"
+      "accordingly (paper §2.2). The pipeline (log -> fitted distribution\n"
+      "-> simulation input) is what a real deployment would run on its own\n"
+      "operational data.\n");
+  return 0;
+}

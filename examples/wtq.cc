@@ -1,0 +1,114 @@
+// wtq — the wind tunnel query shell.
+//
+// Runs declarative what-if queries against the built-in simulations and
+// prints the satisfying designs as CSV. One-shot:
+//
+//   ./build/examples/example_wtq "EXPLORE nodes IN [10,30] SIMULATE
+//        static_availability WITH failures = 2 ORDER BY availability DESC"
+//
+// or interactively (reads one query per ';'-terminated block):
+//
+//   ./build/examples/example_wtq
+//   wtq> EXPLORE replication IN [3, 5]
+//    ... SIMULATE static_availability WITH nodes = 10, failures = 2;
+//
+// Useful meta-commands in interactive mode:
+//   \tables          list stored sweep tables
+//   \dump <table>    print a stored table as CSV
+//   \sims            list registered simulations
+//   \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "wt/common/string_util.h"
+#include "wt/query/builtin_sims.h"
+#include "wt/query/executor.h"
+
+namespace {
+
+void RunOne(wt::WindTunnel* tunnel, const std::string& text) {
+  auto result = wt::RunQuery(tunnel, text);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("# sweep '%s': %zu points, %zu executed, %zu pruned, %zu errors\n",
+              result->sweep_table.c_str(), result->stats.total_points,
+              result->stats.executed, result->stats.pruned,
+              result->stats.errors);
+  std::printf("%s", result->satisfying.ToCsv().c_str());
+}
+
+void Meta(wt::WindTunnel* tunnel, const std::string& line) {
+  if (line == "\\tables") {
+    for (const std::string& name : tunnel->store().TableNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return;
+  }
+  if (line == "\\sims") {
+    for (const std::string& name : tunnel->SimulationNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return;
+  }
+  if (wt::StrStartsWith(line, "\\dump ")) {
+    auto table = tunnel->store().GetTableConst(
+        std::string(wt::StrTrim(line.substr(6))));
+    if (!table.ok()) {
+      std::printf("error: %s\n", table.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", (*table)->ToCsv().c_str());
+    return;
+  }
+  std::printf("unknown meta-command: %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wt::WindTunnel tunnel;
+  if (wt::Status s = wt::RegisterBuiltinSimulations(&tunnel); !s.ok()) {
+    std::fprintf(stderr, "init: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (argc > 1) {
+    std::string text;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) text += " ";
+      text += argv[i];
+    }
+    RunOne(&tunnel, text);
+    return 0;
+  }
+
+  std::printf("wind tunnel query shell — \\sims lists simulations, \\quit exits\n");
+  std::string buffer;
+  std::string line;
+  std::printf("wtq> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(wt::StrTrim(line));
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      Meta(&tunnel, trimmed);
+      std::printf("wtq> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line + "\n";
+    if (trimmed.ends_with(";")) {
+      RunOne(&tunnel, buffer);
+      buffer.clear();
+      std::printf("wtq> ");
+    } else {
+      std::printf(" ... ");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "wt/analytics/combinatorics.h"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+double LogFactorial(int n) {
+  WT_CHECK(n >= 0);
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(int n, int k) {
+  WT_CHECK(k >= 0 && k <= n);
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double Choose(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  return std::exp(LogChoose(n, k));
+}
+
+double HypergeomTailAtLeast(int N, int f, int n, int q) {
+  WT_CHECK(N >= 0 && f >= 0 && f <= N && n >= 0 && n <= N);
+  if (q <= 0) return 1.0;
+  double denom = LogChoose(N, n);
+  double p = 0.0;
+  int jmax = std::min(f, n);
+  for (int j = q; j <= jmax; ++j) {
+    if (n - j > N - f) continue;  // not enough healthy nodes for the rest
+    p += std::exp(LogChoose(f, j) + LogChoose(N - f, n - j) - denom);
+  }
+  return std::min(1.0, p);
+}
+
+double RandomPlacementObjectUnavailability(int N, int n, int quorum, int f) {
+  // Unavailable iff fewer than `quorum` replicas live, i.e. at least
+  // n - quorum + 1 of the n replica nodes are among the f failed.
+  int min_failed_replicas = n - quorum + 1;
+  return HypergeomTailAtLeast(N, f, n, min_failed_replicas);
+}
+
+double RandomPlacementAnyUnavailable(int N, int n, int quorum, int f,
+                                     int64_t users) {
+  double p_obj = RandomPlacementObjectUnavailability(N, n, quorum, f);
+  if (p_obj >= 1.0) return 1.0;
+  // Objects are placed independently; P(none unavailable) = (1-p)^U.
+  return 1.0 - std::exp(static_cast<double>(users) * std::log1p(-p_obj));
+}
+
+Result<double> RoundRobinAnyUnavailable(int N, int n, int quorum, int f) {
+  if (N < 1 || N > 1000) {
+    return Status::InvalidArgument("RoundRobin exact: N out of [1,1000]");
+  }
+  if (n < 1 || n > N || n > 25) {
+    return Status::InvalidArgument("RoundRobin exact: n out of [1,min(N,25)]");
+  }
+  if (f < 0 || f > N) {
+    return Status::InvalidArgument("RoundRobin exact: f out of [0,N]");
+  }
+  if (quorum < 1 || quorum > n) {
+    return Status::InvalidArgument("RoundRobin exact: quorum out of [1,n]");
+  }
+  if (f == 0) return 0.0;
+  // An object is unavailable iff >= n - quorum + 1 of its window failed.
+  int bad_threshold = n - quorum + 1;
+
+  // Count circular binary strings of length N with exactly f ones where
+  // every window of n consecutive positions has < bad_threshold ones
+  // ("good" strings). Transfer-matrix DP over the last (n-1) bits, with the
+  // first (n-1) bits fixed per outer iteration to close the circle.
+  const int w = n - 1;
+  const uint32_t mask = w >= 1 ? ((1u << w) - 1) : 0u;
+  const size_t num_states = 1u << w;
+
+  double good = 0.0;
+  for (uint32_t b0 = 0; b0 < num_states; ++b0) {
+    int b0_ones = std::popcount(b0);
+    if (b0_ones > f) continue;
+    // dp[state][ones]: ways to fill positions w..p with the given suffix
+    // state (bit j = position p - j... encoded with bit0 = newest).
+    std::vector<std::vector<double>> dp(
+        num_states, std::vector<double>(static_cast<size_t>(f) + 1, 0.0));
+    // Encode b0: position w-1 is the newest → bit0.
+    uint32_t init = 0;
+    for (int j = 0; j < w; ++j) {
+      // b0 bit j corresponds to position j; newest position w-1 → bit 0.
+      if (b0 & (1u << j)) init |= 1u << (w - 1 - j);
+    }
+    dp[init][static_cast<size_t>(b0_ones)] = 1.0;
+
+    for (int p = w; p < N; ++p) {
+      std::vector<std::vector<double>> next(
+          num_states, std::vector<double>(static_cast<size_t>(f) + 1, 0.0));
+      for (size_t s = 0; s < num_states; ++s) {
+        int s_ones = std::popcount(static_cast<uint32_t>(s));
+        for (int ones = b0_ones; ones <= f; ++ones) {
+          double ways = dp[s][static_cast<size_t>(ones)];
+          if (ways == 0.0) continue;
+          for (int x = 0; x <= 1; ++x) {
+            if (s_ones + x >= bad_threshold) continue;  // bad window at p
+            if (ones + x > f) continue;
+            uint32_t ns = w >= 1
+                              ? ((static_cast<uint32_t>(s) << 1) & mask) |
+                                    static_cast<uint32_t>(x)
+                              : 0u;
+            next[ns][static_cast<size_t>(ones + x)] += ways;
+          }
+        }
+      }
+      dp.swap(next);
+    }
+
+    // Close the circle: windows ending at positions 0..w-1 reuse b0's bits.
+    for (size_t s = 0; s < num_states; ++s) {
+      double ways = dp[s][static_cast<size_t>(f)];
+      if (ways == 0.0) continue;
+      uint32_t cur = static_cast<uint32_t>(s);
+      bool ok = true;
+      for (int j = 0; j < w; ++j) {
+        int x = (b0 >> j) & 1;
+        if (std::popcount(cur) + x >= bad_threshold) {
+          ok = false;
+          break;
+        }
+        cur = ((cur << 1) & mask) | static_cast<uint32_t>(x);
+      }
+      if (ok) good += ways;
+    }
+  }
+
+  double total = Choose(N, f);
+  double p_bad = 1.0 - good / total;
+  return std::min(1.0, std::max(0.0, p_bad));
+}
+
+}  // namespace wt

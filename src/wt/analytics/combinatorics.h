@@ -1,0 +1,57 @@
+// Exact unavailability probabilities for the Figure 1 setting.
+//
+// Given N nodes of which exactly f (uniformly random) have failed, and
+// objects stored with n replicas requiring a quorum q to operate:
+//
+//  * Random placement — each object's replica set is uniform over the
+//    C(N, n) subsets, independently per object. The per-object
+//    unavailability is a hypergeometric tail, and "some object unavailable"
+//    follows from independence across U objects.
+//
+//  * Round-robin placement — object o occupies the contiguous window
+//    starting at (o mod N). With U >> N every window is occupied, so the
+//    system is unavailable iff SOME length-n circular window contains >= q
+//    failures. Counted exactly with a transfer-matrix DP over circular
+//    binary strings.
+//
+// These closed forms validate the Monte-Carlo estimator (E1) to within
+// sampling error — the "validate the simulator with analytical models"
+// methodology of §4.3.
+
+#ifndef WT_ANALYTICS_COMBINATORICS_H_
+#define WT_ANALYTICS_COMBINATORICS_H_
+
+#include <cstdint>
+
+#include "wt/common/result.h"
+
+namespace wt {
+
+/// log(n!) via lgamma.
+double LogFactorial(int n);
+
+/// log C(n, k); requires 0 <= k <= n.
+double LogChoose(int n, int k);
+
+/// C(n, k) as a double (exact for the modest n used here).
+double Choose(int n, int k);
+
+/// Hypergeometric tail: drawing n from a population of N containing f
+/// "failed", the probability that at least q draws are failed.
+double HypergeomTailAtLeast(int N, int f, int n, int q);
+
+/// Random placement: P(a single object is unavailable | f failures).
+double RandomPlacementObjectUnavailability(int N, int n, int quorum, int f);
+
+/// Random placement: P(at least one of `users` objects unavailable | f).
+double RandomPlacementAnyUnavailable(int N, int n, int quorum, int f,
+                                     int64_t users);
+
+/// Round-robin placement with all N windows occupied (users >= N):
+/// P(some circular window of length n contains >= quorum failures | f).
+/// Exact; requires n <= 25 (transfer-matrix state width) and N <= 1000.
+Result<double> RoundRobinAnyUnavailable(int N, int n, int quorum, int f);
+
+}  // namespace wt
+
+#endif  // WT_ANALYTICS_COMBINATORICS_H_

@@ -1,0 +1,64 @@
+// Distribution fitting: turning operational log data into parametric
+// models (§4.4).
+//
+// "Transformation algorithms that convert log data into meaningful models
+// (e.g., probability distributions) that can be used by the wind tunnel,
+// must be developed." The fitters here cover the families the paper's
+// cited failure studies use: exponential (the analytic baseline), Weibull
+// (disk/node time-to-failure), and lognormal (repair durations). A
+// Kolmogorov–Smirnov scorer picks the best-fitting family automatically.
+
+#ifndef WT_ANALYTICS_FITTING_H_
+#define WT_ANALYTICS_FITTING_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wt/common/result.h"
+#include "wt/sim/distributions.h"
+
+namespace wt {
+
+/// MLE exponential fit: rate = 1 / sample mean. Requires positive samples.
+Result<ExponentialDist> FitExponential(const std::vector<double>& samples);
+
+/// MLE lognormal fit: mu/sigma are the mean/sd of log(samples).
+Result<LogNormalDist> FitLogNormal(const std::vector<double>& samples);
+
+/// Method-of-moments Weibull fit: the shape k solves
+///   CV^2 = Gamma(1 + 2/k) / Gamma(1 + 1/k)^2 - 1
+/// (monotone in k; solved by bisection), then scale = mean / Gamma(1+1/k).
+/// Requires positive samples with non-zero variance.
+Result<WeibullDist> FitWeibull(const std::vector<double>& samples);
+
+/// Kolmogorov–Smirnov statistic between the sample's empirical CDF and a
+/// model CDF. Lower is better. `cdf(x)` must be the model's CDF.
+double KsStatistic(std::vector<double> samples,
+                   const std::function<double(double)>& cdf);
+
+/// CDFs for the three fit families (used by KsStatistic and tests).
+double ExponentialCdf(double x, double rate);
+double WeibullCdf(double x, double shape, double scale);
+double LogNormalCdf(double x, double mu, double sigma);
+
+/// Result of automatic family selection.
+struct FitSelection {
+  /// "exponential" | "weibull" | "lognormal".
+  std::string family;
+  /// The fitted model.
+  DistributionPtr distribution;
+  /// KS distance of the winner.
+  double ks_statistic = 1.0;
+  /// KS distance per candidate family (same order: exp, weibull, lognorm).
+  std::vector<std::pair<std::string, double>> scores;
+};
+
+/// Fits all three families and returns the one with the smallest KS
+/// distance. Requires >= 10 positive samples.
+Result<FitSelection> SelectBestFit(const std::vector<double>& samples);
+
+}  // namespace wt
+
+#endif  // WT_ANALYTICS_FITTING_H_

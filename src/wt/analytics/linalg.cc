@@ -1,0 +1,79 @@
+#include "wt/analytics/linalg.h"
+
+#include <cmath>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  WT_CHECK(cols_ == other.rows_) << "matrix dimension mismatch";
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double v = at(i, k);
+      if (v == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) += v * other.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b) {
+  size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem needs square A, |b|=n");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a.at(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > best) {
+        best = std::fabs(a.at(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t c = i + 1; c < n; ++c) sum -= a.at(i, c) * x[c];
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+}  // namespace wt

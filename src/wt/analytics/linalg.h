@@ -1,0 +1,43 @@
+// Minimal dense linear algebra for the CTMC solvers (no external deps).
+
+#ifndef WT_ANALYTICS_LINALG_H_
+#define WT_ANALYTICS_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "wt/common/result.h"
+
+namespace wt {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  static Matrix Identity(size_t n);
+  Matrix Transpose() const;
+  Matrix Multiply(const Matrix& other) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Fails if A is (numerically) singular.
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b);
+
+}  // namespace wt
+
+#endif  // WT_ANALYTICS_LINALG_H_

@@ -1,0 +1,114 @@
+#include "wt/analytics/markov.h"
+
+#include <algorithm>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+Ctmc::Ctmc(size_t num_states) : n_(num_states), q_(num_states, num_states) {
+  WT_CHECK(num_states >= 1);
+}
+
+void Ctmc::AddRate(size_t from, size_t to, double rate) {
+  WT_CHECK(from < n_ && to < n_ && from != to);
+  WT_CHECK(rate >= 0);
+  q_.at(from, to) += rate;
+  q_.at(from, from) -= rate;
+}
+
+Result<std::vector<double>> Ctmc::StationaryDistribution() const {
+  // Solve pi Q = 0 with normalization: transpose to Q^T pi^T = 0, replace
+  // the last equation with sum(pi) = 1.
+  Matrix a = q_.Transpose();
+  std::vector<double> b(n_, 0.0);
+  for (size_t c = 0; c < n_; ++c) a.at(n_ - 1, c) = 1.0;
+  b[n_ - 1] = 1.0;
+  WT_ASSIGN_OR_RETURN(std::vector<double> pi, SolveLinearSystem(a, b));
+  for (double& p : pi) p = std::max(0.0, p);  // clamp numeric dust
+  double sum = 0.0;
+  for (double p : pi) sum += p;
+  if (sum <= 0) return Status::FailedPrecondition("degenerate chain");
+  for (double& p : pi) p /= sum;
+  return pi;
+}
+
+Result<double> Ctmc::MeanTimeToAbsorption(
+    size_t start, const std::vector<size_t>& absorbing) const {
+  WT_CHECK(start < n_);
+  std::vector<bool> absorbed(n_, false);
+  for (size_t s : absorbing) {
+    WT_CHECK(s < n_);
+    absorbed[s] = true;
+  }
+  if (absorbed[start]) return 0.0;
+  // Transient states T: solve (-Q_TT) t = 1.
+  std::vector<size_t> transient;
+  std::vector<size_t> index(n_, SIZE_MAX);
+  for (size_t s = 0; s < n_; ++s) {
+    if (!absorbed[s]) {
+      index[s] = transient.size();
+      transient.push_back(s);
+    }
+  }
+  size_t m = transient.size();
+  Matrix a(m, m);
+  std::vector<double> b(m, 1.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      a.at(i, j) = -q_.at(transient[i], transient[j]);
+    }
+  }
+  WT_ASSIGN_OR_RETURN(std::vector<double> t, SolveLinearSystem(a, b));
+  return t[index[start]];
+}
+
+Ctmc BuildReplicaChain(const ReplicaChainParams& params) {
+  WT_CHECK(params.n >= 1);
+  size_t states = static_cast<size_t>(params.n) + 1;  // live = 0..n
+  Ctmc chain(states);
+  for (int live = 1; live <= params.n; ++live) {
+    // Failure: live -> live-1 at rate live * lambda.
+    chain.AddRate(static_cast<size_t>(live), static_cast<size_t>(live - 1),
+                  live * params.lambda);
+  }
+  for (int live = 0; live < params.n; ++live) {
+    int missing = params.n - live;
+    double rate =
+        params.parallel_repair ? missing * params.mu : params.mu;
+    // No repair possible once the data is gone (live == 0 is still
+    // repairable from... nothing). Data loss is modeled by MTTDL; for the
+    // steady-state availability chain we allow repair from live >= 1 only.
+    if (live == 0) continue;
+    chain.AddRate(static_cast<size_t>(live), static_cast<size_t>(live + 1),
+                  rate);
+  }
+  return chain;
+}
+
+Result<double> ReplicaChainUnavailability(const ReplicaChainParams& params) {
+  if (params.quorum < 1 || params.quorum > params.n) {
+    return Status::InvalidArgument("quorum out of range");
+  }
+  // State 0 (all dead) is absorbing in BuildReplicaChain, so the plain
+  // stationary distribution would collapse onto it. For the availability
+  // chain we add a re-creation transition 0 -> 1 at the repair rate,
+  // modeling restore-from-cold-backup; with mu >> lambda its stationary
+  // weight is negligible and the quorum states dominate.
+  Ctmc chain = BuildReplicaChain(params);
+  chain.AddRate(0, 1, params.parallel_repair ? params.n * params.mu
+                                             : params.mu);
+  WT_ASSIGN_OR_RETURN(std::vector<double> pi, chain.StationaryDistribution());
+  double unavail = 0.0;
+  for (int live = 0; live < params.quorum; ++live) {
+    unavail += pi[static_cast<size_t>(live)];
+  }
+  return unavail;
+}
+
+Result<double> ReplicaChainMttdl(const ReplicaChainParams& params) {
+  Ctmc chain = BuildReplicaChain(params);
+  return chain.MeanTimeToAbsorption(static_cast<size_t>(params.n), {0});
+}
+
+}  // namespace wt

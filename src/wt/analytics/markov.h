@@ -1,0 +1,74 @@
+// Continuous-time Markov chain models of replica availability (§2.2).
+//
+// The classic analytical treatment of an n-replica object: states count the
+// live replicas; replicas fail at rate lambda each, lost replicas are
+// rebuilt at rate mu (one at a time, or all in parallel). Closed-form only
+// under exponential assumptions — which is exactly the limitation the paper
+// uses to motivate simulation. These models serve as the oracle for
+// validating the simulator in the exponential regime (E5, E10).
+
+#ifndef WT_ANALYTICS_MARKOV_H_
+#define WT_ANALYTICS_MARKOV_H_
+
+#include <vector>
+
+#include "wt/common/result.h"
+#include "wt/analytics/linalg.h"
+
+namespace wt {
+
+/// A finite CTMC described by its generator matrix Q (q_ij = transition
+/// rate i->j for i != j; diagonal is set automatically).
+class Ctmc {
+ public:
+  explicit Ctmc(size_t num_states);
+
+  size_t num_states() const { return n_; }
+
+  /// Adds transition rate `rate` from state `from` to state `to`.
+  void AddRate(size_t from, size_t to, double rate);
+
+  /// Stationary distribution pi with pi Q = 0, sum(pi) = 1. Requires an
+  /// irreducible chain.
+  Result<std::vector<double>> StationaryDistribution() const;
+
+  /// Expected time to reach any state in `absorbing`, starting from
+  /// `start` (mean first-passage / absorption time). Requires `absorbing`
+  /// reachable from start.
+  Result<double> MeanTimeToAbsorption(size_t start,
+                                      const std::vector<size_t>& absorbing) const;
+
+ private:
+  size_t n_;
+  Matrix q_;
+};
+
+/// Parameters of the n-replica birth–death availability model.
+struct ReplicaChainParams {
+  int n = 3;
+  /// Per-replica failure rate (per hour).
+  double lambda = 1.0 / 8760.0;
+  /// Per-missing-replica repair rate (per hour).
+  double mu = 1.0;
+  /// True = all missing replicas repair concurrently (rate k*mu in state
+  /// with k missing); false = one repair at a time (rate mu).
+  bool parallel_repair = false;
+  /// Replicas required to operate (majority quorum by default; set
+  /// explicitly for other protocols).
+  int quorum = 2;
+};
+
+/// Steady-state probability that fewer than `quorum` replicas are live.
+Result<double> ReplicaChainUnavailability(const ReplicaChainParams& params);
+
+/// Mean time (hours) until all replicas are simultaneously dead (data
+/// loss), starting from all-live — the analytic MTTDL.
+Result<double> ReplicaChainMttdl(const ReplicaChainParams& params);
+
+/// Builds the generator for the replica chain (states = #live replicas,
+/// 0..n). Exposed for tests.
+Ctmc BuildReplicaChain(const ReplicaChainParams& params);
+
+}  // namespace wt
+
+#endif  // WT_ANALYTICS_MARKOV_H_

@@ -1,0 +1,122 @@
+#include "wt/analytics/queueing.h"
+
+#include <cmath>
+
+#include "wt/common/macros.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+// ------------------------------------------------------------------- M/M/1
+
+Status MM1::Validate() const {
+  if (lambda < 0 || mu <= 0) {
+    return Status::InvalidArgument("M/M/1 requires lambda >= 0, mu > 0");
+  }
+  if (lambda >= mu) {
+    return Status::InvalidArgument(
+        StrFormat("M/M/1 unstable: rho = %.3f >= 1", lambda / mu));
+  }
+  return Status::OK();
+}
+
+double MM1::L() const {
+  double rho = utilization();
+  return rho / (1.0 - rho);
+}
+double MM1::Lq() const {
+  double rho = utilization();
+  return rho * rho / (1.0 - rho);
+}
+double MM1::W() const { return 1.0 / (mu - lambda); }
+double MM1::Wq() const { return utilization() / (mu - lambda); }
+double MM1::Pn(int n) const {
+  double rho = utilization();
+  return (1.0 - rho) * std::pow(rho, n);
+}
+double MM1::ResponseQuantile(double q) const {
+  WT_CHECK(q > 0 && q < 1);
+  // Response time ~ Exp(mu - lambda).
+  return -std::log(1.0 - q) / (mu - lambda);
+}
+
+// ------------------------------------------------------------------- M/M/c
+
+Status MMc::Validate() const {
+  if (lambda < 0 || mu <= 0 || c < 1) {
+    return Status::InvalidArgument("M/M/c requires lambda>=0, mu>0, c>=1");
+  }
+  if (lambda >= c * mu) {
+    return Status::InvalidArgument(
+        StrFormat("M/M/c unstable: rho = %.3f >= 1", lambda / (c * mu)));
+  }
+  return Status::OK();
+}
+
+double MMc::ErlangC() const {
+  double a = lambda / mu;  // offered load
+  double rho = utilization();
+  // Numerically stable iterative Erlang-B, then convert to Erlang-C.
+  double b = 1.0;
+  for (int k = 1; k <= c; ++k) {
+    b = a * b / (k + a * b);
+  }
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double MMc::Lq() const {
+  double rho = utilization();
+  return ErlangC() * rho / (1.0 - rho);
+}
+double MMc::L() const { return Lq() + lambda / mu; }
+double MMc::Wq() const { return Lq() / lambda; }
+double MMc::W() const { return Wq() + 1.0 / mu; }
+
+double ErlangB(double offered_load, int c) {
+  WT_CHECK(offered_load >= 0 && c >= 0);
+  double b = 1.0;
+  for (int k = 1; k <= c; ++k) {
+    b = offered_load * b / (k + offered_load * b);
+  }
+  return b;
+}
+
+// ------------------------------------------------------------------- M/G/1
+
+Status MG1::Validate() const {
+  if (lambda < 0 || service_mean <= 0 || service_variance < 0) {
+    return Status::InvalidArgument("M/G/1 parameter out of range");
+  }
+  if (utilization() >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("M/G/1 unstable: rho = %.3f >= 1", utilization()));
+  }
+  return Status::OK();
+}
+
+double MG1::Wq() const {
+  // Pollaczek–Khinchine: Wq = lambda * E[S^2] / (2 (1 - rho)).
+  double es2 = service_variance + service_mean * service_mean;
+  return lambda * es2 / (2.0 * (1.0 - utilization()));
+}
+
+// ------------------------------------------------------------------- G/G/1
+
+Status GG1::Validate() const {
+  if (lambda < 0 || service_mean <= 0 || ca2 < 0 || cs2 < 0) {
+    return Status::InvalidArgument("G/G/1 parameter out of range");
+  }
+  if (utilization() >= 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("G/G/1 unstable: rho = %.3f >= 1", utilization()));
+  }
+  return Status::OK();
+}
+
+double GG1::Wq() const {
+  double rho = utilization();
+  // Kingman: Wq ≈ (rho / (1-rho)) * ((ca2 + cs2) / 2) * E[S].
+  return rho / (1.0 - rho) * (ca2 + cs2) / 2.0 * service_mean;
+}
+
+}  // namespace wt

@@ -1,0 +1,95 @@
+// Closed-form queueing models (§2.2).
+//
+// The paper positions analytical models as the *validation oracle* for the
+// simulator ("we advocate using analytical models in that role", §2.2).
+// These formulas back experiment E10 (simulator validation) and E3's
+// "analytic prediction that ignores cluster events" baseline.
+//
+// Units: rates are per second, times in seconds.
+
+#ifndef WT_ANALYTICS_QUEUEING_H_
+#define WT_ANALYTICS_QUEUEING_H_
+
+#include "wt/common/result.h"
+
+namespace wt {
+
+/// M/M/1: Poisson arrivals (lambda), exponential service (mu), one server.
+struct MM1 {
+  double lambda = 0.0;
+  double mu = 1.0;
+
+  /// Requires lambda < mu (stability).
+  Status Validate() const;
+
+  double utilization() const { return lambda / mu; }
+  /// Mean number in system.
+  double L() const;
+  /// Mean number waiting.
+  double Lq() const;
+  /// Mean time in system (response time).
+  double W() const;
+  /// Mean waiting time.
+  double Wq() const;
+  /// P(exactly n in system).
+  double Pn(int n) const;
+  /// q-quantile of the response-time distribution (exponential for M/M/1).
+  double ResponseQuantile(double q) const;
+};
+
+/// M/M/c: Poisson arrivals, exponential service, c identical servers.
+struct MMc {
+  double lambda = 0.0;
+  double mu = 1.0;
+  int c = 1;
+
+  Status Validate() const;
+
+  double utilization() const { return lambda / (c * mu); }
+  /// Erlang-C: probability an arrival must wait.
+  double ErlangC() const;
+  double Lq() const;
+  double L() const;
+  double Wq() const;
+  double W() const;
+};
+
+/// Erlang-B blocking probability for an M/M/c/c loss system with offered
+/// load a = lambda/mu and c servers.
+double ErlangB(double offered_load, int c);
+
+/// M/G/1 (Pollaczek–Khinchine): Poisson arrivals, general service with the
+/// given mean and variance, one server.
+struct MG1 {
+  double lambda = 0.0;
+  double service_mean = 1.0;
+  double service_variance = 0.0;
+
+  Status Validate() const;
+
+  double utilization() const { return lambda * service_mean; }
+  double Wq() const;
+  double W() const { return Wq() + service_mean; }
+  double Lq() const { return lambda * Wq(); }
+  double L() const { return lambda * W(); }
+};
+
+/// G/G/1 mean-wait approximation (Kingman / Marchal): needs only the
+/// coefficients of variation of interarrival and service times.
+struct GG1 {
+  double lambda = 0.0;
+  double service_mean = 1.0;
+  double ca2 = 1.0;  // squared CoV of interarrival times
+  double cs2 = 1.0;  // squared CoV of service times
+
+  Status Validate() const;
+
+  double utilization() const { return lambda * service_mean; }
+  /// Kingman's approximation of the mean wait.
+  double Wq() const;
+  double W() const { return Wq() + service_mean; }
+};
+
+}  // namespace wt
+
+#endif  // WT_ANALYTICS_QUEUEING_H_

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Logs go to stderr; the level is a process-wide
+// setting so benchmarks can silence INFO chatter.
+
+#ifndef WT_COMMON_LOGGING_H_
+#define WT_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets / reads the process-wide minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace wt
+
+#define WT_LOG(level) \
+  ::wt::internal::LogMessage(::wt::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // WT_COMMON_LOGGING_H_

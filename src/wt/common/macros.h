@@ -1,0 +1,67 @@
+// Assertion and utility macros.
+
+#ifndef WT_COMMON_MACROS_H_
+#define WT_COMMON_MACROS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#define WT_MACRO_CONCAT_INNER(a, b) a##b
+#define WT_MACRO_CONCAT(a, b) WT_MACRO_CONCAT_INNER(a, b)
+
+namespace wt {
+namespace internal {
+
+// Collects a streamed message and aborts on destruction. Used by WT_CHECK.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace wt
+
+/// Aborts with a message if `cond` is false. Active in all build modes:
+/// checks guard invariants whose violation would corrupt simulation results.
+#define WT_CHECK(cond)                                              \
+  if (cond)                                                         \
+    ::wt::internal::NullStream();                                   \
+  else                                                              \
+    ::wt::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#ifndef NDEBUG
+#define WT_DCHECK(cond) WT_CHECK(cond)
+#else
+#define WT_DCHECK(cond) \
+  if (true)             \
+    ::wt::internal::NullStream();  \
+  else                  \
+    ::wt::internal::NullStream()
+#endif
+
+#endif  // WT_COMMON_MACROS_H_

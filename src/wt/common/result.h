@@ -1,0 +1,77 @@
+// Result<T>: a value or an error Status (cf. arrow::Result / rocksdb's
+// Status+out-param, but with the value carried in-band).
+
+#ifndef WT_COMMON_RESULT_H_
+#define WT_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "wt/common/macros.h"
+#include "wt/common/status.h"
+
+namespace wt {
+
+/// Holds either a T (success) or an error Status. Accessing the value of an
+/// error Result aborts the process (programming error), so callers must
+/// check ok() first or use WT_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    WT_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status (OK if the result holds a value).
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    WT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    WT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    WT_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace wt
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`. `lhs` may be a declaration.
+#define WT_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  WT_ASSIGN_OR_RETURN_IMPL(                                  \
+      WT_MACRO_CONCAT(_wt_result_, __LINE__), lhs, rexpr)
+
+#define WT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#endif  // WT_COMMON_RESULT_H_

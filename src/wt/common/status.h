@@ -1,0 +1,117 @@
+// Status: lightweight error propagation for library code.
+//
+// Library code in the wind tunnel does not throw exceptions; fallible
+// operations return a Status (or Result<T>, see result.h). The idiom follows
+// RocksDB/Arrow: construct with a factory (Status::InvalidArgument(...)),
+// test with ok(), propagate with WT_RETURN_IF_ERROR.
+
+#ifndef WT_COMMON_STATUS_H_
+#define WT_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace wt {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+  kParseError,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status is either OK (the common, allocation-free case) or an error
+/// carrying a code and a message. Cheap to move; copyable.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. Prefer the named
+  /// factories below.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The error code; kOk for a successful status.
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for a successful status.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so copies are cheap; immutable after construction.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace wt
+
+/// Propagates an error Status from the current function.
+#define WT_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::wt::Status _wt_status = (expr);           \
+    if (!_wt_status.ok()) return _wt_status;    \
+  } while (0)
+
+#endif  // WT_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+// Small string helpers used across the library (no external deps).
+
+#ifndef WT_COMMON_STRING_UTIL_H_
+#define WT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wt/common/result.h"
+
+namespace wt {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// Lower-cases ASCII letters.
+std::string StrToLower(std::string_view s);
+
+/// True if `s` starts with / ends with `prefix` / `suffix`.
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+bool StrEndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict parses; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+Result<long long> ParseInt(std::string_view s);
+Result<bool> ParseBool(std::string_view s);
+
+}  // namespace wt
+
+#endif  // WT_COMMON_STRING_UTIL_H_

@@ -1,0 +1,58 @@
+#include "wt/core/early_abort.h"
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+const char* AbortDecisionToString(AbortDecision decision) {
+  switch (decision) {
+    case AbortDecision::kContinue:
+      return "continue";
+    case AbortDecision::kPassEarly:
+      return "pass-early";
+    case AbortDecision::kFailEarly:
+      return "fail-early";
+  }
+  return "?";
+}
+
+BernoulliAbortMonitor::BernoulliAbortMonitor(double threshold, SlaOp op,
+                                             double confidence,
+                                             int64_t min_trials)
+    : threshold_(threshold),
+      op_(op),
+      confidence_(confidence),
+      min_trials_(min_trials) {
+  WT_CHECK(confidence > 0 && confidence < 1);
+  WT_CHECK(min_trials >= 1);
+}
+
+void BernoulliAbortMonitor::Record(bool success) {
+  ++trials_;
+  if (success) ++successes_;
+}
+
+double BernoulliAbortMonitor::estimate() const {
+  return trials_ > 0
+             ? static_cast<double>(successes_) / static_cast<double>(trials_)
+             : 0.0;
+}
+
+Interval BernoulliAbortMonitor::CurrentInterval() const {
+  return WilsonInterval(successes_, trials_, confidence_);
+}
+
+AbortDecision BernoulliAbortMonitor::Decide() const {
+  if (trials_ < min_trials_) return AbortDecision::kContinue;
+  Interval ci = CurrentInterval();
+  if (op_ == SlaOp::kAtLeast) {
+    if (ci.EntirelyAbove(threshold_)) return AbortDecision::kPassEarly;
+    if (ci.EntirelyBelow(threshold_)) return AbortDecision::kFailEarly;
+  } else {
+    if (ci.EntirelyBelow(threshold_)) return AbortDecision::kPassEarly;
+    if (ci.EntirelyAbove(threshold_)) return AbortDecision::kFailEarly;
+  }
+  return AbortDecision::kContinue;
+}
+
+}  // namespace wt

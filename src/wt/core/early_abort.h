@@ -1,0 +1,59 @@
+// Early abort of Monte-Carlo runs (§4.2).
+//
+// "Another approach to speed up execution is to monitor the simulation
+// progress and abort a simulation run before it completes, if it is clear
+// from the existing progress that the design constraint (e.g., a desired
+// SLA) will not be met." For trial-based availability estimates the
+// monitored statistic is a Bernoulli proportion; a Wilson interval that
+// clears the SLA threshold on either side decides the run early.
+
+#ifndef WT_CORE_EARLY_ABORT_H_
+#define WT_CORE_EARLY_ABORT_H_
+
+#include <cstdint>
+
+#include "wt/sla/sla.h"
+#include "wt/stats/confidence.h"
+
+namespace wt {
+
+/// Verdict after each batch of trials.
+enum class AbortDecision {
+  kContinue,    // interval still straddles the threshold
+  kPassEarly,   // SLA certainly met at this confidence
+  kFailEarly,   // SLA certainly missed at this confidence
+};
+
+const char* AbortDecisionToString(AbortDecision decision);
+
+/// Sequential monitor for a Bernoulli success probability against an SLA
+/// bound `p op threshold`.
+class BernoulliAbortMonitor {
+ public:
+  /// `op` == kAtLeast means the SLA wants success probability >= threshold.
+  BernoulliAbortMonitor(double threshold, SlaOp op, double confidence = 0.99,
+                        int64_t min_trials = 30);
+
+  /// Records one trial outcome.
+  void Record(bool success);
+
+  /// Current verdict.
+  AbortDecision Decide() const;
+
+  double estimate() const;
+  Interval CurrentInterval() const;
+  int64_t trials() const { return trials_; }
+  int64_t successes() const { return successes_; }
+
+ private:
+  double threshold_;
+  SlaOp op_;
+  double confidence_;
+  int64_t min_trials_;
+  int64_t trials_ = 0;
+  int64_t successes_ = 0;
+};
+
+}  // namespace wt
+
+#endif  // WT_CORE_EARLY_ABORT_H_

@@ -1,0 +1,115 @@
+#include "wt/core/frontier.h"
+
+#include <algorithm>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+namespace {
+
+// Runs one point and reports SLA satisfaction.
+Result<RunRecord> RunPoint(const DesignPoint& point, const RunFn& fn,
+                           const std::vector<SlaConstraint>& constraints,
+                           RngStream rng, size_t run_id) {
+  RunRecord rec;
+  rec.run_id = run_id;
+  rec.point = point;
+  Result<MetricMap> metrics = fn(point, rng);
+  if (!metrics.ok()) return metrics.status();
+  rec.status = RunStatus::kCompleted;
+  rec.metrics = std::move(metrics).value();
+  WT_ASSIGN_OR_RETURN(rec.sla_outcomes,
+                      EvaluateConstraints(constraints, rec.metrics));
+  rec.sla_satisfied = AllSatisfied(rec.sla_outcomes);
+  return rec;
+}
+
+}  // namespace
+
+Result<FrontierResult> FindMonotoneFrontier(
+    const Dimension& dim, MonotoneDirection direction,
+    const DesignPoint& base, const RunFn& fn,
+    const std::vector<SlaConstraint>& constraints, uint64_t seed) {
+  if (dim.candidates.empty()) {
+    return Status::InvalidArgument("dimension has no candidates");
+  }
+  // Sort candidates from worst to best along the declared direction.
+  std::vector<Value> ordered = dim.candidates;
+  for (const Value& v : ordered) {
+    if (!v.ToNumeric().ok()) {
+      return Status::InvalidArgument(
+          "frontier search requires numeric candidates");
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [direction](const Value& a, const Value& b) {
+              double x = a.ToNumeric().value();
+              double y = b.ToNumeric().value();
+              return direction == MonotoneDirection::kHigherIsBetter ? x < y
+                                                                     : x > y;
+            });
+
+  FrontierResult result;
+  result.full_sweep_runs = ordered.size();
+  RngStream root(seed);
+
+  auto run_at = [&](size_t idx) -> Result<bool> {
+    DesignPoint point = base;
+    point.Set(dim.name, ordered[idx]);
+    WT_ASSIGN_OR_RETURN(
+        RunRecord rec,
+        RunPoint(point, fn, constraints, root.Substream(idx),
+                 result.runs.size()));
+    bool ok = rec.sla_satisfied;
+    result.runs.push_back(std::move(rec));
+    return ok;
+  };
+
+  // Monotonicity: satisfied(idx) is non-decreasing in idx (worst..best).
+  // First check the best end: if even it fails, no frontier exists.
+  WT_ASSIGN_OR_RETURN(bool best_ok, run_at(ordered.size() - 1));
+  if (!best_ok) return result;  // frontier_value empty
+  if (ordered.size() == 1) {
+    result.frontier_value = ordered.back();
+    return result;
+  }
+  // Binary search the smallest satisfying index in [0, last].
+  size_t lo = 0, hi = ordered.size() - 1;  // hi is known-satisfying
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    WT_ASSIGN_OR_RETURN(bool ok, run_at(mid));
+    if (ok) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.frontier_value = ordered[hi];
+  return result;
+}
+
+Result<std::vector<FrontierPoint>> FindFrontierSurface(
+    const Dimension& dim, MonotoneDirection direction,
+    const DesignSpace& rest, const RunFn& fn,
+    const std::vector<SlaConstraint>& constraints, uint64_t seed) {
+  std::vector<FrontierPoint> surface;
+  std::vector<DesignPoint> rest_points =
+      rest.num_dimensions() > 0 ? rest.AllPoints()
+                                : std::vector<DesignPoint>{DesignPoint{}};
+  RngStream root(seed);
+  for (size_t i = 0; i < rest_points.size(); ++i) {
+    WT_ASSIGN_OR_RETURN(
+        FrontierResult r,
+        FindMonotoneFrontier(dim, direction, rest_points[i], fn, constraints,
+                             root.Substream(i).seed()));
+    FrontierPoint point;
+    point.rest = rest_points[i];
+    point.frontier_value = r.frontier_value;
+    point.runs_used = r.runs.size();
+    surface.push_back(std::move(point));
+  }
+  return surface;
+}
+
+}  // namespace wt

@@ -1,0 +1,61 @@
+// Frontier search: the logical extreme of §4.2's run-ordering idea.
+//
+// "If a performance SLA cannot be met with a 10Gb network, then it won't
+// be met with a 1Gb network ... Extending this idea to more than one
+// dimension is an interesting research problem."
+//
+// When a dimension is declared monotone w.r.t. SLA attainment, the
+// SLA-satisfying region along that axis is a half-line, so the cheapest
+// satisfying value can be found with O(log n) simulation runs (binary
+// search over the sorted candidates) instead of O(n). For multiple
+// dimensions, FindFrontierSurface runs the 1-D search for every
+// combination of the remaining dimensions, mapping the full SLA frontier
+// with |rest-space| * O(log n) runs.
+
+#ifndef WT_CORE_FRONTIER_H_
+#define WT_CORE_FRONTIER_H_
+
+#include <optional>
+#include <vector>
+
+#include "wt/core/orchestrator.h"
+
+namespace wt {
+
+/// Outcome of a 1-D frontier search.
+struct FrontierResult {
+  /// The minimal (in the "goodness" order) candidate that satisfies the
+  /// SLA, if any does.
+  std::optional<Value> frontier_value;
+  /// Every run actually executed, in execution order.
+  std::vector<RunRecord> runs;
+  /// Runs a full sweep would have needed (candidate count).
+  size_t full_sweep_runs = 0;
+};
+
+/// Binary-searches `dim`'s candidates (monotone per `direction`) over the
+/// fixed assignment `base`, returning the cheapest satisfying value.
+/// Candidate values must be numeric; they are sorted internally.
+Result<FrontierResult> FindMonotoneFrontier(
+    const Dimension& dim, MonotoneDirection direction,
+    const DesignPoint& base, const RunFn& fn,
+    const std::vector<SlaConstraint>& constraints, uint64_t seed);
+
+/// One row of a multi-dimensional frontier surface.
+struct FrontierPoint {
+  DesignPoint rest;                    // assignment of the other dimensions
+  std::optional<Value> frontier_value; // cheapest satisfying value of `dim`
+  size_t runs_used = 0;
+};
+
+/// Maps the SLA frontier of `dim` across the cartesian product of `rest`
+/// dimensions: for every combination, the cheapest satisfying value of
+/// `dim` found by binary search.
+Result<std::vector<FrontierPoint>> FindFrontierSurface(
+    const Dimension& dim, MonotoneDirection direction,
+    const DesignSpace& rest, const RunFn& fn,
+    const std::vector<SlaConstraint>& constraints, uint64_t seed);
+
+}  // namespace wt
+
+#endif  // WT_CORE_FRONTIER_H_

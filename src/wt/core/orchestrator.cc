@@ -1,0 +1,130 @@
+#include "wt/core/orchestrator.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "wt/common/macros.h"
+#include "wt/core/thread_pool.h"
+#include "wt/stats/welford.h"
+
+namespace wt {
+
+const char* RunStatusToString(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kPruned:
+      return "pruned";
+    case RunStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+RunOrchestrator::RunOrchestrator(SweepOptions options) : options_(options) {
+  WT_CHECK(options.num_workers >= 1);
+  WT_CHECK(options.replications >= 1);
+}
+
+Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
+    const DesignSpace& space, const RunFn& fn,
+    const std::vector<SlaConstraint>& constraints,
+    const std::vector<MonotoneHint>& hints) {
+  if (space.size() == 0) {
+    return Status::InvalidArgument("empty design space");
+  }
+  DominancePruner pruner(hints);
+  std::vector<DesignPoint> points = pruner.OrderBestFirst(space.AllPoints());
+
+  std::vector<RunRecord> records(points.size());
+  std::mutex mu;  // guards pruner and SLA bookkeeping
+  RngStream root(options_.seed);
+
+  auto run_one = [&](size_t idx) {
+    RunRecord& rec = records[idx];
+    rec.run_id = idx;
+    rec.point = points[idx];
+
+    if (options_.enable_pruning) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (pruner.IsDominated(rec.point)) {
+        rec.status = RunStatus::kPruned;
+        rec.sla_satisfied = false;
+        return;
+      }
+    }
+
+    RngStream point_rng = root.Substream(static_cast<uint64_t>(idx));
+    if (options_.replications == 1) {
+      RngStream rng = point_rng;
+      Result<MetricMap> metrics = fn(rec.point, rng);
+      if (!metrics.ok()) {
+        rec.status = RunStatus::kError;
+        rec.error = metrics.status().ToString();
+        return;
+      }
+      rec.metrics = std::move(metrics).value();
+    } else {
+      // Replicated run: aggregate each metric across independent seeds.
+      std::map<std::string, RunningStats> agg;
+      for (int rep = 0; rep < options_.replications; ++rep) {
+        RngStream rng = point_rng.Substream(static_cast<uint64_t>(rep));
+        Result<MetricMap> metrics = fn(rec.point, rng);
+        if (!metrics.ok()) {
+          rec.status = RunStatus::kError;
+          rec.error = metrics.status().ToString();
+          return;
+        }
+        for (const auto& [name, value] : *metrics) agg[name].Add(value);
+      }
+      for (const auto& [name, stats] : agg) {
+        rec.metrics[name] = stats.mean();
+        rec.metrics[name + "_se"] = stats.stderr_mean();
+      }
+    }
+    rec.status = RunStatus::kCompleted;
+
+    auto outcomes = EvaluateConstraints(constraints, rec.metrics);
+    if (!outcomes.ok()) {
+      rec.status = RunStatus::kError;
+      rec.error = outcomes.status().ToString();
+      return;
+    }
+    rec.sla_outcomes = std::move(outcomes).value();
+    rec.sla_satisfied = AllSatisfied(rec.sla_outcomes);
+    if (!rec.sla_satisfied && options_.enable_pruning) {
+      std::lock_guard<std::mutex> lock(mu);
+      pruner.RecordFailure(rec.point);
+    }
+  };
+
+  if (options_.num_workers == 1) {
+    for (size_t i = 0; i < points.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(options_.num_workers);
+    for (size_t i = 0; i < points.size(); ++i) {
+      pool.Submit([&run_one, i] { run_one(i); });
+    }
+    pool.WaitIdle();
+  }
+
+  stats_ = SweepStats{};
+  stats_.total_points = points.size();
+  for (const RunRecord& rec : records) {
+    switch (rec.status) {
+      case RunStatus::kCompleted:
+        ++stats_.executed;
+        break;
+      case RunStatus::kPruned:
+        ++stats_.pruned;
+        break;
+      case RunStatus::kError:
+        ++stats_.errors;
+        break;
+    }
+  }
+  return records;
+}
+
+}  // namespace wt

@@ -1,0 +1,95 @@
+// RunOrchestrator: executes a design-space sweep — the wind tunnel's query
+// engine (§4.2).
+//
+// The two scaling techniques the paper borrows from databases:
+//  * optimization — order runs so that dominating configurations execute
+//    first and SLA failures prune their dominated cone (DominancePruner);
+//  * parallelization — independent runs execute on a worker pool (each run
+//    owns a private Simulator, so runs never share mutable state; this is
+//    the run-level parallelism justified by the model interaction graph).
+
+#ifndef WT_CORE_ORCHESTRATOR_H_
+#define WT_CORE_ORCHESTRATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wt/core/design_space.h"
+#include "wt/core/pruner.h"
+#include "wt/sim/random.h"
+#include "wt/sla/evaluator.h"
+
+namespace wt {
+
+/// Executes one simulation run for a design point. Must be thread-safe
+/// across distinct points (each call gets a private RngStream).
+using RunFn =
+    std::function<Result<MetricMap>(const DesignPoint&, RngStream&)>;
+
+/// Outcome category of a scheduled run.
+enum class RunStatus {
+  kCompleted,  // simulated, metrics present
+  kPruned,     // skipped: dominated by a failed configuration
+  kError,      // RunFn returned an error
+};
+
+const char* RunStatusToString(RunStatus status);
+
+/// One run's full record.
+struct RunRecord {
+  size_t run_id = 0;
+  DesignPoint point;
+  RunStatus status = RunStatus::kCompleted;
+  MetricMap metrics;
+  std::vector<SlaOutcome> sla_outcomes;
+  bool sla_satisfied = false;
+  std::string error;
+};
+
+/// Sweep execution knobs.
+struct SweepOptions {
+  /// Worker threads; 1 = fully deterministic pruning decisions.
+  int num_workers = 1;
+  uint64_t seed = 1;
+  /// Honor MonotoneHints (disable to measure pruning savings — E6).
+  bool enable_pruning = true;
+  /// Independent replications per design point (distinct RNG substreams).
+  /// With > 1, each metric is reported as the replicate mean and a
+  /// "<metric>_se" standard-error metric is added, so SLA margins can be
+  /// judged statistically ("statistically reason about the guarantees",
+  /// §1). SLAs are evaluated on the means.
+  int replications = 1;
+};
+
+/// Aggregate sweep statistics.
+struct SweepStats {
+  size_t total_points = 0;
+  size_t executed = 0;
+  size_t pruned = 0;
+  size_t errors = 0;
+};
+
+/// Stateless engine: each Sweep call is independent.
+class RunOrchestrator {
+ public:
+  explicit RunOrchestrator(SweepOptions options);
+
+  /// Runs `fn` over every point of `space` (minus pruned ones), evaluates
+  /// `constraints` on each result, and returns records in execution order.
+  Result<std::vector<RunRecord>> Sweep(
+      const DesignSpace& space, const RunFn& fn,
+      const std::vector<SlaConstraint>& constraints,
+      const std::vector<MonotoneHint>& hints = {});
+
+  /// Statistics of the most recent Sweep.
+  const SweepStats& last_stats() const { return stats_; }
+
+ private:
+  SweepOptions options_;
+  SweepStats stats_;
+};
+
+}  // namespace wt
+
+#endif  // WT_CORE_ORCHESTRATOR_H_

@@ -1,0 +1,73 @@
+#include "wt/core/pruner.h"
+
+#include <algorithm>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+DominancePruner::DominancePruner(std::vector<MonotoneHint> hints)
+    : hints_(std::move(hints)) {
+  for (const MonotoneHint& h : hints_) {
+    hint_by_dim_[h.dimension] = h.direction;
+  }
+}
+
+namespace {
+// Numeric "goodness": higher is always better after direction folding.
+double Goodness(const Value& v, MonotoneDirection dir) {
+  auto num = v.ToNumeric();
+  double x = num.ok() ? num.value() : 0.0;
+  return dir == MonotoneDirection::kHigherIsBetter ? x : -x;
+}
+}  // namespace
+
+std::vector<DesignPoint> DominancePruner::OrderBestFirst(
+    std::vector<DesignPoint> points) const {
+  std::stable_sort(
+      points.begin(), points.end(),
+      [this](const DesignPoint& a, const DesignPoint& b) {
+        double ga = 0.0, gb = 0.0;
+        for (const MonotoneHint& h : hints_) {
+          auto va = a.Get(h.dimension);
+          auto vb = b.Get(h.dimension);
+          if (!va.ok() || !vb.ok()) continue;
+          ga += Goodness(va.value(), h.direction);
+          gb += Goodness(vb.value(), h.direction);
+        }
+        return ga > gb;  // best first
+      });
+  return points;
+}
+
+bool DominancePruner::DominatesOrEqual(const DesignPoint& a,
+                                       const DesignPoint& b) const {
+  // a dominates-or-equals b when a is equal-or-better on hinted dims and
+  // identical on everything else.
+  for (const auto& [dim, value_b] : b.values()) {
+    auto value_a = a.Get(dim);
+    if (!value_a.ok()) return false;
+    auto hint = hint_by_dim_.find(dim);
+    if (hint == hint_by_dim_.end()) {
+      if (!(value_a.value() == value_b)) return false;
+    } else {
+      double ga = Goodness(value_a.value(), hint->second);
+      double gb = Goodness(value_b, hint->second);
+      if (ga < gb) return false;
+    }
+  }
+  return true;
+}
+
+void DominancePruner::RecordFailure(const DesignPoint& point) {
+  failed_.push_back(point);
+}
+
+bool DominancePruner::IsDominated(const DesignPoint& point) const {
+  for (const DesignPoint& f : failed_) {
+    if (DominatesOrEqual(f, point)) return true;
+  }
+  return false;
+}
+
+}  // namespace wt

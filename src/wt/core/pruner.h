@@ -1,0 +1,72 @@
+// Dominance-based run ordering and pruning (§4.2, "optimization").
+//
+// "If a performance SLA cannot be met with a 10Gb network, then it won't be
+// met with a 1Gb network, while all other design parameters remain the
+// same. Thus, the simulation run with the 10Gb configuration should precede
+// the run with the 1Gb configuration." A MonotoneHint declares such a
+// dimension; the pruner orders the grid best-first along hinted dimensions
+// and skips any point dominated by an already-failed point. This
+// generalizes the paper's one-dimensional example to arbitrarily many
+// hinted dimensions.
+
+#ifndef WT_CORE_PRUNER_H_
+#define WT_CORE_PRUNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wt/core/design_space.h"
+
+namespace wt {
+
+/// How a dimension's value relates to SLA attainment.
+enum class MonotoneDirection {
+  /// Larger values never hurt (network bandwidth, memory size).
+  kHigherIsBetter,
+  /// Smaller values never hurt (e.g. background load).
+  kLowerIsBetter,
+};
+
+/// Declares that moving `dimension` in the better direction can only help
+/// every SLA in the query.
+struct MonotoneHint {
+  std::string dimension;
+  MonotoneDirection direction = MonotoneDirection::kHigherIsBetter;
+};
+
+/// Tracks failed design points and answers dominance queries.
+class DominancePruner {
+ public:
+  explicit DominancePruner(std::vector<MonotoneHint> hints);
+
+  /// Orders candidate points so that dominating (better) configurations run
+  /// first, maximizing pruning opportunity. Stable for non-hinted dims.
+  std::vector<DesignPoint> OrderBestFirst(
+      std::vector<DesignPoint> points) const;
+
+  /// Records that `point` failed its SLA.
+  void RecordFailure(const DesignPoint& point);
+
+  /// True if some recorded failure dominates `point`: equal on all
+  /// non-hinted dimensions and equal-or-better on every hinted one (so
+  /// `point`, being equal-or-worse everywhere, must fail too).
+  bool IsDominated(const DesignPoint& point) const;
+
+  int64_t failures_recorded() const {
+    return static_cast<int64_t>(failed_.size());
+  }
+
+ private:
+  // Comparison along hints: returns true if `a` is equal-or-better than `b`
+  // on every hinted dimension and identical elsewhere.
+  bool DominatesOrEqual(const DesignPoint& a, const DesignPoint& b) const;
+
+  std::vector<MonotoneHint> hints_;
+  std::map<std::string, MonotoneDirection> hint_by_dim_;
+  std::vector<DesignPoint> failed_;
+};
+
+}  // namespace wt
+
+#endif  // WT_CORE_PRUNER_H_

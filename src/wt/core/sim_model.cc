@@ -1,0 +1,91 @@
+#include "wt/core/sim_model.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+Status InteractionGraph::AddModel(ModelDecl decl) {
+  for (const ModelDecl& m : models_) {
+    if (m.name == decl.name) {
+      return Status::AlreadyExists("model exists: '" + decl.name + "'");
+    }
+  }
+  models_.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Result<size_t> InteractionGraph::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < models_.size(); ++i) {
+    if (models_[i].name == name) return i;
+  }
+  return Status::NotFound("no such model: '" + name + "'");
+}
+
+bool InteractionGraph::DeclsConflict(const ModelDecl& a, const ModelDecl& b) {
+  auto intersects = [](const std::vector<std::string>& x,
+                       const std::vector<std::string>& y) {
+    for (const std::string& v : x) {
+      if (std::find(y.begin(), y.end(), v) != y.end()) return true;
+    }
+    return false;
+  };
+  // Write-write, write-read, read-write.
+  return intersects(a.writes, b.writes) || intersects(a.writes, b.reads) ||
+         intersects(a.reads, b.writes);
+}
+
+Result<bool> InteractionGraph::Conflicts(const std::string& a,
+                                         const std::string& b) const {
+  WT_ASSIGN_OR_RETURN(size_t ia, IndexOf(a));
+  WT_ASSIGN_OR_RETURN(size_t ib, IndexOf(b));
+  if (ia == ib) return true;
+  return DeclsConflict(models_[ia], models_[ib]);
+}
+
+std::vector<std::vector<std::string>> InteractionGraph::ConnectedComponents()
+    const {
+  size_t n = models_.size();
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (DeclsConflict(models_[i], models_[j])) {
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  std::vector<std::vector<std::string>> components;
+  std::vector<int> comp_of(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = find(i);
+    if (comp_of[root] < 0) {
+      comp_of[root] = static_cast<int>(components.size());
+      components.emplace_back();
+    }
+    components[static_cast<size_t>(comp_of[root])].push_back(models_[i].name);
+  }
+  return components;
+}
+
+Result<std::vector<std::string>> InteractionGraph::ConflictSet(
+    const std::string& name) const {
+  WT_ASSIGN_OR_RETURN(size_t idx, IndexOf(name));
+  std::vector<std::string> out;
+  for (size_t i = 0; i < models_.size(); ++i) {
+    if (i == idx) continue;
+    if (DeclsConflict(models_[idx], models_[i])) out.push_back(models_[i].name);
+  }
+  return out;
+}
+
+}  // namespace wt

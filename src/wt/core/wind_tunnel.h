@@ -1,0 +1,85 @@
+// WindTunnel: the top-level facade of the library.
+//
+// Owns the model-interaction declarations (§4.1), the registry of named
+// simulations, the run orchestrator (§4.2), and the result store (§4.4).
+// A what-if study is: register/choose a simulation, define a design space,
+// attach SLA constraints and monotone hints, run the sweep, and explore the
+// result table.
+
+#ifndef WT_CORE_WIND_TUNNEL_H_
+#define WT_CORE_WIND_TUNNEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wt/core/orchestrator.h"
+#include "wt/core/sim_model.h"
+#include "wt/store/result_store.h"
+
+namespace wt {
+
+/// Facade configuration.
+struct WindTunnelOptions {
+  int num_workers = 1;
+  uint64_t seed = 1;
+  bool enable_pruning = true;
+  /// Independent replications per design point (see SweepOptions).
+  int replications = 1;
+};
+
+/// The wind tunnel: simulation registry + orchestrator + result store.
+class WindTunnel {
+ public:
+  explicit WindTunnel(WindTunnelOptions options = {});
+
+  /// Declares a model and its resource interactions (§4.1).
+  Status DeclareModel(ModelDecl decl) {
+    return interactions_.AddModel(std::move(decl));
+  }
+  const InteractionGraph& interactions() const { return interactions_; }
+
+  /// Registers a named simulation callable from sweeps and the DSL.
+  Status RegisterSimulation(const std::string& name, RunFn fn);
+  bool HasSimulation(const std::string& name) const;
+  Result<RunFn> GetSimulation(const std::string& name) const;
+  std::vector<std::string> SimulationNames() const;
+
+  /// Runs `simulation` over `space`, evaluates `constraints`, stores one
+  /// row per run in result table `sweep_name`, and returns the records.
+  Result<std::vector<RunRecord>> RunSweep(
+      const std::string& sweep_name, const DesignSpace& space,
+      const std::string& simulation,
+      const std::vector<SlaConstraint>& constraints = {},
+      const std::vector<MonotoneHint>& hints = {});
+
+  /// As above with an inline RunFn.
+  Result<std::vector<RunRecord>> RunSweepWith(
+      const std::string& sweep_name, const DesignSpace& space,
+      const RunFn& fn, const std::vector<SlaConstraint>& constraints = {},
+      const std::vector<MonotoneHint>& hints = {});
+
+  /// Result tables of past sweeps.
+  ResultStore& store() { return store_; }
+  const ResultStore& store() const { return store_; }
+
+  /// Stats of the most recent sweep.
+  const SweepStats& last_sweep_stats() const {
+    return orchestrator_.last_stats();
+  }
+
+ private:
+  // Builds the result table (dims + metrics + status) from sweep records.
+  Status StoreRecords(const std::string& table_name, const DesignSpace& space,
+                      const std::vector<RunRecord>& records);
+
+  WindTunnelOptions options_;
+  InteractionGraph interactions_;
+  std::map<std::string, RunFn> simulations_;
+  RunOrchestrator orchestrator_;
+  ResultStore store_;
+};
+
+}  // namespace wt
+
+#endif  // WT_CORE_WIND_TUNNEL_H_

@@ -1,0 +1,35 @@
+#include "wt/hw/component.h"
+
+namespace wt {
+
+const char* ComponentKindToString(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kDisk:
+      return "disk";
+    case ComponentKind::kNic:
+      return "nic";
+    case ComponentKind::kCpu:
+      return "cpu";
+    case ComponentKind::kMemory:
+      return "memory";
+    case ComponentKind::kSwitch:
+      return "switch";
+    case ComponentKind::kNode:
+      return "node";
+  }
+  return "?";
+}
+
+const char* ComponentStateToString(ComponentState state) {
+  switch (state) {
+    case ComponentState::kOperational:
+      return "operational";
+    case ComponentState::kDegraded:
+      return "degraded";
+    case ComponentState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace wt

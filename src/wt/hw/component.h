@@ -1,0 +1,62 @@
+// Hardware component base types.
+//
+// Every simulated hardware element (disk, NIC, CPU, memory module, switch)
+// is a Component: it has an identity, an operational state, and a
+// performance factor. The performance factor models "limpware" [Do et al.,
+// SoCC'13] — hardware that still works but at a fraction of its nominal
+// speed — which the paper singles out as hard to reproduce on real clusters
+// (§4.5).
+
+#ifndef WT_HW_COMPONENT_H_
+#define WT_HW_COMPONENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wt {
+
+/// Dense id for a component within one Datacenter.
+using ComponentId = int32_t;
+constexpr ComponentId kInvalidComponent = -1;
+
+/// What kind of hardware a component is.
+enum class ComponentKind : uint8_t {
+  kDisk,
+  kNic,
+  kCpu,
+  kMemory,
+  kSwitch,
+  kNode,  // aggregate
+};
+
+const char* ComponentKindToString(ComponentKind kind);
+
+/// Operational state.
+enum class ComponentState : uint8_t {
+  kOperational,
+  kDegraded,  // limping: working, but at perf_factor < 1
+  kFailed,
+};
+
+const char* ComponentStateToString(ComponentState state);
+
+/// Mutable per-component simulation state.
+struct Component {
+  ComponentId id = kInvalidComponent;
+  ComponentKind kind = ComponentKind::kNode;
+  std::string name;
+  ComponentState state = ComponentState::kOperational;
+  /// Multiplier on nominal performance in (0, 1]; 1.0 = healthy. Only
+  /// meaningful while state == kDegraded (limpware) or kOperational.
+  double perf_factor = 1.0;
+
+  bool IsUp() const { return state != ComponentState::kFailed; }
+  /// Effective performance multiplier: 0 when failed.
+  double EffectivePerf() const {
+    return state == ComponentState::kFailed ? 0.0 : perf_factor;
+  }
+};
+
+}  // namespace wt
+
+#endif  // WT_HW_COMPONENT_H_

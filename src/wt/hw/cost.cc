@@ -1,0 +1,51 @@
+#include "wt/hw/cost.h"
+
+namespace wt {
+
+double NodeCapexUsd(const NodeSpec& node) {
+  return node.chassis_capex_usd + node.cpu.capex_usd +
+         node.mem.capacity_gb * node.mem.capex_usd_per_gb +
+         node.nic.capex_usd +
+         node.disks_per_node * node.disk.capex_usd;
+}
+
+double NodePowerWatts(const NodeSpec& node) {
+  return node.chassis_power_watts + node.cpu.power_watts +
+         node.mem.capacity_gb * node.mem.power_watts_per_gb +
+         node.nic.power_watts +
+         node.disks_per_node * node.disk.power_watts;
+}
+
+double CostModel::TotalCapexUsd(const DatacenterConfig& config) const {
+  double total = config.num_nodes() * NodeCapexUsd(config.node);
+  total += config.num_racks * config.tor.capex_usd;
+  if (config.num_racks > 1) total += config.agg.capex_usd;
+  return total;
+}
+
+double CostModel::TotalPowerWatts(const DatacenterConfig& config) const {
+  double total = config.num_nodes() * NodePowerWatts(config.node);
+  total += config.num_racks * config.tor.power_watts;
+  if (config.num_racks > 1) total += config.agg.power_watts;
+  return total;
+}
+
+double CostModel::MonthlyCostUsd(const DatacenterConfig& config) const {
+  double capex_monthly =
+      TotalCapexUsd(config) / (amortization_years * 12.0);
+  double kwh_per_month = TotalPowerWatts(config) * pue * 24.0 * 30.0 / 1000.0;
+  return capex_monthly + kwh_per_month * usd_per_kwh;
+}
+
+double CostModel::MonthlyStorageCostUsd(const DatacenterConfig& config,
+                                        double raw_gb) const {
+  const DiskSpec& disk = config.node.disk;
+  double disks_needed = raw_gb / disk.capacity_gb;
+  double capex_monthly =
+      disks_needed * disk.capex_usd / (amortization_years * 12.0);
+  double kwh_per_month =
+      disks_needed * disk.power_watts * pue * 24.0 * 30.0 / 1000.0;
+  return capex_monthly + kwh_per_month * usd_per_kwh;
+}
+
+}  // namespace wt

@@ -1,0 +1,45 @@
+// Datacenter cost model: capex (amortized) + power opex.
+//
+// "What is the cost vs. SLA implication of choosing one type of hard disk
+// over the other?" (§1) — every experiment that trades availability or
+// latency against money prices the configuration through this model.
+
+#ifndef WT_HW_COST_H_
+#define WT_HW_COST_H_
+
+#include "wt/hw/topology.h"
+
+namespace wt {
+
+/// Pricing assumptions for turning a parts list into $/month.
+struct CostModel {
+  double usd_per_kwh = 0.10;
+  /// Capex is spread linearly over this horizon.
+  double amortization_years = 3.0;
+  /// Power usage effectiveness: facility overhead on IT power.
+  double pue = 1.5;
+
+  /// One-time hardware cost of the whole datacenter.
+  double TotalCapexUsd(const DatacenterConfig& config) const;
+
+  /// Steady-state IT power draw (watts), before PUE.
+  double TotalPowerWatts(const DatacenterConfig& config) const;
+
+  /// Amortized capex + power opex, per month.
+  double MonthlyCostUsd(const DatacenterConfig& config) const;
+
+  /// Cost of provisioning `raw_gb` of raw storage on the configured disk
+  /// type, per month (capacity-proportional slice of disk capex+power).
+  double MonthlyStorageCostUsd(const DatacenterConfig& config,
+                               double raw_gb) const;
+};
+
+/// Per-node parts cost (capex USD).
+double NodeCapexUsd(const NodeSpec& node);
+
+/// Per-node power draw (watts).
+double NodePowerWatts(const NodeSpec& node);
+
+}  // namespace wt
+
+#endif  // WT_HW_COST_H_

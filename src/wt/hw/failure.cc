@@ -1,0 +1,96 @@
+#include "wt/hw/failure.h"
+
+#include <cmath>
+#include <utility>
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+double AfrToFailuresPerHour(double afr) {
+  WT_CHECK(afr > 0 && afr < 1) << "AFR must be in (0,1)";
+  // AFR = P(fail within a year); for an exponential TTF with rate r (per
+  // hour), AFR = 1 - exp(-r * 8760)  =>  r = -ln(1 - AFR) / 8760.
+  return -std::log(1.0 - afr) / 8760.0;
+}
+
+DistributionPtr MakeTtfFromAfr(double afr, double weibull_shape) {
+  double rate = AfrToFailuresPerHour(afr);
+  double mean_hours = 1.0 / rate;
+  if (weibull_shape == 1.0) {
+    return std::make_unique<ExponentialDist>(rate);
+  }
+  // Choose scale so the Weibull mean equals the exponential-equivalent mean.
+  double scale = mean_hours / std::tgamma(1.0 + 1.0 / weibull_shape);
+  return std::make_unique<WeibullDist>(weibull_shape, scale);
+}
+
+FailureProcess::FailureProcess(Simulator* sim, Datacenter* dc, ComponentId id,
+                               DistributionPtr ttf, DistributionPtr ttr,
+                               RngStream rng)
+    : sim_(sim),
+      dc_(dc),
+      id_(id),
+      ttf_(std::move(ttf)),
+      ttr_(std::move(ttr)),
+      rng_(rng) {
+  WT_CHECK(ttf_ != nullptr);
+}
+
+void FailureProcess::Start() {
+  if (started_) return;
+  started_ = true;
+  ScheduleFailure();
+}
+
+void FailureProcess::ScheduleFailure() {
+  double hours = ttf_->Sample(rng_);
+  pending_ = sim_->Schedule(SimTime::Hours(hours), [this] { OnFail(); });
+}
+
+void FailureProcess::OnFail() {
+  Component& c = dc_->component(id_);
+  if (c.state == ComponentState::kFailed) return;  // already down
+  c.state = ComponentState::kFailed;
+  ++failures_;
+  Notify(/*up=*/false);
+  if (ttr_ != nullptr) {
+    double hours = ttr_->Sample(rng_);
+    pending_ = sim_->Schedule(SimTime::Hours(hours), [this] { Restore(); });
+  }
+}
+
+void FailureProcess::Restore() {
+  Component& c = dc_->component(id_);
+  if (c.state != ComponentState::kFailed) return;
+  c.state = ComponentState::kOperational;
+  c.perf_factor = 1.0;
+  Notify(/*up=*/true);
+  ScheduleFailure();
+}
+
+void FailureProcess::AddListener(FailureListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void FailureProcess::Notify(bool up) {
+  SimTime now = sim_->Now();
+  for (auto& l : listeners_) l(id_, up, now);
+}
+
+std::vector<std::unique_ptr<FailureProcess>> MakeNodeFailureProcesses(
+    Simulator* sim, Datacenter* dc, const Distribution& ttf,
+    const Distribution* ttr, const RngStream& parent_rng) {
+  std::vector<std::unique_ptr<FailureProcess>> out;
+  out.reserve(static_cast<size_t>(dc->num_nodes()));
+  for (NodeIndex i = 0; i < dc->num_nodes(); ++i) {
+    RngStream rng =
+        parent_rng.Substream(StrFormat("node-failure-%d", i));
+    out.push_back(std::make_unique<FailureProcess>(
+        sim, dc, dc->node(i).chassis, ttf.Clone(),
+        ttr ? ttr->Clone() : nullptr, rng));
+  }
+  return out;
+}
+
+}  // namespace wt

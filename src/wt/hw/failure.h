@@ -1,0 +1,81 @@
+// Failure processes: drive component state over simulated time.
+//
+// A FailureProcess alternates a component between up and down using a
+// time-to-failure distribution and either (a) a time-to-repair distribution
+// (hardware replacement) or (b) an external restore — used when repair is a
+// *software* action (re-replication) owned by the RepairManager (§1, §4.6).
+
+#ifndef WT_HW_FAILURE_H_
+#define WT_HW_FAILURE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "wt/hw/component.h"
+#include "wt/hw/topology.h"
+#include "wt/sim/distributions.h"
+#include "wt/sim/simulator.h"
+
+namespace wt {
+
+/// Invoked on every component state transition. `up` is the new liveness.
+using FailureListener =
+    std::function<void(ComponentId id, bool up, SimTime when)>;
+
+/// Converts an annualized failure rate into the rate of an exponential TTF
+/// (events/hour), i.e. AFR 0.05 → one failure per 20 machine-years.
+double AfrToFailuresPerHour(double afr);
+
+/// Builds a Weibull TTF (in hours) whose mean matches the AFR, with the
+/// given shape. Shape 1 reduces to exponential.
+DistributionPtr MakeTtfFromAfr(double afr, double weibull_shape);
+
+/// Drives one component's failure/repair lifecycle in a Simulator.
+/// Time unit convention: distributions produce HOURS.
+class FailureProcess {
+ public:
+  /// If `ttr` is null, the process only fails the component; something else
+  /// must call Restore() (e.g. hardware replaced after data repair).
+  FailureProcess(Simulator* sim, Datacenter* dc, ComponentId id,
+                 DistributionPtr ttf, DistributionPtr ttr, RngStream rng);
+
+  /// Schedules the first failure. Idempotent per process lifetime.
+  void Start();
+
+  /// Marks the component repaired now and schedules its next failure.
+  void Restore();
+
+  /// Registers a listener for this component's transitions.
+  void AddListener(FailureListener listener);
+
+  ComponentId component_id() const { return id_; }
+  int64_t failures() const { return failures_; }
+
+ private:
+  void ScheduleFailure();
+  void OnFail();
+  void Notify(bool up);
+
+  Simulator* sim_;
+  Datacenter* dc_;
+  ComponentId id_;
+  DistributionPtr ttf_;
+  DistributionPtr ttr_;  // may be null: external repair
+  RngStream rng_;
+  std::vector<FailureListener> listeners_;
+  EventHandle pending_;
+  bool started_ = false;
+  int64_t failures_ = 0;
+};
+
+/// Convenience: creates failure processes for every node chassis in the
+/// datacenter (the granularity Figure 1 works at — "node failures").
+/// Returns one process per node, in node order.
+std::vector<std::unique_ptr<FailureProcess>> MakeNodeFailureProcesses(
+    Simulator* sim, Datacenter* dc, const Distribution& ttf,
+    const Distribution* ttr, const RngStream& parent_rng);
+
+}  // namespace wt
+
+#endif  // WT_HW_FAILURE_H_

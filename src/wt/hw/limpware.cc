@@ -1,0 +1,28 @@
+#include "wt/hw/limpware.h"
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+LimpwareInjector::LimpwareInjector(Simulator* sim, Datacenter* dc,
+                                   Network* network)
+    : sim_(sim), dc_(dc), network_(network) {}
+
+void LimpwareInjector::Schedule(const std::vector<LimpwareEvent>& events) {
+  for (const LimpwareEvent& ev : events) {
+    WT_CHECK(ev.perf_factor > 0 && ev.perf_factor <= 1.0)
+        << "perf_factor must be in (0,1]";
+    sim_->ScheduleAt(ev.at, [this, ev] { Apply(ev.component, ev.perf_factor); });
+  }
+}
+
+void LimpwareInjector::Apply(ComponentId component, double perf_factor) {
+  Component& c = dc_->component(component);
+  if (c.state == ComponentState::kFailed) return;  // dead stays dead
+  c.perf_factor = perf_factor;
+  c.state = perf_factor < 1.0 ? ComponentState::kDegraded
+                              : ComponentState::kOperational;
+  if (network_ != nullptr) network_->RefreshCapacities();
+}
+
+}  // namespace wt

@@ -1,0 +1,50 @@
+// Limpware injection: degrade a component to a fraction of its nominal
+// performance at a chosen simulated time (§4.5; Do et al., SoCC'13).
+//
+// Unlike a failure, a limping component stays "up": liveness checks pass,
+// but everything flowing through it slows down — the pathological case the
+// paper notes is "hard to reproduce in practice" on real hardware and is
+// trivial to reproduce in the wind tunnel.
+
+#ifndef WT_HW_LIMPWARE_H_
+#define WT_HW_LIMPWARE_H_
+
+#include <vector>
+
+#include "wt/hw/network.h"
+#include "wt/hw/topology.h"
+#include "wt/sim/simulator.h"
+
+namespace wt {
+
+/// One scheduled degradation.
+struct LimpwareEvent {
+  ComponentId component = kInvalidComponent;
+  SimTime at = SimTime::Zero();
+  /// New performance factor in (0, 1]; 1.0 restores nominal speed.
+  double perf_factor = 1.0;
+};
+
+/// Applies a list of degradations on schedule, keeping the network model's
+/// link capacities in sync.
+class LimpwareInjector {
+ public:
+  /// `network` may be null if no network model is in use.
+  LimpwareInjector(Simulator* sim, Datacenter* dc, Network* network);
+
+  /// Schedules all events. Must be called before the simulation runs past
+  /// the earliest event time.
+  void Schedule(const std::vector<LimpwareEvent>& events);
+
+  /// Applies one degradation immediately.
+  void Apply(ComponentId component, double perf_factor);
+
+ private:
+  Simulator* sim_;
+  Datacenter* dc_;
+  Network* network_;
+};
+
+}  // namespace wt
+
+#endif  // WT_HW_LIMPWARE_H_

@@ -1,0 +1,227 @@
+#include "wt/hw/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+namespace {
+// Flows with fewer remaining bytes than this are considered complete
+// (guards against float residue after advancing to a completion instant).
+constexpr double kCompletionEpsilonBytes = 1e-3;
+// Local (same-node) copies complete after this fixed small delay.
+constexpr double kLocalCopySeconds = 1e-6;
+}  // namespace
+
+Network::Network(Simulator* sim, Datacenter* dc) : sim_(sim), dc_(dc) {
+  links_.resize(static_cast<size_t>(2 * dc_->num_nodes() +
+                                    2 * dc_->num_racks()));
+  last_advance_ = sim_->Now();
+  RefreshCapacities();
+}
+
+void Network::RefreshCapacities() {
+  const DatacenterConfig& cfg = dc_->config();
+  for (NodeIndex n = 0; n < dc_->num_nodes(); ++n) {
+    const auto& info = dc_->node(n);
+    const Component& nic = dc_->component(info.nic);
+    const Component& chassis = dc_->component(info.chassis);
+    const Component& tor = dc_->component(dc_->rack(info.rack).tor);
+    double perf =
+        nic.EffectivePerf() * chassis.EffectivePerf() * tor.EffectivePerf();
+    double cap = GbpsToBytesPerSec(cfg.node.nic.bandwidth_gbps) * perf;
+    links_[static_cast<size_t>(EgressLink(n))].capacity_bps = cap;
+    links_[static_cast<size_t>(IngressLink(n))].capacity_bps = cap;
+  }
+  for (int r = 0; r < dc_->num_racks(); ++r) {
+    const Component& tor = dc_->component(dc_->rack(r).tor);
+    double perf = tor.EffectivePerf();
+    if (dc_->agg_switch() != kInvalidComponent) {
+      perf *= dc_->component(dc_->agg_switch()).EffectivePerf();
+    }
+    double cap = GbpsToBytesPerSec(cfg.tor_uplink_gbps) * perf;
+    links_[static_cast<size_t>(RackUpLink(r))].capacity_bps = cap;
+    links_[static_cast<size_t>(RackDownLink(r))].capacity_bps = cap;
+  }
+  AdvanceToNow();
+  Reallocate();
+}
+
+std::vector<LinkId> Network::PathOf(NodeIndex src, NodeIndex dst) const {
+  int rs = dc_->RackOf(src);
+  int rd = dc_->RackOf(dst);
+  if (rs == rd) return {EgressLink(src), IngressLink(dst)};
+  return {EgressLink(src), RackUpLink(rs), RackDownLink(rd),
+          IngressLink(dst)};
+}
+
+FlowId Network::StartFlow(NodeIndex src, NodeIndex dst, double bytes,
+                          FlowCallback on_complete) {
+  WT_CHECK(bytes >= 0);
+  FlowId id = next_flow_id_++;
+  if (src == dst) {
+    // Local copy: no network resources consumed.
+    sim_->Schedule(SimTime::Seconds(kLocalCopySeconds),
+                   [cb = std::move(on_complete), id, this] {
+                     if (cb) cb(id, sim_->Now());
+                   });
+    return id;
+  }
+  AdvanceToNow();
+  Flow flow;
+  flow.id = id;
+  flow.src = src;
+  flow.dst = dst;
+  flow.total_bytes = bytes;
+  flow.remaining_bytes = std::max(bytes, kCompletionEpsilonBytes);
+  flow.path = PathOf(src, dst);
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  Reallocate();
+  return id;
+}
+
+void Network::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  AdvanceToNow();
+  flows_.erase(it);
+  Reallocate();
+}
+
+double Network::FlowRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double Network::NodeEgressCapacity(NodeIndex n) const {
+  return links_[static_cast<size_t>(EgressLink(n))].capacity_bps;
+}
+double Network::NodeIngressCapacity(NodeIndex n) const {
+  return links_[static_cast<size_t>(IngressLink(n))].capacity_bps;
+}
+
+double Network::IdealTransferSeconds(NodeIndex src, NodeIndex dst,
+                                     double bytes) const {
+  if (src == dst) return kLocalCopySeconds;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (LinkId l : PathOf(src, dst)) {
+    bottleneck = std::min(bottleneck, links_[static_cast<size_t>(l)].capacity_bps);
+  }
+  if (bottleneck <= 0) return std::numeric_limits<double>::infinity();
+  return bytes / bottleneck;
+}
+
+void Network::AdvanceToNow() {
+  SimTime now = sim_->Now();
+  double dt = (now - last_advance_).seconds();
+  last_advance_ = now;
+  if (dt <= 0) return;
+  for (auto& [id, flow] : flows_) {
+    flow.remaining_bytes =
+        std::max(0.0, flow.remaining_bytes - flow.rate * dt);
+  }
+}
+
+void Network::Reallocate() {
+  // Progressive filling for max-min fairness.
+  size_t num_links = links_.size();
+  std::vector<double> residual(num_links);
+  std::vector<int> unfrozen_count(num_links, 0);
+  for (size_t l = 0; l < num_links; ++l) residual[l] = links_[l].capacity_bps;
+
+  std::vector<Flow*> unfrozen;
+  unfrozen.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    flow.rate = 0.0;
+    unfrozen.push_back(&flow);
+    for (LinkId l : flow.path) ++unfrozen_count[static_cast<size_t>(l)];
+  }
+
+  while (!unfrozen.empty()) {
+    // Find the bottleneck link: minimal fair share among links carrying
+    // unfrozen flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    LinkId best_link = -1;
+    for (size_t l = 0; l < num_links; ++l) {
+      if (unfrozen_count[l] == 0) continue;
+      double share = residual[l] / unfrozen_count[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = static_cast<LinkId>(l);
+      }
+    }
+    if (best_link < 0) break;  // no constrained flows remain (unreachable)
+
+    // Freeze every unfrozen flow through the bottleneck at the fair share.
+    for (size_t i = 0; i < unfrozen.size();) {
+      Flow* f = unfrozen[i];
+      bool on_bottleneck =
+          std::find(f->path.begin(), f->path.end(), best_link) !=
+          f->path.end();
+      if (!on_bottleneck) {
+        ++i;
+        continue;
+      }
+      f->rate = best_share;
+      for (LinkId l : f->path) {
+        residual[static_cast<size_t>(l)] -= best_share;
+        if (residual[static_cast<size_t>(l)] < 0) {
+          residual[static_cast<size_t>(l)] = 0;
+        }
+        --unfrozen_count[static_cast<size_t>(l)];
+      }
+      unfrozen[i] = unfrozen.back();
+      unfrozen.pop_back();
+    }
+  }
+
+  // Reschedule the earliest completion.
+  completion_event_.Cancel();
+  double earliest = std::numeric_limits<double>::infinity();
+  for (auto& [id, flow] : flows_) {
+    if (flow.rate > 0) {
+      earliest = std::min(earliest, flow.remaining_bytes / flow.rate);
+    }
+  }
+  if (std::isfinite(earliest)) {
+    // Round up to at least one clock tick so the completion event always
+    // advances simulated time (a sub-nanosecond remainder would otherwise
+    // re-fire at the same tick forever).
+    int64_t ticks = static_cast<int64_t>(std::ceil(earliest * 1e9));
+    if (ticks < 1) ticks = 1;
+    completion_event_ = sim_->Schedule(SimTime::Nanos(ticks),
+                                       [this] { OnCompletionEvent(); });
+  }
+}
+
+void Network::OnCompletionEvent() {
+  AdvanceToNow();
+  // Collect finished flows first: callbacks may start new flows.
+  std::vector<Flow> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    // Complete flows that are within epsilon, or whose remainder would
+    // drain within the next clock tick at the current rate (sub-tick
+    // residue cannot be represented by the integer clock).
+    double next_tick_bytes = it->second.rate * 1e-9;
+    if (it->second.remaining_bytes <=
+        kCompletionEpsilonBytes + next_tick_bytes) {
+      done.push_back(std::move(it->second));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reallocate();
+  SimTime now = sim_->Now();
+  for (auto& flow : done) {
+    bytes_delivered_ += flow.total_bytes;
+    if (flow.on_complete) flow.on_complete(flow.id, now);
+  }
+}
+
+}  // namespace wt

@@ -1,0 +1,122 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// Transfers (repair traffic, replica writes, shuffle-style reads) are
+// modeled as fluid flows over the two-tier topology. Each node has an
+// egress and an ingress link to its ToR switch; each rack has an uplink and
+// a downlink to the aggregation switch. Active flows share links max-min
+// fairly (progressive filling), the standard fluid approximation of
+// long-lived TCP. Link capacities track component health, so a limping NIC
+// (perf_factor 0.01) throttles every flow that crosses it — reproducing the
+// "limplock" cascade of [Do et al., SoCC'13] that the paper cites in §4.5.
+
+#ifndef WT_HW_NETWORK_H_
+#define WT_HW_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "wt/hw/topology.h"
+#include "wt/sim/simulator.h"
+
+namespace wt {
+
+/// Identifies a directed link in the network model.
+using LinkId = int32_t;
+
+/// Identifies an active flow.
+using FlowId = int64_t;
+
+/// Fluid-flow network simulation bound to a Simulator and a Datacenter.
+class Network {
+ public:
+  using FlowCallback = std::function<void(FlowId id, SimTime completed_at)>;
+
+  Network(Simulator* sim, Datacenter* dc);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Starts a transfer of `bytes` from `src` to `dst`. The callback fires
+  /// when the last byte arrives. Flows between a node and itself complete
+  /// after a negligible local-copy delay.
+  FlowId StartFlow(NodeIndex src, NodeIndex dst, double bytes,
+                   FlowCallback on_complete);
+
+  /// Aborts an active flow (no callback). Unknown ids are ignored.
+  void CancelFlow(FlowId id);
+
+  /// Re-reads component perf factors / states into link capacities and
+  /// reallocates. Call after failing, repairing, or degrading a component.
+  void RefreshCapacities();
+
+  /// Current fair-share rate of a flow, bytes/sec (0 when stalled).
+  double FlowRate(FlowId id) const;
+
+  /// Number of in-flight flows.
+  size_t active_flow_count() const { return flows_.size(); }
+
+  /// Capacity lookup for tests: the egress/ingress link of a node and the
+  /// up/down link of a rack.
+  double NodeEgressCapacity(NodeIndex n) const;
+  double NodeIngressCapacity(NodeIndex n) const;
+
+  /// Zero-contention transfer time: bytes over the path's bottleneck.
+  double IdealTransferSeconds(NodeIndex src, NodeIndex dst,
+                              double bytes) const;
+
+  /// Total bytes delivered by completed flows.
+  double bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  struct Link {
+    double capacity_bps = 0.0;  // bytes/sec
+  };
+  struct Flow {
+    FlowId id;
+    NodeIndex src;
+    NodeIndex dst;
+    double total_bytes = 0.0;
+    double remaining_bytes;
+    double rate = 0.0;  // bytes/sec
+    std::vector<LinkId> path;
+    FlowCallback on_complete;
+  };
+
+  // Link layout: [node egress][node ingress][rack up][rack down].
+  LinkId EgressLink(NodeIndex n) const { return n; }
+  LinkId IngressLink(NodeIndex n) const {
+    return static_cast<LinkId>(dc_->num_nodes()) + n;
+  }
+  LinkId RackUpLink(int r) const {
+    return static_cast<LinkId>(2 * dc_->num_nodes()) + r;
+  }
+  LinkId RackDownLink(int r) const {
+    return static_cast<LinkId>(2 * dc_->num_nodes() + dc_->num_racks()) + r;
+  }
+
+  std::vector<LinkId> PathOf(NodeIndex src, NodeIndex dst) const;
+
+  // Moves all flows forward to Now() at their current rates.
+  void AdvanceToNow();
+  // Recomputes max-min fair rates and reschedules the completion event.
+  void Reallocate();
+  // Fires when the earliest flow finishes.
+  void OnCompletionEvent();
+
+  Simulator* sim_;
+  Datacenter* dc_;
+  std::vector<Link> links_;
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  SimTime last_advance_ = SimTime::Zero();
+  EventHandle completion_event_;
+  double bytes_delivered_ = 0.0;
+};
+
+/// Gbps → bytes/sec.
+constexpr double GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / 8.0; }
+
+}  // namespace wt
+
+#endif  // WT_HW_NETWORK_H_

@@ -1,0 +1,93 @@
+#include "wt/hw/specs.h"
+
+namespace wt {
+
+DiskSpec DiskSpec::Hdd() {
+  DiskSpec s;
+  s.model = "hdd-1t-7200";
+  s.capacity_gb = 1000.0;
+  s.seq_read_mbps = 150.0;
+  s.seq_write_mbps = 140.0;
+  s.random_iops = 150.0;
+  s.access_latency_ms = 8.0;
+  s.capex_usd = 80.0;
+  s.power_watts = 8.0;
+  s.failure_weibull_shape = 0.8;
+  s.afr = 0.03;
+  return s;
+}
+
+DiskSpec DiskSpec::Ssd() {
+  DiskSpec s;
+  s.model = "ssd-400g";
+  s.capacity_gb = 400.0;
+  s.seq_read_mbps = 500.0;
+  s.seq_write_mbps = 450.0;
+  s.random_iops = 75000.0;
+  s.access_latency_ms = 0.1;
+  s.capex_usd = 400.0;
+  s.power_watts = 3.0;
+  s.failure_weibull_shape = 1.0;
+  s.afr = 0.015;
+  return s;
+}
+
+NicSpec NicSpec::OneGig() {
+  NicSpec s;
+  s.model = "1GbE";
+  s.bandwidth_gbps = 1.0;
+  s.capex_usd = 30.0;
+  s.power_watts = 3.0;
+  return s;
+}
+
+NicSpec NicSpec::TenGig() {
+  NicSpec s;
+  s.model = "10GbE";
+  s.bandwidth_gbps = 10.0;
+  s.capex_usd = 200.0;
+  s.power_watts = 8.0;
+  return s;
+}
+
+NicSpec NicSpec::FortyGig() {
+  NicSpec s;
+  s.model = "40GbE";
+  s.bandwidth_gbps = 40.0;
+  s.capex_usd = 600.0;
+  s.power_watts = 12.0;
+  return s;
+}
+
+CpuSpec CpuSpec::Commodity() { return CpuSpec{}; }
+
+CpuSpec CpuSpec::LowPower() {
+  CpuSpec s;
+  s.model = "8c-1.8GHz-lp";
+  s.cores = 8;
+  s.ghz = 1.8;
+  s.capex_usd = 220.0;
+  s.power_watts = 45.0;
+  return s;
+}
+
+MemSpec MemSpec::Gb(double gb) {
+  MemSpec s;
+  s.capacity_gb = gb;
+  return s;
+}
+
+SwitchSpec SwitchSpec::TorTenGig() { return SwitchSpec{}; }
+
+SwitchSpec SwitchSpec::AggFortyGig() {
+  SwitchSpec s;
+  s.model = "32p-40G-agg";
+  s.ports = 32;
+  s.port_gbps = 40.0;
+  s.backplane_gbps = 1280.0;
+  s.capex_usd = 20000.0;
+  s.power_watts = 400.0;
+  return s;
+}
+
+}  // namespace wt

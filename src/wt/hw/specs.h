@@ -1,0 +1,100 @@
+// Hardware specification sheets: nominal performance + cost per component
+// type. Presets reflect 2014-era commodity parts so that cost trade-offs in
+// the experiments have realistic ratios (HDD vs SSD $/GB, 1G vs 10G NICs).
+
+#ifndef WT_HW_SPECS_H_
+#define WT_HW_SPECS_H_
+
+#include <string>
+
+namespace wt {
+
+/// Storage device spec. Covers both spinning disks and SSDs; the difference
+/// is in the numbers (random IOPS, latency), not the type.
+struct DiskSpec {
+  std::string model = "generic-hdd";
+  double capacity_gb = 1000.0;
+  double seq_read_mbps = 150.0;   // MB/s sequential read
+  double seq_write_mbps = 140.0;  // MB/s sequential write
+  double random_iops = 150.0;     // 4K random IOPS
+  double access_latency_ms = 8.0;
+  double capex_usd = 80.0;
+  double power_watts = 8.0;
+  /// Weibull shape for time-to-failure. Schroeder & Gibson (FAST'07) report
+  /// shapes around 0.7–0.8 for disk replacement data (infant mortality +
+  /// early wear), with scale set from the annualized failure rate.
+  double failure_weibull_shape = 0.8;
+  /// Annualized failure rate used to derive the Weibull scale.
+  double afr = 0.03;
+
+  static DiskSpec Hdd();
+  static DiskSpec Ssd();
+};
+
+/// Network interface card.
+struct NicSpec {
+  std::string model = "1GbE";
+  double bandwidth_gbps = 1.0;
+  double capex_usd = 30.0;
+  double power_watts = 3.0;
+  double afr = 0.01;
+
+  static NicSpec OneGig();
+  static NicSpec TenGig();
+  static NicSpec FortyGig();
+};
+
+/// CPU package.
+struct CpuSpec {
+  std::string model = "8c-2.4GHz";
+  int cores = 8;
+  double ghz = 2.4;
+  double capex_usd = 350.0;
+  double power_watts = 95.0;
+  double afr = 0.005;
+
+  static CpuSpec Commodity();
+  static CpuSpec LowPower();
+};
+
+/// Memory (per node).
+struct MemSpec {
+  double capacity_gb = 32.0;
+  double capex_usd_per_gb = 10.0;
+  double power_watts_per_gb = 0.4;
+  double afr = 0.008;
+
+  static MemSpec Gb(double gb);
+};
+
+/// Rack / aggregation switch.
+struct SwitchSpec {
+  std::string model = "48p-10G";
+  int ports = 48;
+  double port_gbps = 10.0;
+  /// Backplane capacity in Gbps (oversubscription = ports*port_gbps / this).
+  double backplane_gbps = 480.0;
+  double capex_usd = 5000.0;
+  double power_watts = 150.0;
+  double afr = 0.02;
+
+  static SwitchSpec TorTenGig();
+  static SwitchSpec AggFortyGig();
+};
+
+/// Everything needed to build one node.
+struct NodeSpec {
+  CpuSpec cpu;
+  MemSpec mem;
+  NicSpec nic;
+  DiskSpec disk;
+  int disks_per_node = 2;
+  /// Node-level (chassis/PSU/motherboard) failure rate, on top of parts.
+  double chassis_afr = 0.02;
+  double chassis_capex_usd = 800.0;
+  double chassis_power_watts = 60.0;
+};
+
+}  // namespace wt
+
+#endif  // WT_HW_SPECS_H_

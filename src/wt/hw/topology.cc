@@ -1,0 +1,73 @@
+#include "wt/hw/topology.h"
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+Datacenter::Datacenter(const DatacenterConfig& config) : config_(config) {
+  WT_CHECK(config.num_racks >= 1);
+  WT_CHECK(config.nodes_per_rack >= 1);
+  racks_.reserve(static_cast<size_t>(config.num_racks));
+  nodes_.reserve(static_cast<size_t>(config.num_nodes()));
+
+  if (config.num_racks > 1) {
+    agg_switch_ = AddComponent(ComponentKind::kSwitch, "agg");
+  }
+  for (int r = 0; r < config.num_racks; ++r) {
+    RackInfo rack;
+    rack.tor = AddComponent(ComponentKind::kSwitch, StrFormat("tor%d", r));
+    for (int j = 0; j < config.nodes_per_rack; ++j) {
+      NodeIndex idx = static_cast<NodeIndex>(nodes_.size());
+      NodeInfo node;
+      node.rack = r;
+      std::string prefix = StrFormat("n%d", idx);
+      node.chassis = AddComponent(ComponentKind::kNode, prefix);
+      node.nic = AddComponent(ComponentKind::kNic, prefix + ".nic");
+      node.cpu = AddComponent(ComponentKind::kCpu, prefix + ".cpu");
+      node.memory = AddComponent(ComponentKind::kMemory, prefix + ".mem");
+      for (int d = 0; d < config.node.disks_per_node; ++d) {
+        node.disks.push_back(AddComponent(ComponentKind::kDisk,
+                                          prefix + StrFormat(".disk%d", d)));
+      }
+      nodes_.push_back(std::move(node));
+      rack.nodes.push_back(idx);
+    }
+    racks_.push_back(std::move(rack));
+  }
+}
+
+ComponentId Datacenter::AddComponent(ComponentKind kind, std::string name) {
+  Component c;
+  c.id = static_cast<ComponentId>(components_.size());
+  c.kind = kind;
+  c.name = std::move(name);
+  components_.push_back(std::move(c));
+  return components_.back().id;
+}
+
+bool Datacenter::NodeUp(NodeIndex i) const {
+  const NodeInfo& n = node(i);
+  return component(n.chassis).IsUp() && component(n.nic).IsUp();
+}
+
+bool Datacenter::Reachable(NodeIndex a, NodeIndex b) const {
+  if (!NodeUp(a) || !NodeUp(b)) return false;
+  int ra = RackOf(a), rb = RackOf(b);
+  if (!component(rack(ra).tor).IsUp()) return false;
+  if (ra == rb) return true;
+  if (!component(rack(rb).tor).IsUp()) return false;
+  return agg_switch_ == kInvalidComponent || component(agg_switch_).IsUp();
+}
+
+double Datacenter::UsableCapacityGb() const {
+  double total = 0.0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (!NodeUp(i)) continue;
+    for (ComponentId d : node(i).disks) {
+      if (component(d).IsUp()) total += config_.node.disk.capacity_gb;
+    }
+  }
+  return total;
+}
+
+}  // namespace wt

@@ -1,0 +1,106 @@
+// Datacenter topology: nodes grouped into racks behind top-of-rack (ToR)
+// switches, racks joined by an aggregation switch. This is the standard
+// two-tier tree the paper's examples assume ("a data transfer from one node
+// in a rack to another node in the same rack affects ... the switch itself",
+// §4.2).
+
+#ifndef WT_HW_TOPOLOGY_H_
+#define WT_HW_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "wt/common/macros.h"
+#include "wt/hw/component.h"
+#include "wt/hw/specs.h"
+
+namespace wt {
+
+/// Dense index of a node within the datacenter, 0..num_nodes-1.
+using NodeIndex = int32_t;
+
+/// Shape and parts list of a datacenter.
+struct DatacenterConfig {
+  int num_racks = 1;
+  int nodes_per_rack = 10;
+  NodeSpec node;
+  SwitchSpec tor = SwitchSpec::TorTenGig();
+  SwitchSpec agg = SwitchSpec::AggFortyGig();
+  /// Gbps each ToR uses to reach the aggregation layer.
+  double tor_uplink_gbps = 40.0;
+
+  int num_nodes() const { return num_racks * nodes_per_rack; }
+};
+
+/// A built datacenter: a component table plus the rack/node structure.
+/// The Datacenter owns all Component records; failure processes and the
+/// network model mutate them through it.
+class Datacenter {
+ public:
+  explicit Datacenter(const DatacenterConfig& config);
+
+  const DatacenterConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_racks() const { return static_cast<int>(racks_.size()); }
+
+  /// Per-node structure: which components make up node `i`.
+  struct NodeInfo {
+    ComponentId chassis = kInvalidComponent;
+    ComponentId nic = kInvalidComponent;
+    ComponentId cpu = kInvalidComponent;
+    ComponentId memory = kInvalidComponent;
+    std::vector<ComponentId> disks;
+    int rack = 0;
+  };
+
+  struct RackInfo {
+    ComponentId tor = kInvalidComponent;
+    std::vector<NodeIndex> nodes;
+  };
+
+  const NodeInfo& node(NodeIndex i) const {
+    WT_CHECK(i >= 0 && i < num_nodes());
+    return nodes_[static_cast<size_t>(i)];
+  }
+  const RackInfo& rack(int r) const {
+    WT_CHECK(r >= 0 && r < num_racks());
+    return racks_[static_cast<size_t>(r)];
+  }
+  ComponentId agg_switch() const { return agg_switch_; }
+
+  Component& component(ComponentId id) {
+    WT_CHECK(id >= 0 && id < static_cast<ComponentId>(components_.size()));
+    return components_[static_cast<size_t>(id)];
+  }
+  const Component& component(ComponentId id) const {
+    return const_cast<Datacenter*>(this)->component(id);
+  }
+  int num_components() const { return static_cast<int>(components_.size()); }
+
+  /// A node is up when its chassis and NIC are up. (Disk failures degrade
+  /// capacity/data, not node liveness.)
+  bool NodeUp(NodeIndex i) const;
+
+  /// A node can talk to another node when both are up and the switches on
+  /// the path are up.
+  bool Reachable(NodeIndex a, NodeIndex b) const;
+
+  /// Rack of node `i`.
+  int RackOf(NodeIndex i) const { return node(i).rack; }
+
+  /// Total raw storage capacity across up disks, in GB.
+  double UsableCapacityGb() const;
+
+ private:
+  ComponentId AddComponent(ComponentKind kind, std::string name);
+
+  DatacenterConfig config_;
+  std::vector<Component> components_;
+  std::vector<NodeInfo> nodes_;
+  std::vector<RackInfo> racks_;
+  ComponentId agg_switch_ = kInvalidComponent;
+};
+
+}  // namespace wt
+
+#endif  // WT_HW_TOPOLOGY_H_

@@ -1,0 +1,299 @@
+#include "wt/query/builtin_sims.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wt/common/string_util.h"
+#include "wt/hw/cost.h"
+#include "wt/soft/availability_dynamic.h"
+#include "wt/soft/availability_static.h"
+#include "wt/workload/perf_sim.h"
+
+namespace wt {
+
+namespace {
+
+/// Builds a DatacenterConfig from common dimensions.
+Result<DatacenterConfig> DatacenterFromPoint(const DesignPoint& point) {
+  DatacenterConfig dc;
+  int64_t nodes = point.GetInt("nodes", 10);
+  int64_t racks = point.GetInt("racks", 1);
+  if (nodes < 1 || racks < 1 || nodes % racks != 0) {
+    return Status::InvalidArgument(
+        "nodes must be a positive multiple of racks");
+  }
+  dc.num_racks = static_cast<int>(racks);
+  dc.nodes_per_rack = static_cast<int>(nodes / racks);
+  std::string disk = point.GetString("disk", "hdd");
+  if (disk == "hdd") {
+    dc.node.disk = DiskSpec::Hdd();
+  } else if (disk == "ssd") {
+    dc.node.disk = DiskSpec::Ssd();
+  } else {
+    return Status::InvalidArgument("disk must be 'hdd' or 'ssd'");
+  }
+  double nic = point.GetDouble("nic_gbps", 1.0);
+  if (nic <= 0) return Status::InvalidArgument("nic_gbps must be > 0");
+  dc.node.nic.bandwidth_gbps = nic;
+  dc.node.nic.model = nic >= 10 ? "10GbE+" : "1GbE";
+  dc.node.nic.capex_usd = 30.0 + 17.0 * nic;  // interpolated price curve
+  double mem = point.GetDouble("memory_gb", 32.0);
+  if (mem <= 0) return Status::InvalidArgument("memory_gb must be > 0");
+  dc.node.mem.capacity_gb = mem;
+  return dc;
+}
+
+}  // namespace
+
+RunFn MakeAvailabilitySim() {
+  return [](const DesignPoint& point, RngStream& rng) -> Result<MetricMap> {
+    DynamicAvailabilityConfig config;
+    WT_ASSIGN_OR_RETURN(config.datacenter, DatacenterFromPoint(point));
+    config.storage.num_users = point.GetInt("users", 10000);
+    config.storage.object_size_gb = point.GetDouble("object_gb", 10.0);
+    config.storage.num_nodes = config.datacenter.num_nodes();
+    config.redundancy = point.GetString("redundancy", "replication(3)");
+    if (point.Has("replication")) {
+      // Numeric sugar: replication=3 == redundancy="replication(3)".
+      config.redundancy = StrFormat(
+          "replication(%d)", static_cast<int>(point.GetInt("replication", 3)));
+    }
+    config.placement = point.GetString("placement", "random");
+    double afr = point.GetDouble("node_afr", 0.10);
+    double shape = point.GetDouble("ttf_shape", 1.0);
+    if (afr <= 0 || afr >= 1) {
+      return Status::InvalidArgument("node_afr must be in (0,1)");
+    }
+    config.node_ttf = MakeTtfFromAfr(afr, shape);
+    config.node_replace = std::make_unique<DeterministicDist>(
+        point.GetDouble("replace_hours", 24.0));
+    config.repair.max_concurrent =
+        static_cast<int>(point.GetInt("repair_parallel", 1));
+    config.repair.detection_delay_s =
+        point.GetDouble("detection_delay_s", 30.0);
+    config.sim_years = point.GetDouble("years", 1.0);
+    config.seed = rng.NextU64();
+
+    WT_ASSIGN_OR_RETURN(AvailabilityMetrics m,
+                        RunDynamicAvailability(config));
+
+    CostModel cost;
+    MetricMap out;
+    out["availability"] = m.availability();
+    out["unavailability"] = m.mean_unavailable_fraction;
+    out["unavail_events"] = static_cast<double>(m.unavailability_events);
+    out["unavail_object_hours"] = m.unavailable_object_hours;
+    out["objects_lost"] = static_cast<double>(m.objects_lost);
+    out["node_failures"] = static_cast<double>(m.node_failures);
+    out["repairs_completed"] = static_cast<double>(m.repairs_completed);
+    out["repair_bytes_gb"] = m.repair_bytes / 1e9;
+    out["mean_repair_hours"] = m.repair_latency_hours.mean();
+    out["cost_monthly_usd"] = cost.MonthlyCostUsd(config.datacenter);
+    return out;
+  };
+}
+
+RunFn MakeStaticAvailabilitySim() {
+  return [](const DesignPoint& point, RngStream& rng) -> Result<MetricMap> {
+    StaticAvailabilityConfig config;
+    config.num_nodes = static_cast<int>(point.GetInt("nodes", 10));
+    config.num_users = point.GetInt("users", 10000);
+    config.placement_samples =
+        static_cast<int>(point.GetInt("placement_samples", 20));
+    config.trials_per_placement =
+        static_cast<int>(point.GetInt("trials", 100));
+    config.seed = rng.NextU64();
+
+    int n = static_cast<int>(point.GetInt("replication", 3));
+    int failures = static_cast<int>(point.GetInt("failures", 1));
+    if (failures < 0 || failures > config.num_nodes) {
+      return Status::InvalidArgument("failures out of [0, nodes]");
+    }
+    ReplicationScheme scheme = ReplicationScheme::Majority(n);
+    WT_ASSIGN_OR_RETURN(
+        auto placement,
+        PlacementPolicy::Create(point.GetString("placement", "random")));
+
+    StaticAvailabilityPoint result =
+        EstimateStaticUnavailability(scheme, *placement, config, failures);
+    MetricMap out;
+    out["p_any_unavailable"] = result.p_any_unavailable;
+    out["availability"] = 1.0 - result.p_any_unavailable;
+    out["mean_unavailable_fraction"] = result.mean_unavailable_fraction;
+    out["p_any_lost"] = result.p_any_lost;
+    out["mc_trials"] = static_cast<double>(result.trials);
+    return out;
+  };
+}
+
+namespace {
+
+/// Shared by "performance" and "provisioning": run the queueing simulation
+/// and extract latency metrics.
+Result<MetricMap> RunPerfPoint(const PerfSimConfig& config,
+                               const std::vector<PerfWorkloadSpec>& specs,
+                               const std::vector<OutageEvent>& outages,
+                               const std::vector<DegradeEvent>& degrades) {
+  WT_ASSIGN_OR_RETURN(PerfSimResult result,
+                      RunPerfSim(config, specs, outages, degrades));
+  const WorkloadResult& primary = result.workloads.at(specs[0].name);
+  MetricMap out;
+  out["latency_p50_ms"] = primary.latency_ms.P50();
+  out["latency_p95_ms"] = primary.latency_ms.P95();
+  out["latency_p99_ms"] = primary.latency_ms.P99();
+  out["latency_mean_ms"] = primary.latency_ms.mean();
+  out["throughput_per_s"] = primary.throughput_per_s;
+  out["failed_requests"] = static_cast<double>(primary.failed);
+  double max_disk = 0, max_cpu = 0, max_nic = 0;
+  for (double u : result.disk_utilization) max_disk = std::max(max_disk, u);
+  for (double u : result.cpu_utilization) max_cpu = std::max(max_cpu, u);
+  for (double u : result.nic_utilization) max_nic = std::max(max_nic, u);
+  out["max_disk_utilization"] = max_disk;
+  out["max_cpu_utilization"] = max_cpu;
+  out["max_nic_utilization"] = max_nic;
+  return out;
+}
+
+}  // namespace
+
+RunFn MakePerformanceSim() {
+  return [](const DesignPoint& point, RngStream& rng) -> Result<MetricMap> {
+    PerfSimConfig config;
+    config.num_nodes = static_cast<int>(point.GetInt("nodes", 4));
+    config.cores_per_node = static_cast<int>(point.GetInt("cores", 8));
+    config.disks_per_node = static_cast<int>(point.GetInt("disks", 2));
+    config.nic_gbps = point.GetDouble("nic_gbps", 10.0);
+    config.replication = static_cast<int>(point.GetInt("replication", 3));
+    config.replication = std::min(config.replication, config.num_nodes);
+    config.duration_s = point.GetDouble("duration_s", 300.0);
+    config.warmup_s = std::min(30.0, config.duration_s / 10.0);
+    config.seed = rng.NextU64();
+
+    std::vector<PerfWorkloadSpec> specs;
+    PerfWorkloadSpec primary;
+    primary.name = "primary";
+    primary.arrival_rate = point.GetDouble("rate", 200.0);
+    primary.read_fraction = point.GetDouble("read_fraction", 0.9);
+    double disk_ms = point.GetDouble("disk_ms", 5.0);
+    double cpu_ms = point.GetDouble("cpu_ms", 2.0);
+    primary.disk_service_s =
+        std::make_unique<ExponentialDist>(1000.0 / disk_ms);
+    primary.cpu_service_s = std::make_unique<ExponentialDist>(1000.0 / cpu_ms);
+    primary.zipf_s = point.GetDouble("zipf", 0.99);
+    specs.push_back(std::move(primary));
+
+    double colocated = point.GetDouble("colocated_rate", 0.0);
+    if (colocated > 0) {
+      PerfWorkloadSpec secondary;
+      secondary.name = "secondary";
+      secondary.arrival_rate = colocated;
+      secondary.read_fraction = point.GetDouble("colocated_read_fraction", 0.5);
+      secondary.disk_service_s =
+          std::make_unique<ExponentialDist>(1000.0 / disk_ms);
+      secondary.cpu_service_s =
+          std::make_unique<ExponentialDist>(1000.0 / cpu_ms);
+      specs.push_back(std::move(secondary));
+    }
+
+    std::vector<OutageEvent> outages;
+    double outage_at = point.GetDouble("outage_at_s", -1.0);
+    if (outage_at >= 0) {
+      OutageEvent ev;
+      ev.at_s = outage_at;
+      ev.node = static_cast<int>(point.GetInt("outage_node", 0));
+      ev.duration_s = point.GetDouble("outage_s", 300.0);
+      ev.repair_disk_jobs_per_s = point.GetDouble("repair_jobs_per_s", 0.0);
+      outages.push_back(ev);
+    }
+    std::vector<DegradeEvent> degrades;
+    int64_t limp_node = point.GetInt("limp_nic_node", -1);
+    if (limp_node >= 0) {
+      DegradeEvent ev;
+      ev.at_s = point.GetDouble("limp_at_s", 0.0);
+      ev.node = static_cast<int>(limp_node);
+      ev.resource = DegradeEvent::Resource::kNic;
+      ev.perf_factor = point.GetDouble("limp_factor", 0.1);
+      degrades.push_back(ev);
+    }
+    return RunPerfPoint(config, specs, outages, degrades);
+  };
+}
+
+RunFn MakeProvisioningSim() {
+  return [](const DesignPoint& point, RngStream& rng) -> Result<MetricMap> {
+    // Memory buys buffer-cache hits; the disk type sets the miss penalty.
+    double memory_gb = point.GetDouble("memory_gb", 32.0);
+    double working_set_gb = point.GetDouble("working_set_gb", 256.0);
+    if (memory_gb <= 0 || working_set_gb <= 0) {
+      return Status::InvalidArgument("memory_gb/working_set_gb must be > 0");
+    }
+    double hit_ratio = std::min(0.98, memory_gb / working_set_gb);
+
+    std::string disk = point.GetString("disk", "hdd");
+    DiskSpec spec = disk == "ssd" ? DiskSpec::Ssd() : DiskSpec::Hdd();
+    // Effective disk service: misses pay the device latency, hits ~0.1ms of
+    // memory/page handling.
+    double miss_ms = spec.access_latency_ms;
+    double eff_disk_ms = hit_ratio * 0.1 + (1.0 - hit_ratio) * miss_ms;
+
+    PerfSimConfig config;
+    config.num_nodes = static_cast<int>(point.GetInt("nodes", 4));
+    config.cores_per_node = static_cast<int>(point.GetInt("cores", 8));
+    config.disks_per_node = static_cast<int>(point.GetInt("disks", 2));
+    config.replication = std::min(3, config.num_nodes);
+    config.duration_s = point.GetDouble("duration_s", 300.0);
+    config.warmup_s = std::min(30.0, config.duration_s / 10.0);
+    config.seed = rng.NextU64();
+
+    std::vector<PerfWorkloadSpec> specs;
+    PerfWorkloadSpec w;
+    w.name = "primary";
+    w.arrival_rate = point.GetDouble("rate", 200.0);
+    w.read_fraction = point.GetDouble("read_fraction", 0.9);
+    w.disk_service_s = std::make_unique<ExponentialDist>(1000.0 / eff_disk_ms);
+    w.cpu_service_s = std::make_unique<ExponentialDist>(1000.0 / 1.0);
+    specs.push_back(std::move(w));
+
+    WT_ASSIGN_OR_RETURN(MetricMap out, RunPerfPoint(config, specs, {}, {}));
+
+    DatacenterConfig dc;
+    dc.num_racks = 1;
+    dc.nodes_per_rack = config.num_nodes;
+    dc.node.disk = spec;
+    dc.node.mem.capacity_gb = memory_gb;
+    CostModel cost;
+    out["cost_monthly_usd"] = cost.MonthlyCostUsd(dc);
+    out["cache_hit_ratio"] = hit_ratio;
+    return out;
+  };
+}
+
+Status RegisterBuiltinSimulations(WindTunnel* tunnel) {
+  WT_RETURN_IF_ERROR(
+      tunnel->RegisterSimulation("availability", MakeAvailabilitySim()));
+  WT_RETURN_IF_ERROR(tunnel->RegisterSimulation("static_availability",
+                                                MakeStaticAvailabilitySim()));
+  WT_RETURN_IF_ERROR(
+      tunnel->RegisterSimulation("performance", MakePerformanceSim()));
+  WT_RETURN_IF_ERROR(
+      tunnel->RegisterSimulation("provisioning", MakeProvisioningSim()));
+
+  // Model interaction declarations (§4.1): which simulated resources each
+  // model family touches. Disk and switch failure models are independent;
+  // transfer and workload models interact through node resources.
+  WT_RETURN_IF_ERROR(tunnel->DeclareModel(
+      {"disk_failures", {"clock"}, {"disk_state"}}));
+  WT_RETURN_IF_ERROR(tunnel->DeclareModel(
+      {"switch_failures", {"clock"}, {"switch_state"}}));
+  WT_RETURN_IF_ERROR(tunnel->DeclareModel(
+      {"node_failures", {"clock"}, {"node_state"}}));
+  WT_RETURN_IF_ERROR(tunnel->DeclareModel(
+      {"repair", {"node_state", "placement_map"}, {"network", "placement_map"}}));
+  WT_RETURN_IF_ERROR(tunnel->DeclareModel(
+      {"data_transfer", {"node_state"}, {"network"}}));
+  WT_RETURN_IF_ERROR(tunnel->DeclareModel(
+      {"workload", {"placement_map", "node_state"}, {"node_queues"}}));
+  return Status::OK();
+}
+
+}  // namespace wt

@@ -1,0 +1,57 @@
+// Built-in simulations callable from sweeps and the DSL.
+//
+// Each simulation maps a DesignPoint's dimensions onto one of the
+// engines in wt/soft and wt/workload, runs it, and returns a MetricMap.
+// Unrecognized dimensions are ignored; every dimension has a sensible
+// default, so queries only mention what they explore.
+//
+//   "availability"        — dynamic failure/repair simulation
+//                            (wt/soft/availability_dynamic.h)
+//   "static_availability" — Figure 1 snapshot estimate
+//                            (wt/soft/availability_static.h)
+//   "performance"         — queueing-network latency simulation
+//                            (wt/workload/perf_sim.h)
+//   "provisioning"        — memory-vs-storage investment model: memory size
+//                            sets the buffer-cache hit ratio, disk choice
+//                            sets the miss penalty (§3, hardware
+//                            provisioning use case)
+//
+// Dimension reference (defaults in parentheses):
+//   common:      nodes(10) racks(1) users(10000) seed(from orchestrator)
+//   availability: redundancy("replication(3)") placement("random")
+//                node_afr(0.10) ttf_shape(1.0) replace_hours(24)
+//                repair_parallel(1) detection_delay_s(30) nic_gbps(1)
+//                years(1) object_gb(10) disk("hdd")
+//   static_availability: replication(3) placement("random") failures(1)
+//                placement_samples(20) trials(100)
+//   performance: cores(8) disks(2) nic_gbps(10) rate(200) read_fraction(0.9)
+//                disk_ms(5) cpu_ms(2) zipf(0.99) duration_s(300)
+//                colocated_rate(0) outage_at_s(-1) outage_s(300)
+//                repair_jobs_per_s(0) limp_nic_node(-1) limp_factor(1)
+//   provisioning: memory_gb(32) disk("hdd") working_set_gb(256) rate(200)
+//                cores(8) duration_s(300)
+//
+// Metrics produced include: availability, unavailability, objects_lost,
+// repair_bytes_gb, mean_repair_hours, node_failures, cost_monthly_usd,
+// p_any_unavailable, latency_p50_ms / p95 / p99, throughput_per_s, ...
+
+#ifndef WT_QUERY_BUILTIN_SIMS_H_
+#define WT_QUERY_BUILTIN_SIMS_H_
+
+#include "wt/core/wind_tunnel.h"
+
+namespace wt {
+
+/// Registers all built-in simulations plus their model-interaction
+/// declarations on the tunnel. Idempotent per tunnel (second call errors).
+Status RegisterBuiltinSimulations(WindTunnel* tunnel);
+
+/// Individual RunFns (exposed for direct use and tests).
+RunFn MakeAvailabilitySim();
+RunFn MakeStaticAvailabilitySim();
+RunFn MakePerformanceSim();
+RunFn MakeProvisioningSim();
+
+}  // namespace wt
+
+#endif  // WT_QUERY_BUILTIN_SIMS_H_

@@ -1,0 +1,75 @@
+#include "wt/query/executor.h"
+
+#include <atomic>
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+namespace {
+// Unique-enough default table names across queries in one process.
+std::string NextTableName() {
+  static std::atomic<int64_t> counter{0};
+  return StrFormat("query_%lld",
+                   static_cast<long long>(counter.fetch_add(1) + 1));
+}
+}  // namespace
+
+Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
+                                 const std::string& table_name) {
+  if (spec.dimensions.empty()) {
+    return Status::InvalidArgument("query explores no dimensions");
+  }
+  WT_ASSIGN_OR_RETURN(RunFn fn, tunnel->GetSimulation(spec.simulation));
+
+  // Fixed parameters become single-candidate dimensions so they show up in
+  // result tables and reach the RunFn uniformly.
+  DesignSpace space;
+  for (const Dimension& d : spec.dimensions) {
+    WT_RETURN_IF_ERROR(space.AddDimension(d.name, d.candidates));
+  }
+  for (const auto& [name, value] : spec.params) {
+    WT_RETURN_IF_ERROR(space.AddDimension(name, {value}));
+  }
+
+  std::string table = table_name.empty() ? NextTableName() : table_name;
+  WT_ASSIGN_OR_RETURN(
+      std::vector<RunRecord> records,
+      tunnel->RunSweepWith(table, space, fn, spec.constraints, spec.hints));
+
+  QueryResult result;
+  result.sweep_table = table;
+  result.stats = tunnel->last_sweep_stats();
+
+  WT_ASSIGN_OR_RETURN(const Table* stored,
+                      tunnel->store().GetTableConst(table));
+  // Keep rows that completed and met every constraint; with no WHERE
+  // clause, keep all completed rows.
+  Table satisfying = stored->Filter([&](const Table& t, size_t row) {
+    auto status = t.Get(row, "status");
+    if (!status.ok() || status.value().AsString() != "completed") return false;
+    if (spec.constraints.empty()) return true;
+    auto ok = t.Get(row, "sla_ok");
+    return ok.ok() && ok.value().type() == ValueType::kBool &&
+           ok.value().AsBool();
+  });
+
+  if (!spec.order_by.empty()) {
+    WT_ASSIGN_OR_RETURN(satisfying,
+                        satisfying.SortBy(spec.order_by,
+                                          spec.order_ascending));
+  }
+  if (spec.limit >= 0) {
+    satisfying = satisfying.Head(static_cast<size_t>(spec.limit));
+  }
+  result.satisfying = std::move(satisfying);
+  return result;
+}
+
+Result<QueryResult> RunQuery(WindTunnel* tunnel, const std::string& text,
+                             const std::string& table_name) {
+  WT_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(text));
+  return ExecuteQuery(tunnel, spec, table_name);
+}
+
+}  // namespace wt

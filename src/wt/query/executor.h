@@ -1,0 +1,36 @@
+// Query executor: turns a parsed QuerySpec into a sweep and a result table.
+
+#ifndef WT_QUERY_EXECUTOR_H_
+#define WT_QUERY_EXECUTOR_H_
+
+#include <string>
+
+#include "wt/core/wind_tunnel.h"
+#include "wt/query/parser.h"
+
+namespace wt {
+
+/// Result of executing one query.
+struct QueryResult {
+  /// Rows that completed AND satisfied every WHERE constraint, after
+  /// ORDER BY / LIMIT.
+  Table satisfying;
+  /// Every run of the sweep (completed, pruned, error) — the raw material
+  /// stored in the tunnel's ResultStore under `sweep_table`.
+  std::string sweep_table;
+  SweepStats stats;
+};
+
+/// Executes `spec` against `tunnel`'s simulation registry. The sweep's raw
+/// rows are stored in the tunnel's ResultStore under a generated table name
+/// (returned in QueryResult::sweep_table); pass `table_name` to control it.
+Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
+                                 const std::string& table_name = "");
+
+/// Parse + execute in one step.
+Result<QueryResult> RunQuery(WindTunnel* tunnel, const std::string& text,
+                             const std::string& table_name = "");
+
+}  // namespace wt
+
+#endif  // WT_QUERY_EXECUTOR_H_

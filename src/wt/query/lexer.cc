@@ -1,0 +1,130 @@
+#include "wt/query/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kSymbol:
+      return "symbol";
+    case TokenKind::kCompare:
+      return "comparison";
+    case TokenKind::kEnd:
+      return "end";
+  }
+  return "?";
+}
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "EXPLORE", "IN",    "SIMULATE", "WITH",  "WHERE",  "AND",
+      "ORDER",   "BY",    "ASC",      "DESC",  "LIMIT",  "ASSUMING",
+      "HIGHER",  "LOWER", "IS",       "BETTER"};
+  return kKeywords;
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t n = source.size();
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_' || source[i] == '.')) {
+        ++i;
+      }
+      std::string word = source.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenKind::kIdent, std::move(word), start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      ++i;
+      bool seen_dot = false, seen_exp = false;
+      while (i < n) {
+        char d = source[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !seen_exp) {
+          seen_exp = true;
+          ++i;
+          if (i < n && (source[i] == '+' || source[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({TokenKind::kNumber, source.substr(start, i - start),
+                        start});
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      while (i < n && source[i] != quote) {
+        text += source[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError(
+            StrFormat("unterminated string at offset %zu", start));
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    if ((c == '>' || c == '<') && i + 1 < n && source[i + 1] == '=') {
+      tokens.push_back({TokenKind::kCompare, source.substr(i, 2), start});
+      i += 2;
+      continue;
+    }
+    if (c == '[' || c == ']' || c == ',' || c == '=' || c == ';' ||
+        c == '(' || c == ')') {
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace wt

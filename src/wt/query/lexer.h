@@ -1,0 +1,47 @@
+// Tokenizer for the wind tunnel's declarative what-if language (§4.1).
+
+#ifndef WT_QUERY_LEXER_H_
+#define WT_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "wt/common/result.h"
+
+namespace wt {
+
+/// Token categories. Keywords are case-insensitive in source text and
+/// canonicalized to upper case in Token::text.
+enum class TokenKind {
+  kKeyword,   // EXPLORE, IN, SIMULATE, WITH, WHERE, AND, ORDER, BY, ASC,
+              // DESC, LIMIT, ASSUMING, HIGHER, LOWER, IS, BETTER
+  kIdent,     // dimension / metric / simulation names
+  kNumber,    // integer or decimal literal
+  kString,    // 'single' or "double" quoted
+  kSymbol,    // [ ] , = ; ( )
+  kCompare,   // >= <=
+  kEnd,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(char c) const {
+    return kind == TokenKind::kSymbol && text.size() == 1 && text[0] == c;
+  }
+};
+
+/// Tokenizes `source`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace wt
+
+#endif  // WT_QUERY_LEXER_H_

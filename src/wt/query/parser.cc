@@ -1,0 +1,219 @@
+#include "wt/query/parser.h"
+
+#include "wt/common/string_util.h"
+#include "wt/query/lexer.h"
+
+namespace wt {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QuerySpec> Parse() {
+    QuerySpec spec;
+    WT_RETURN_IF_ERROR(ParseExplore(&spec));
+    WT_RETURN_IF_ERROR(ParseSimulate(&spec));
+    if (Peek().IsKeyword("ASSUMING")) {
+      WT_RETURN_IF_ERROR(ParseAssuming(&spec));
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      WT_RETURN_IF_ERROR(ParseWhere(&spec));
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      WT_RETURN_IF_ERROR(ParseOrder(&spec));
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      WT_RETURN_IF_ERROR(ParseLimit(&spec));
+    }
+    if (Peek().IsSymbol(';')) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return spec;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(StrFormat("%s (near offset %zu, got '%s')",
+                                        msg.c_str(), Peek().offset,
+                                        Peek().text.c_str()));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Err(StrFormat("expected %s", kw));
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(char c) {
+    if (!Peek().IsSymbol(c)) return Err(StrFormat("expected '%c'", c));
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) return Err("expected identifier");
+    return Advance().text;
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kString) {
+      Advance();
+      return Value(tok.text);
+    }
+    if (tok.kind == TokenKind::kNumber) {
+      Advance();
+      // Integers stay integers so dimension types match user intent.
+      if (tok.text.find('.') == std::string::npos &&
+          tok.text.find('e') == std::string::npos &&
+          tok.text.find('E') == std::string::npos) {
+        WT_ASSIGN_OR_RETURN(long long v, ParseInt(tok.text));
+        return Value(static_cast<int64_t>(v));
+      }
+      WT_ASSIGN_OR_RETURN(double v, ParseDouble(tok.text));
+      return Value(v);
+    }
+    return Err("expected literal");
+  }
+
+  Status ParseExplore(QuerySpec* spec) {
+    WT_RETURN_IF_ERROR(ExpectKeyword("EXPLORE"));
+    while (true) {
+      WT_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      WT_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      WT_RETURN_IF_ERROR(ExpectSymbol('['));
+      std::vector<Value> candidates;
+      while (true) {
+        WT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        candidates.push_back(std::move(v));
+        if (Peek().IsSymbol(',')) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      WT_RETURN_IF_ERROR(ExpectSymbol(']'));
+      spec->dimensions.push_back(Dimension{std::move(name),
+                                           std::move(candidates)});
+      if (Peek().IsSymbol(',')) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseSimulate(QuerySpec* spec) {
+    WT_RETURN_IF_ERROR(ExpectKeyword("SIMULATE"));
+    WT_ASSIGN_OR_RETURN(spec->simulation, ExpectIdent());
+    if (Peek().IsKeyword("WITH")) {
+      Advance();
+      while (true) {
+        WT_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+        WT_RETURN_IF_ERROR(ExpectSymbol('='));
+        WT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        spec->params[name] = std::move(v);
+        if (Peek().IsSymbol(',')) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseAssuming(QuerySpec* spec) {
+    WT_RETURN_IF_ERROR(ExpectKeyword("ASSUMING"));
+    while (true) {
+      MonotoneHint hint;
+      if (Peek().IsKeyword("HIGHER")) {
+        hint.direction = MonotoneDirection::kHigherIsBetter;
+      } else if (Peek().IsKeyword("LOWER")) {
+        hint.direction = MonotoneDirection::kLowerIsBetter;
+      } else {
+        return Err("expected HIGHER or LOWER");
+      }
+      Advance();
+      WT_ASSIGN_OR_RETURN(hint.dimension, ExpectIdent());
+      WT_RETURN_IF_ERROR(ExpectKeyword("IS"));
+      WT_RETURN_IF_ERROR(ExpectKeyword("BETTER"));
+      spec->hints.push_back(std::move(hint));
+      if (Peek().IsSymbol(',')) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseWhere(QuerySpec* spec) {
+    WT_RETURN_IF_ERROR(ExpectKeyword("WHERE"));
+    while (true) {
+      SlaConstraint c;
+      WT_ASSIGN_OR_RETURN(c.metric, ExpectIdent());
+      if (Peek().kind != TokenKind::kCompare) {
+        return Err("expected >= or <=");
+      }
+      c.op = Advance().text == ">=" ? SlaOp::kAtLeast : SlaOp::kAtMost;
+      WT_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      WT_ASSIGN_OR_RETURN(c.threshold, v.ToNumeric());
+      spec->constraints.push_back(std::move(c));
+      if (Peek().IsKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrder(QuerySpec* spec) {
+    WT_RETURN_IF_ERROR(ExpectKeyword("ORDER"));
+    WT_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    WT_ASSIGN_OR_RETURN(spec->order_by, ExpectIdent());
+    if (Peek().IsKeyword("ASC")) {
+      Advance();
+      spec->order_ascending = true;
+    } else if (Peek().IsKeyword("DESC")) {
+      Advance();
+      spec->order_ascending = false;
+    }
+    return Status::OK();
+  }
+
+  Status ParseLimit(QuerySpec* spec) {
+    WT_RETURN_IF_ERROR(ExpectKeyword("LIMIT"));
+    if (Peek().kind != TokenKind::kNumber) return Err("expected count");
+    WT_ASSIGN_OR_RETURN(long long v, ParseInt(Advance().text));
+    if (v < 0) return Status::ParseError("LIMIT must be non-negative");
+    spec->limit = v;
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QuerySpec> ParseQuery(const std::string& source) {
+  WT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace wt

@@ -1,0 +1,65 @@
+// Parser for the declarative what-if language (§4.1).
+//
+// Grammar (keywords case-insensitive; '#' starts a comment):
+//
+//   query    := explore simulate [assuming] [where] [order] [limit] [';']
+//   explore  := EXPLORE dim (',' dim)*
+//   dim      := IDENT IN '[' literal (',' literal)* ']'
+//   simulate := SIMULATE IDENT [WITH param (',' param)*]
+//   param    := IDENT '=' literal
+//   assuming := ASSUMING hint (',' hint)*
+//   hint     := (HIGHER | LOWER) IDENT IS BETTER
+//   where    := WHERE cond (AND cond)*
+//   cond     := IDENT ('>=' | '<=') number
+//   order    := ORDER BY IDENT [ASC | DESC]
+//   limit    := LIMIT integer
+//
+// Example:
+//
+//   EXPLORE nodes IN [10, 30], replication IN [3, 5],
+//           placement IN ['random', 'round_robin']
+//   SIMULATE availability WITH years = 2, users = 10000
+//   ASSUMING HIGHER replication IS BETTER
+//   WHERE availability >= 0.999 AND cost_monthly_usd <= 20000
+//   ORDER BY cost_monthly_usd ASC
+//   LIMIT 5
+
+#ifndef WT_QUERY_PARSER_H_
+#define WT_QUERY_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wt/common/result.h"
+#include "wt/core/design_space.h"
+#include "wt/core/pruner.h"
+#include "wt/sla/sla.h"
+
+namespace wt {
+
+/// Parsed query, ready for the executor.
+struct QuerySpec {
+  /// Dimensions to explore (name -> candidate values).
+  std::vector<Dimension> dimensions;
+  /// Simulation to run per design point.
+  std::string simulation;
+  /// Fixed parameters merged into every design point.
+  std::map<std::string, Value> params;
+  /// Monotonicity hints for dominance pruning.
+  std::vector<MonotoneHint> hints;
+  /// SLA constraints (the WHERE clause).
+  std::vector<SlaConstraint> constraints;
+  /// Ordering of the result table ("" = sweep order).
+  std::string order_by;
+  bool order_ascending = true;
+  /// Row cap; -1 = unlimited.
+  int64_t limit = -1;
+};
+
+/// Parses `source` into a QuerySpec.
+Result<QuerySpec> ParseQuery(const std::string& source);
+
+}  // namespace wt
+
+#endif  // WT_QUERY_PARSER_H_

@@ -1,0 +1,347 @@
+#include "wt/sim/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "wt/common/macros.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+// ---------------------------------------------------------------- helpers
+
+namespace {
+
+// One standard-normal variate via Box–Muller (discarding the pair partner
+// keeps Sample() const and stateless).
+double SampleStdNormal(RngStream& rng) {
+  double u1 = rng.NextDoubleOpen();
+  double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+// Marsaglia–Tsang gamma sampler for shape >= 1.
+double SampleGammaShapeGe1(RngStream& rng, double shape) {
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = SampleStdNormal(rng);
+    double v = 1.0 + c * x;
+    if (v <= 0) continue;
+    v = v * v * v;
+    double u = rng.NextDoubleOpen();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- Deterministic
+
+DeterministicDist::DeterministicDist(double value) : value_(value) {}
+std::string DeterministicDist::ToString() const {
+  return StrFormat("deterministic(%g)", value_);
+}
+DistributionPtr DeterministicDist::Clone() const {
+  return std::make_unique<DeterministicDist>(*this);
+}
+
+// ---------------------------------------------------------------- Uniform
+
+UniformDist::UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+  WT_CHECK(lo <= hi) << "uniform(lo,hi) requires lo <= hi";
+}
+double UniformDist::Sample(RngStream& rng) const {
+  return rng.Uniform(lo_, hi_);
+}
+double UniformDist::Variance() const {
+  double w = hi_ - lo_;
+  return w * w / 12.0;
+}
+std::string UniformDist::ToString() const {
+  return StrFormat("uniform(%g, %g)", lo_, hi_);
+}
+DistributionPtr UniformDist::Clone() const {
+  return std::make_unique<UniformDist>(*this);
+}
+
+// ------------------------------------------------------------ Exponential
+
+ExponentialDist::ExponentialDist(double rate) : rate_(rate) {
+  WT_CHECK(rate > 0) << "exponential rate must be positive";
+}
+double ExponentialDist::Sample(RngStream& rng) const {
+  return -std::log(rng.NextDoubleOpen()) / rate_;
+}
+std::string ExponentialDist::ToString() const {
+  return StrFormat("exponential(%g)", rate_);
+}
+DistributionPtr ExponentialDist::Clone() const {
+  return std::make_unique<ExponentialDist>(*this);
+}
+
+// ---------------------------------------------------------------- Weibull
+
+WeibullDist::WeibullDist(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  WT_CHECK(shape > 0 && scale > 0) << "weibull parameters must be positive";
+}
+double WeibullDist::Sample(RngStream& rng) const {
+  return scale_ * std::pow(-std::log(rng.NextDoubleOpen()), 1.0 / shape_);
+}
+double WeibullDist::Mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+double WeibullDist::Variance() const {
+  double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+std::string WeibullDist::ToString() const {
+  return StrFormat("weibull(%g, %g)", shape_, scale_);
+}
+DistributionPtr WeibullDist::Clone() const {
+  return std::make_unique<WeibullDist>(*this);
+}
+
+// ------------------------------------------------------------------ Gamma
+
+GammaDist::GammaDist(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  WT_CHECK(shape > 0 && scale > 0) << "gamma parameters must be positive";
+}
+double GammaDist::Sample(RngStream& rng) const {
+  if (shape_ >= 1.0) return scale_ * SampleGammaShapeGe1(rng, shape_);
+  // Boost: Gamma(k) = Gamma(k+1) * U^(1/k) for k < 1.
+  double g = SampleGammaShapeGe1(rng, shape_ + 1.0);
+  double u = rng.NextDoubleOpen();
+  return scale_ * g * std::pow(u, 1.0 / shape_);
+}
+std::string GammaDist::ToString() const {
+  return StrFormat("gamma(%g, %g)", shape_, scale_);
+}
+DistributionPtr GammaDist::Clone() const {
+  return std::make_unique<GammaDist>(*this);
+}
+
+// ----------------------------------------------------------------- Normal
+
+NormalDist::NormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  WT_CHECK(sigma >= 0) << "normal sigma must be non-negative";
+}
+double NormalDist::Sample(RngStream& rng) const {
+  return mu_ + sigma_ * SampleStdNormal(rng);
+}
+std::string NormalDist::ToString() const {
+  return StrFormat("normal(%g, %g)", mu_, sigma_);
+}
+DistributionPtr NormalDist::Clone() const {
+  return std::make_unique<NormalDist>(*this);
+}
+
+// -------------------------------------------------------------- LogNormal
+
+LogNormalDist::LogNormalDist(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  WT_CHECK(sigma >= 0) << "lognormal sigma must be non-negative";
+}
+LogNormalDist LogNormalDist::FromMoments(double mean, double stddev) {
+  WT_CHECK(mean > 0) << "lognormal mean must be positive";
+  double cv2 = (stddev / mean) * (stddev / mean);
+  double sigma2 = std::log(1.0 + cv2);
+  double mu = std::log(mean) - 0.5 * sigma2;
+  return LogNormalDist(mu, std::sqrt(sigma2));
+}
+double LogNormalDist::Sample(RngStream& rng) const {
+  return std::exp(mu_ + sigma_ * SampleStdNormal(rng));
+}
+double LogNormalDist::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+double LogNormalDist::Variance() const {
+  double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+std::string LogNormalDist::ToString() const {
+  return StrFormat("lognormal(%g, %g)", mu_, sigma_);
+}
+DistributionPtr LogNormalDist::Clone() const {
+  return std::make_unique<LogNormalDist>(*this);
+}
+
+// ----------------------------------------------------------------- Pareto
+
+ParetoDist::ParetoDist(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  WT_CHECK(xm > 0 && alpha > 0) << "pareto parameters must be positive";
+}
+double ParetoDist::Sample(RngStream& rng) const {
+  return xm_ / std::pow(rng.NextDoubleOpen(), 1.0 / alpha_);
+}
+double ParetoDist::Mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+double ParetoDist::Variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  double a = alpha_;
+  return xm_ * xm_ * a / ((a - 1.0) * (a - 1.0) * (a - 2.0));
+}
+std::string ParetoDist::ToString() const {
+  return StrFormat("pareto(%g, %g)", xm_, alpha_);
+}
+DistributionPtr ParetoDist::Clone() const {
+  return std::make_unique<ParetoDist>(*this);
+}
+
+// ----------------------------------------------------------------- Erlang
+
+ErlangDist::ErlangDist(int k, double rate) : k_(k), rate_(rate) {
+  WT_CHECK(k >= 1 && rate > 0) << "erlang requires k>=1, rate>0";
+}
+double ErlangDist::Sample(RngStream& rng) const {
+  // Product of uniforms avoids k log() calls... actually requires one log.
+  double prod = 1.0;
+  for (int i = 0; i < k_; ++i) prod *= rng.NextDoubleOpen();
+  return -std::log(prod) / rate_;
+}
+std::string ErlangDist::ToString() const {
+  return StrFormat("erlang(%d, %g)", k_, rate_);
+}
+DistributionPtr ErlangDist::Clone() const {
+  return std::make_unique<ErlangDist>(*this);
+}
+
+// -------------------------------------------------------------- Empirical
+
+EmpiricalDist::EmpiricalDist(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  WT_CHECK(!sorted_.empty()) << "empirical distribution needs samples";
+  std::sort(sorted_.begin(), sorted_.end());
+  double sum = 0.0;
+  for (double v : sorted_) sum += v;
+  mean_ = sum / static_cast<double>(sorted_.size());
+  double ss = 0.0;
+  for (double v : sorted_) ss += (v - mean_) * (v - mean_);
+  variance_ = sorted_.size() > 1
+                  ? ss / static_cast<double>(sorted_.size() - 1)
+                  : 0.0;
+}
+double EmpiricalDist::Sample(RngStream& rng) const {
+  if (sorted_.size() == 1) return sorted_[0];
+  // Inverse CDF with linear interpolation between order statistics.
+  double u = rng.NextDouble() * static_cast<double>(sorted_.size() - 1);
+  size_t i = static_cast<size_t>(u);
+  double frac = u - static_cast<double>(i);
+  if (i + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[i] + frac * (sorted_[i + 1] - sorted_[i]);
+}
+std::string EmpiricalDist::ToString() const {
+  return StrFormat("empirical(n=%zu, mean=%g)", sorted_.size(), mean_);
+}
+DistributionPtr EmpiricalDist::Clone() const {
+  return std::make_unique<EmpiricalDist>(*this);
+}
+
+// ------------------------------------------------------------------- Zipf
+
+ZipfGenerator::ZipfGenerator(int64_t n, double s) : n_(n), s_(s) {
+  WT_CHECK(n >= 1) << "zipf needs n >= 1";
+  WT_CHECK(s >= 0) << "zipf exponent must be non-negative";
+  cdf_.resize(static_cast<size_t>(n));
+  double acc = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[static_cast<size_t>(k)] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+int64_t ZipfGenerator::Sample(RngStream& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+// ---------------------------------------------------------------- Factory
+
+Result<DistributionPtr> ParseDistribution(const std::string& spec) {
+  std::string s(StrTrim(spec));
+  size_t open = s.find('(');
+  if (open == std::string::npos || s.back() != ')') {
+    return Status::ParseError("distribution spec must be name(args): '" + s +
+                              "'");
+  }
+  std::string name = StrToLower(StrTrim(s.substr(0, open)));
+  std::string args_str = s.substr(open + 1, s.size() - open - 2);
+  std::vector<double> args;
+  if (!StrTrim(args_str).empty()) {
+    for (const auto& part : StrSplit(args_str, ',')) {
+      WT_ASSIGN_OR_RETURN(double v, ParseDouble(part));
+      args.push_back(v);
+    }
+  }
+  auto want = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::ParseError(
+          StrFormat("%s expects %zu args, got %zu", name.c_str(), n,
+                    args.size()));
+    }
+    return Status::OK();
+  };
+
+  if (name == "deterministic" || name == "constant") {
+    WT_RETURN_IF_ERROR(want(1));
+    return DistributionPtr(std::make_unique<DeterministicDist>(args[0]));
+  }
+  if (name == "uniform") {
+    WT_RETURN_IF_ERROR(want(2));
+    if (args[0] > args[1])
+      return Status::ParseError("uniform(lo,hi) requires lo <= hi");
+    return DistributionPtr(std::make_unique<UniformDist>(args[0], args[1]));
+  }
+  if (name == "exponential") {
+    WT_RETURN_IF_ERROR(want(1));
+    if (args[0] <= 0) return Status::ParseError("exponential rate must be > 0");
+    return DistributionPtr(std::make_unique<ExponentialDist>(args[0]));
+  }
+  if (name == "weibull") {
+    WT_RETURN_IF_ERROR(want(2));
+    if (args[0] <= 0 || args[1] <= 0)
+      return Status::ParseError("weibull params must be > 0");
+    return DistributionPtr(std::make_unique<WeibullDist>(args[0], args[1]));
+  }
+  if (name == "gamma") {
+    WT_RETURN_IF_ERROR(want(2));
+    if (args[0] <= 0 || args[1] <= 0)
+      return Status::ParseError("gamma params must be > 0");
+    return DistributionPtr(std::make_unique<GammaDist>(args[0], args[1]));
+  }
+  if (name == "normal") {
+    WT_RETURN_IF_ERROR(want(2));
+    if (args[1] < 0) return Status::ParseError("normal sigma must be >= 0");
+    return DistributionPtr(std::make_unique<NormalDist>(args[0], args[1]));
+  }
+  if (name == "lognormal") {
+    WT_RETURN_IF_ERROR(want(2));
+    if (args[1] < 0) return Status::ParseError("lognormal sigma must be >= 0");
+    return DistributionPtr(std::make_unique<LogNormalDist>(args[0], args[1]));
+  }
+  if (name == "pareto") {
+    WT_RETURN_IF_ERROR(want(2));
+    if (args[0] <= 0 || args[1] <= 0)
+      return Status::ParseError("pareto params must be > 0");
+    return DistributionPtr(std::make_unique<ParetoDist>(args[0], args[1]));
+  }
+  if (name == "erlang") {
+    WT_RETURN_IF_ERROR(want(2));
+    int k = static_cast<int>(args[0]);
+    if (k < 1 || args[1] <= 0)
+      return Status::ParseError("erlang requires k>=1, rate>0");
+    return DistributionPtr(std::make_unique<ErlangDist>(k, args[1]));
+  }
+  return Status::ParseError("unknown distribution: '" + name + "'");
+}
+
+}  // namespace wt

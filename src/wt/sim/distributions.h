@@ -1,0 +1,227 @@
+// Probability distributions for failure, repair, service, and arrival
+// processes.
+//
+// The paper's core argument against purely analytical models (§2.2) is that
+// real failure/repair processes are not exponential: disk time-to-failure
+// follows Weibull/Gamma [Schroeder & Gibson, FAST'07] and repair times are
+// lognormal [Schroeder & Gibson, TDSC'10]. The wind tunnel therefore supports
+// arbitrary distributions behind one interface, plus a factory so a
+// distribution can be specified declaratively ("weibull(1.12, 460000)").
+
+#ifndef WT_SIM_DISTRIBUTIONS_H_
+#define WT_SIM_DISTRIBUTIONS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wt/common/result.h"
+#include "wt/sim/random.h"
+
+namespace wt {
+
+/// A real-valued probability distribution that can be sampled from an
+/// RngStream. Implementations are immutable and thread-compatible (the
+/// mutable state lives in the stream).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one variate.
+  virtual double Sample(RngStream& rng) const = 0;
+
+  /// Expected value (closed form).
+  virtual double Mean() const = 0;
+
+  /// Variance (closed form); may be +inf (e.g. Pareto with alpha <= 2).
+  virtual double Variance() const = 0;
+
+  /// Parseable textual form, e.g. "exponential(0.5)".
+  virtual std::string ToString() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Distribution> Clone() const = 0;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+/// Point mass at `value`.
+class DeterministicDist final : public Distribution {
+ public:
+  explicit DeterministicDist(double value);
+  double Sample(RngStream&) const override { return value_; }
+  double Mean() const override { return value_; }
+  double Variance() const override { return 0.0; }
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double value_;
+};
+
+/// Uniform on [lo, hi).
+class UniformDist final : public Distribution {
+ public:
+  UniformDist(double lo, double hi);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override { return 0.5 * (lo_ + hi_); }
+  double Variance() const override;
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double lo_, hi_;
+};
+
+/// Exponential with rate lambda (mean 1/lambda).
+class ExponentialDist final : public Distribution {
+ public:
+  explicit ExponentialDist(double rate);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override { return 1.0 / rate_; }
+  double Variance() const override { return 1.0 / (rate_ * rate_); }
+  double rate() const { return rate_; }
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double rate_;
+};
+
+/// Weibull with shape k and scale lambda. k < 1 models infant mortality
+/// (decreasing hazard), k > 1 wear-out — both observed for disks.
+class WeibullDist final : public Distribution {
+ public:
+  WeibullDist(double shape, double scale);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override;
+  double Variance() const override;
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double shape_, scale_;
+};
+
+/// Gamma with shape k and scale theta (mean k*theta). Sampled with the
+/// Marsaglia–Tsang squeeze method.
+class GammaDist final : public Distribution {
+ public:
+  GammaDist(double shape, double scale);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override { return shape_ * scale_; }
+  double Variance() const override { return shape_ * scale_ * scale_; }
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double shape_, scale_;
+};
+
+/// Normal(mu, sigma). Sampled via Box–Muller.
+class NormalDist final : public Distribution {
+ public:
+  NormalDist(double mu, double sigma);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override { return mu_; }
+  double Variance() const override { return sigma_ * sigma_; }
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double mu_, sigma_;
+};
+
+/// LogNormal: exp(Normal(mu, sigma)). The empirical fit for repair
+/// durations in HPC failure data.
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mu, double sigma);
+  /// Constructs the lognormal with the given *linear-space* mean and
+  /// standard deviation (converts to mu/sigma internally).
+  static LogNormalDist FromMoments(double mean, double stddev);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override;
+  double Variance() const override;
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Pareto with minimum xm and tail index alpha. Heavy-tailed service times.
+class ParetoDist final : public Distribution {
+ public:
+  ParetoDist(double xm, double alpha);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override;
+  double Variance() const override;
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  double xm_, alpha_;
+};
+
+/// Erlang-k: sum of k exponentials with the given rate each.
+class ErlangDist final : public Distribution {
+ public:
+  ErlangDist(int k, double rate);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override { return static_cast<double>(k_) / rate_; }
+  double Variance() const override {
+    return static_cast<double>(k_) / (rate_ * rate_);
+  }
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  int k_;
+  double rate_;
+};
+
+/// Empirical distribution built from observed samples (e.g. a trace from an
+/// operational log, §4.4). Sampling draws inverse-CDF with linear
+/// interpolation between order statistics.
+class EmpiricalDist final : public Distribution {
+ public:
+  explicit EmpiricalDist(std::vector<double> samples);
+  double Sample(RngStream& rng) const override;
+  double Mean() const override { return mean_; }
+  double Variance() const override { return variance_; }
+  std::string ToString() const override;
+  DistributionPtr Clone() const override;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_;
+  double variance_;
+};
+
+/// Zipf(s) over ranks {0, ..., n-1}: P(rank k) ∝ 1/(k+1)^s. Key-popularity
+/// model for workload generation. Integer-valued, so it has its own type.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int64_t n, double s);
+  /// Draws a rank in [0, n).
+  int64_t Sample(RngStream& rng) const;
+  int64_t n() const { return n_; }
+
+ private:
+  int64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // precomputed cumulative probabilities
+};
+
+/// Parses a distribution spec of the form "name(p1, p2, ...)":
+///   deterministic(v) | uniform(lo,hi) | exponential(rate) |
+///   weibull(shape,scale) | gamma(shape,scale) | normal(mu,sigma) |
+///   lognormal(mu,sigma) | pareto(xm,alpha) | erlang(k,rate)
+Result<DistributionPtr> ParseDistribution(const std::string& spec);
+
+}  // namespace wt
+
+#endif  // WT_SIM_DISTRIBUTIONS_H_

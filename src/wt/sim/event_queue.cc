@@ -1,0 +1,46 @@
+#include "wt/sim/event_queue.h"
+
+#include <utility>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+EventHandle EventQueue::Push(SimTime t, EventFn fn, int32_t priority) {
+  auto state = std::make_shared<internal::EventState>();
+  EventHandle handle{std::weak_ptr<internal::EventState>(state)};
+  heap_.push(Entry{t, priority, next_seq_++, std::move(state), std::move(fn)});
+  return handle;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+}
+
+bool EventQueue::Empty() {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::PeekTime() {
+  SkipCancelled();
+  WT_CHECK(!heap_.empty()) << "PeekTime on empty queue";
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::Pop() {
+  SkipCancelled();
+  WT_CHECK(!heap_.empty()) << "Pop on empty queue";
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because pop() immediately removes it.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace wt

@@ -1,0 +1,105 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, priority, sequence). The sequence
+// number makes ordering total and deterministic: two events scheduled for
+// the same tick fire in scheduling order. Cancellation is lazy (a cancelled
+// entry is skipped at pop time), which keeps Cancel O(1).
+
+#ifndef WT_SIM_EVENT_QUEUE_H_
+#define WT_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "wt/sim/time.h"
+
+namespace wt {
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+namespace internal {
+struct EventState {
+  bool cancelled = false;
+};
+}  // namespace internal
+
+/// Handle to a scheduled event; allows cancellation. Handles are cheap,
+/// copyable, and outlive the event harmlessly.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void Cancel() {
+    if (auto s = state_.lock()) s->cancelled = true;
+  }
+
+  /// True if the handle refers to an event that is still pending.
+  bool pending() const {
+    auto s = state_.lock();
+    return s != nullptr && !s->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<internal::EventState> state)
+      : state_(std::move(state)) {}
+  std::weak_ptr<internal::EventState> state_;
+};
+
+/// The simulator's pending event set.
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`. Lower `priority` fires first among
+  /// same-tick events (before sequence order is consulted).
+  EventHandle Push(SimTime t, EventFn fn, int32_t priority = 0);
+
+  /// True if no live (non-cancelled) events remain.
+  bool Empty();
+
+  /// Time of the earliest live event. Requires !Empty().
+  SimTime PeekTime();
+
+  /// Removes and returns the earliest live event. Requires !Empty().
+  struct Popped {
+    SimTime time;
+    EventFn fn;
+  };
+  Popped Pop();
+
+  /// Number of entries including cancelled ones awaiting lazy removal.
+  size_t RawSize() const { return heap_.size(); }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    int32_t priority;
+    uint64_t seq;
+    // shared_ptr so EventHandle can observe/cancel.
+    std::shared_ptr<internal::EventState> state;
+    EventFn fn;
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the top of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace wt
+
+#endif  // WT_SIM_EVENT_QUEUE_H_

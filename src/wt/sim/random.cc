@@ -1,0 +1,110 @@
+#include "wt/sim/random.h"
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::LongJump() {
+  static const uint64_t kJump[] = {0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+                                   0x77710069854ee241ULL,
+                                   0x39109bb02acbe635ULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      Next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+RngStream RngStream::Substream(std::string_view name) const {
+  uint64_t mix = seed_ ^ Fnv1a64(name);
+  (void)SplitMix64(mix);  // decorrelate
+  return RngStream(mix);
+}
+
+RngStream RngStream::Substream(uint64_t index) const {
+  uint64_t mix = seed_ ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  (void)SplitMix64(mix);
+  return RngStream(mix);
+}
+
+double RngStream::NextDouble() {
+  // 53 random mantissa bits → uniform in [0, 1).
+  return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::NextDoubleOpen() {
+  double v;
+  do {
+    v = NextDouble();
+  } while (v == 0.0);
+  return v;
+}
+
+double RngStream::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t RngStream::UniformInt(int64_t lo, int64_t hi) {
+  WT_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(engine_.Next());  // full range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = engine_.Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+bool RngStream::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace wt

@@ -1,0 +1,79 @@
+// Deterministic random-number streams.
+//
+// All randomness in the wind tunnel flows from named RngStreams derived from
+// a root seed. Deriving a stream by (seed, name) rather than sharing one
+// global engine means adding a model to a scenario does not perturb the
+// random numbers other models see — essential for paired what-if comparisons
+// (common random numbers across configurations).
+
+#ifndef WT_SIM_RANDOM_H_
+#define WT_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wt {
+
+/// splitmix64: used for seeding and stream derivation.
+uint64_t SplitMix64(uint64_t& state);
+
+/// 64-bit FNV-1a hash, used to fold stream names into seeds.
+uint64_t Fnv1a64(std::string_view s);
+
+/// xoshiro256** engine (Blackman & Vigna) — fast, 256-bit state, passes
+/// BigCrush. Not cryptographic; fine for simulation.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Equivalent to 2^128 calls of Next(); used to derive parallel streams.
+  void LongJump();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// A stream of random variates with convenience samplers.
+class RngStream {
+ public:
+  /// Root stream from a seed.
+  explicit RngStream(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derives an independent child stream for the given name. Deterministic:
+  /// same (parent seed, name) → same stream.
+  RngStream Substream(std::string_view name) const;
+
+  /// Derives an independent child stream for the given index (e.g. per-run).
+  RngStream Substream(uint64_t index) const;
+
+  /// Uniform uint64.
+  uint64_t NextU64() { return engine_.Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in (0, 1) — never returns 0, safe for log().
+  double NextDoubleOpen();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive (unbiased via rejection).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p);
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  Xoshiro256 engine_;
+  uint64_t seed_;
+};
+
+}  // namespace wt
+
+#endif  // WT_SIM_RANDOM_H_

@@ -1,0 +1,54 @@
+#include "wt/sim/simulator.h"
+
+#include <utility>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+EventHandle Simulator::Schedule(SimTime delay, EventFn fn, int32_t priority) {
+  WT_CHECK(delay >= SimTime::Zero()) << "negative delay";
+  // int64-nanosecond time covers ~292 years; an overflowing sum or a
+  // saturated conversion means the event lies beyond the clock's range —
+  // it "never" happens, so it is not queued at all (the handle is inert).
+  // Overflow must be detected without relying on signed wraparound (UB).
+  int64_t sum = 0;
+  if (__builtin_add_overflow(now_.nanos(), delay.nanos(), &sum) ||
+      sum == INT64_MAX) {
+    return EventHandle();
+  }
+  return queue_.Push(SimTime(sum), std::move(fn), priority);
+}
+
+EventHandle Simulator::ScheduleAt(SimTime t, EventFn fn, int32_t priority) {
+  WT_CHECK(t >= now_) << "scheduling into the past";
+  if (t == SimTime::Max()) return EventHandle();  // beyond the clock: never
+  return queue_.Push(t, std::move(fn), priority);
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) return false;
+  auto ev = queue_.Pop();
+  WT_DCHECK(ev.time >= now_);
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t_end) {
+  stopped_ = false;
+  WT_CHECK(t_end >= now_);
+  while (!stopped_ && !queue_.Empty() && queue_.PeekTime() <= t_end) {
+    Step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+}  // namespace wt

@@ -1,0 +1,66 @@
+// The discrete-event simulator: a clock plus a pending-event set.
+//
+// Components schedule callbacks at future times; Run() repeatedly advances
+// the clock to the earliest event and fires it. Single-threaded by design —
+// runs are parallelized at the orchestrator level (one Simulator per run),
+// which is the run-level parallelism the paper derives from declared model
+// independence (DESIGN.md §4).
+
+#ifndef WT_SIM_SIMULATOR_H_
+#define WT_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "wt/sim/event_queue.h"
+#include "wt/sim/time.h"
+
+namespace wt {
+
+/// A single simulation run's event loop.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` after `delay` from now. Negative delays are an error.
+  /// A delay that lands beyond the clock's ~292-year range means the event
+  /// never happens: it is not queued and the returned handle is inert.
+  EventHandle Schedule(SimTime delay, EventFn fn, int32_t priority = 0);
+
+  /// Schedules `fn` at absolute time `t` (>= Now()).
+  EventHandle ScheduleAt(SimTime t, EventFn fn, int32_t priority = 0);
+
+  /// Runs until the event set is exhausted or Stop() is called.
+  void Run();
+
+  /// Runs until simulated time would exceed `t_end`; the clock finishes at
+  /// exactly `t_end` (events after it remain pending).
+  void RunUntil(SimTime t_end);
+
+  /// Fires exactly one event if any is pending. Returns false when idle.
+  bool Step();
+
+  /// Requests that Run()/RunUntil() return after the current event.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Number of events fired so far.
+  int64_t events_processed() const { return events_processed_; }
+
+  /// True when no live events remain.
+  bool Idle() { return queue_.Empty(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::Zero();
+  bool stopped_ = false;
+  int64_t events_processed_ = 0;
+};
+
+}  // namespace wt
+
+#endif  // WT_SIM_SIMULATOR_H_

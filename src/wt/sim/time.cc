@@ -1,0 +1,19 @@
+#include "wt/sim/time.h"
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+std::string SimTime::ToString() const {
+  double s = seconds();
+  double abs = s < 0 ? -s : s;
+  if (abs < 1e-6) return StrFormat("%lldns", static_cast<long long>(ns_));
+  if (abs < 1e-3) return StrFormat("%.3gus", s * 1e6);
+  if (abs < 1.0) return StrFormat("%.3gms", s * 1e3);
+  if (abs < 3600.0) return StrFormat("%.4gs", s);
+  if (abs < 86400.0) return StrFormat("%.4gh", s / 3600.0);
+  if (abs < 86400.0 * 365) return StrFormat("%.4gd", s / 86400.0);
+  return StrFormat("%.4gy", s / (86400.0 * 365));
+}
+
+}  // namespace wt

@@ -1,0 +1,75 @@
+// Simulation time.
+//
+// Time is an integer count of nanosecond ticks (int64), giving ~292 years of
+// range — enough to simulate a decade of datacenter operation — with exact
+// event ordering (no floating-point time drift).
+
+#ifndef WT_SIM_TIME_H_
+#define WT_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace wt {
+
+/// A point in (or duration of) simulated time, in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  static constexpr SimTime Nanos(int64_t v) { return SimTime(v); }
+  static constexpr SimTime Micros(int64_t v) { return SimTime(v * 1000); }
+  static constexpr SimTime Millis(int64_t v) { return SimTime(v * 1000000); }
+  /// Converts seconds to ticks, saturating at the clock's range (~±292
+  /// years). A duration beyond the range means "effectively never"; the
+  /// Simulator treats events at Max() accordingly.
+  static constexpr SimTime Seconds(double v) {
+    double ns = v * 1e9;
+    if (ns >= 9.2e18) return Max();
+    if (ns <= -9.2e18) return SimTime(INT64_MIN);
+    return SimTime(static_cast<int64_t>(ns));
+  }
+  static constexpr SimTime Minutes(double v) { return Seconds(v * 60.0); }
+  static constexpr SimTime Hours(double v) { return Seconds(v * 3600.0); }
+  static constexpr SimTime Days(double v) { return Seconds(v * 86400.0); }
+  static constexpr SimTime Years(double v) { return Days(v * 365.0); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double hours() const { return seconds() / 3600.0; }
+  constexpr double days() const { return seconds() / 86400.0; }
+  constexpr double years() const { return days() / 365.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(double f) const {
+    return SimTime(static_cast<int64_t>(static_cast<double>(ns_) * f));
+  }
+
+  /// Human-readable rendering with an adaptive unit ("3.2ms", "1.5h").
+  std::string ToString() const;
+
+ private:
+  int64_t ns_ = 0;
+};
+
+}  // namespace wt
+
+#endif  // WT_SIM_TIME_H_

@@ -1,0 +1,37 @@
+#include "wt/sla/evaluator.h"
+
+namespace wt {
+
+Result<SlaOutcome> EvaluateConstraint(const SlaConstraint& constraint,
+                                      const MetricMap& metrics) {
+  auto it = metrics.find(constraint.metric);
+  if (it == metrics.end()) {
+    return Status::NotFound("metric not measured: '" + constraint.metric +
+                            "'");
+  }
+  SlaOutcome outcome;
+  outcome.constraint = constraint;
+  outcome.measured = it->second;
+  outcome.satisfied = constraint.Satisfied(it->second);
+  return outcome;
+}
+
+Result<std::vector<SlaOutcome>> EvaluateConstraints(
+    const std::vector<SlaConstraint>& constraints, const MetricMap& metrics) {
+  std::vector<SlaOutcome> outcomes;
+  outcomes.reserve(constraints.size());
+  for (const SlaConstraint& c : constraints) {
+    WT_ASSIGN_OR_RETURN(SlaOutcome o, EvaluateConstraint(c, metrics));
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
+bool AllSatisfied(const std::vector<SlaOutcome>& outcomes) {
+  for (const SlaOutcome& o : outcomes) {
+    if (!o.satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace wt

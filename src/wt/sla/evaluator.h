@@ -1,0 +1,31 @@
+// Evaluates SLA constraints against a bag of measured metrics.
+
+#ifndef WT_SLA_EVALUATOR_H_
+#define WT_SLA_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wt/common/result.h"
+#include "wt/sla/sla.h"
+
+namespace wt {
+
+/// Named measurements produced by one simulation run.
+using MetricMap = std::map<std::string, double>;
+
+/// Evaluates one constraint; error if the metric was not measured.
+Result<SlaOutcome> EvaluateConstraint(const SlaConstraint& constraint,
+                                      const MetricMap& metrics);
+
+/// Evaluates all constraints; fails fast on a missing metric.
+Result<std::vector<SlaOutcome>> EvaluateConstraints(
+    const std::vector<SlaConstraint>& constraints, const MetricMap& metrics);
+
+/// True iff every outcome passed.
+bool AllSatisfied(const std::vector<SlaOutcome>& outcomes);
+
+}  // namespace wt
+
+#endif  // WT_SLA_EVALUATOR_H_

@@ -1,0 +1,40 @@
+#include "wt/sla/sla.h"
+
+#include <cmath>
+
+#include "wt/common/macros.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+const char* SlaOpToString(SlaOp op) {
+  return op == SlaOp::kAtLeast ? ">=" : "<=";
+}
+
+std::string SlaConstraint::ToString() const {
+  return StrFormat("%s %s %g", metric.c_str(), SlaOpToString(op), threshold);
+}
+
+std::string SlaOutcome::ToString() const {
+  return StrFormat("%s: measured %g -> %s", constraint.ToString().c_str(),
+                   measured, satisfied ? "PASS" : "FAIL");
+}
+
+AvailabilitySla AvailabilitySla::Nines(double nines) {
+  WT_CHECK(nines > 0);
+  return AvailabilitySla{1.0 - std::pow(10.0, -nines)};
+}
+
+SlaConstraint PerformanceSla::ToConstraint() const {
+  WT_CHECK(percentile > 0 && percentile < 1);
+  return {StrFormat("latency_p%g_ms", percentile * 100.0), SlaOp::kAtMost,
+          max_latency_ms};
+}
+
+double AvailabilityToNines(double availability) {
+  WT_CHECK(availability >= 0 && availability < 1.0 + 1e-12);
+  if (availability >= 1.0) return 16.0;  // beyond double resolution
+  return -std::log10(1.0 - availability);
+}
+
+}  // namespace wt

@@ -1,0 +1,85 @@
+// Service-level agreements: the requirements side of every what-if query.
+//
+// Users of cloud services "expect to have access to specific hardware
+// resources ... demand data availability and durability guarantees defined
+// quantitatively in SLAs, and expect concrete performance guarantees
+// defined in performance-based SLAs" (§1). An Sla here is a named predicate
+// over a metric; a design point satisfies a query when all its SLAs hold.
+
+#ifndef WT_SLA_SLA_H_
+#define WT_SLA_SLA_H_
+
+#include <string>
+#include <vector>
+
+#include "wt/common/result.h"
+
+namespace wt {
+
+/// Comparison direction for a metric bound.
+enum class SlaOp {
+  kAtLeast,  // metric >= threshold  (availability, durability, throughput)
+  kAtMost,   // metric <= threshold  (latency, cost, loss probability)
+};
+
+const char* SlaOpToString(SlaOp op);
+
+/// A single metric bound: `metric op threshold`.
+struct SlaConstraint {
+  std::string metric;
+  SlaOp op = SlaOp::kAtLeast;
+  double threshold = 0.0;
+
+  bool Satisfied(double measured) const {
+    return op == SlaOp::kAtLeast ? measured >= threshold
+                                 : measured <= threshold;
+  }
+  std::string ToString() const;
+};
+
+/// Verdict for one constraint against a measured value.
+struct SlaOutcome {
+  SlaConstraint constraint;
+  double measured = 0.0;
+  bool satisfied = false;
+  std::string ToString() const;
+};
+
+/// --- typed convenience SLAs -------------------------------------------
+
+/// Availability: fraction of time (or probability) the data is operable.
+struct AvailabilitySla {
+  /// e.g. 0.999 for "three nines".
+  double min_availability = 0.999;
+
+  SlaConstraint ToConstraint() const {
+    return {"availability", SlaOp::kAtLeast, min_availability};
+  }
+  /// Builds from a "number of nines" spec (3 → 0.999).
+  static AvailabilitySla Nines(double nines);
+};
+
+/// Durability: bound on the annual probability of object loss.
+struct DurabilitySla {
+  double max_annual_loss_probability = 1e-6;
+
+  SlaConstraint ToConstraint() const {
+    return {"annual_loss_probability", SlaOp::kAtMost,
+            max_annual_loss_probability};
+  }
+};
+
+/// Performance: a latency percentile bound.
+struct PerformanceSla {
+  double percentile = 0.99;  // in (0,1)
+  double max_latency_ms = 100.0;
+
+  SlaConstraint ToConstraint() const;
+};
+
+/// Converts an availability fraction to "nines" (0.999 → 3).
+double AvailabilityToNines(double availability);
+
+}  // namespace wt
+
+#endif  // WT_SLA_SLA_H_

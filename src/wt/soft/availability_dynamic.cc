@@ -1,0 +1,156 @@
+#include "wt/soft/availability_dynamic.h"
+
+#include <utility>
+#include <vector>
+
+#include "wt/stats/time_weighted.h"
+
+namespace wt {
+
+DynamicAvailabilityConfig::DynamicAvailabilityConfig(
+    const DynamicAvailabilityConfig& other)
+    : datacenter(other.datacenter),
+      storage(other.storage),
+      redundancy(other.redundancy),
+      placement(other.placement),
+      node_ttf(other.node_ttf ? other.node_ttf->Clone() : nullptr),
+      node_replace(other.node_replace ? other.node_replace->Clone() : nullptr),
+      repair(other.repair),
+      sim_years(other.sim_years),
+      seed(other.seed) {}
+
+namespace {
+
+/// Per-run availability bookkeeping: tracks each object's live-fragment
+/// count and integrates the number of unavailable objects over time.
+class AvailabilityTracker {
+ public:
+  AvailabilityTracker(Simulator* sim, StorageService* service)
+      : sim_(sim), service_(service) {
+    int64_t n = service->num_objects();
+    up_count_.resize(static_cast<size_t>(n));
+    unavailable_.assign(static_cast<size_t>(n), false);
+    ever_lost_.assign(static_cast<size_t>(n), false);
+    for (int64_t o = 0; o < n; ++o) {
+      up_count_[static_cast<size_t>(o)] =
+          service->scheme().num_fragments();
+    }
+    unavailable_count_.Set(sim_->Now().hours(), 0.0);
+  }
+
+  /// Applies a delta to an object's live-fragment count and updates the
+  /// unavailability integral.
+  void Adjust(ObjectId o, int delta) {
+    size_t i = static_cast<size_t>(o);
+    up_count_[i] += delta;
+    if (up_count_[i] <= 0) ever_lost_[i] = true;
+    bool unavail = !service_->scheme().Available(up_count_[i]);
+    if (unavail != unavailable_[i]) {
+      unavailable_[i] = unavail;
+      num_unavailable_ += unavail ? 1 : -1;
+      if (unavail) ++unavailability_events_;
+      unavailable_count_.Set(sim_->Now().hours(),
+                             static_cast<double>(num_unavailable_));
+    }
+  }
+
+  double MeanUnavailableFraction(double horizon_hours) const {
+    return unavailable_count_.Mean(horizon_hours) /
+           static_cast<double>(service_->num_objects());
+  }
+  double UnavailableObjectHours(double horizon_hours) const {
+    return unavailable_count_.Mean(horizon_hours) * horizon_hours;
+  }
+  int64_t unavailability_events() const { return unavailability_events_; }
+  int64_t ObjectsLost() const {
+    int64_t count = 0;
+    for (bool b : ever_lost_) count += b ? 1 : 0;
+    return count;
+  }
+
+ private:
+  Simulator* sim_;
+  StorageService* service_;
+  std::vector<int> up_count_;
+  std::vector<bool> unavailable_;
+  std::vector<bool> ever_lost_;
+  int64_t num_unavailable_ = 0;
+  int64_t unavailability_events_ = 0;
+  TimeWeightedStats unavailable_count_;
+};
+
+}  // namespace
+
+Result<AvailabilityMetrics> RunDynamicAvailability(
+    const DynamicAvailabilityConfig& config) {
+  WT_ASSIGN_OR_RETURN(auto scheme, RedundancyScheme::Create(config.redundancy));
+  WT_ASSIGN_OR_RETURN(auto placement,
+                      PlacementPolicy::Create(config.placement));
+  if (config.storage.num_nodes != config.datacenter.num_nodes()) {
+    return Status::InvalidArgument(
+        "storage.num_nodes must match datacenter node count");
+  }
+  if (config.sim_years <= 0) {
+    return Status::InvalidArgument("sim_years must be positive");
+  }
+
+  Simulator sim;
+  Datacenter dc(config.datacenter);
+  Network network(&sim, &dc);
+  RngStream root(config.seed);
+
+  RngStream place_rng = root.Substream("placement");
+  StorageService service(config.storage, std::move(scheme),
+                         std::move(placement), place_rng);
+
+  AvailabilityTracker tracker(&sim, &service);
+
+  RepairManager repair(&sim, &dc, &network, &service, config.repair,
+                       root.Substream("repair"),
+                       [&tracker](ObjectId o) { tracker.Adjust(o, +1); });
+
+  // Failure processes on node chassis. Hardware replacement (TTR) is owned
+  // by the process; data repair is owned by the RepairManager.
+  DistributionPtr ttf =
+      config.node_ttf ? config.node_ttf->Clone() : MakeTtfFromAfr(0.10, 1.0);
+  DistributionPtr ttr = config.node_replace
+                            ? config.node_replace->Clone()
+                            : std::make_unique<DeterministicDist>(24.0);
+  auto processes = MakeNodeFailureProcesses(&sim, &dc, *ttf, ttr.get(),
+                                            root.Substream("failures"));
+
+  int64_t node_failures = 0;
+  for (NodeIndex i = 0; i < dc.num_nodes(); ++i) {
+    auto& proc = processes[static_cast<size_t>(i)];
+    proc->AddListener([&, i](ComponentId, bool up, SimTime) {
+      network.RefreshCapacities();
+      if (!up) {
+        ++node_failures;
+        std::vector<ObjectId> affected = service.FailNode(i);
+        for (ObjectId o : affected) tracker.Adjust(o, -1);
+        repair.OnNodeFailed(i, affected);
+      }
+      // On hardware replacement the node returns empty; fragments were (or
+      // are being) re-created elsewhere, so no tracker change.
+    });
+    proc->Start();
+  }
+
+  SimTime horizon = SimTime::Years(config.sim_years);
+  sim.RunUntil(horizon);
+
+  AvailabilityMetrics m;
+  m.horizon_hours = horizon.hours();
+  m.mean_unavailable_fraction =
+      tracker.MeanUnavailableFraction(m.horizon_hours);
+  m.unavailability_events = tracker.unavailability_events();
+  m.unavailable_object_hours = tracker.UnavailableObjectHours(m.horizon_hours);
+  m.objects_lost = tracker.ObjectsLost();
+  m.node_failures = node_failures;
+  m.repairs_completed = repair.repairs_completed();
+  m.repair_bytes = repair.bytes_transferred();
+  m.repair_latency_hours = repair.repair_latency_hours();
+  return m;
+}
+
+}  // namespace wt

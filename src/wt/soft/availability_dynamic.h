@@ -1,0 +1,77 @@
+// Dynamic availability/durability simulation.
+//
+// Nodes fail over simulated years according to a (not necessarily
+// exponential) time-to-failure distribution; failed hardware is replaced
+// after a repair-time distribution; meanwhile the RepairManager re-creates
+// lost fragments over the shared network. Tracked outputs: time-averaged
+// unavailability, unavailability event counts, durability losses, repair
+// traffic, repair latency. This is the engine behind experiments E2, E5 and
+// E8 (see DESIGN.md §3).
+
+#ifndef WT_SOFT_AVAILABILITY_DYNAMIC_H_
+#define WT_SOFT_AVAILABILITY_DYNAMIC_H_
+
+#include <memory>
+#include <string>
+
+#include "wt/hw/cost.h"
+#include "wt/hw/failure.h"
+#include "wt/hw/network.h"
+#include "wt/soft/repair.h"
+#include "wt/soft/storage_service.h"
+#include "wt/stats/welford.h"
+
+namespace wt {
+
+/// Full scenario description for one dynamic availability run.
+struct DynamicAvailabilityConfig {
+  DatacenterConfig datacenter;
+  StorageServiceConfig storage;
+  /// Redundancy spec string, e.g. "replication(3)", "rs(10,4)".
+  std::string redundancy = "replication(3)";
+  /// Placement policy name: "random" | "round_robin" | "copyset".
+  std::string placement = "random";
+  /// Node time-to-failure distribution, hours. Defaults to an exponential
+  /// matched to a 10% node AFR if null.
+  DistributionPtr node_ttf;
+  /// Hours until failed hardware is replaced (node returns empty).
+  DistributionPtr node_replace;
+  RepairConfig repair;
+  double sim_years = 1.0;
+  uint64_t seed = 1;
+
+  DynamicAvailabilityConfig() = default;
+  DynamicAvailabilityConfig(const DynamicAvailabilityConfig& other);
+  DynamicAvailabilityConfig& operator=(const DynamicAvailabilityConfig&) =
+      delete;
+};
+
+/// Aggregated outcome of one run.
+struct AvailabilityMetrics {
+  /// Time-averaged fraction of objects unavailable.
+  double mean_unavailable_fraction = 0.0;
+  /// 1 - mean_unavailable_fraction.
+  double availability() const { return 1.0 - mean_unavailable_fraction; }
+  /// Count of object transitions into unavailability.
+  int64_t unavailability_events = 0;
+  /// Total object-hours of unavailability.
+  double unavailable_object_hours = 0.0;
+  /// Objects that hit zero live fragments at least once (data loss).
+  int64_t objects_lost = 0;
+  /// Node failures observed.
+  int64_t node_failures = 0;
+  /// Fragment repairs completed / bytes moved.
+  int64_t repairs_completed = 0;
+  double repair_bytes = 0.0;
+  RunningStats repair_latency_hours;
+  /// Simulated horizon, hours.
+  double horizon_hours = 0.0;
+};
+
+/// Runs the scenario to completion and returns its metrics.
+Result<AvailabilityMetrics> RunDynamicAvailability(
+    const DynamicAvailabilityConfig& config);
+
+}  // namespace wt
+
+#endif  // WT_SOFT_AVAILABILITY_DYNAMIC_H_

@@ -1,0 +1,97 @@
+#include "wt/soft/availability_static.h"
+
+#include <numeric>
+
+#include "wt/common/macros.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+namespace {
+
+// Samples `f` distinct failed nodes into `node_up` (true = up).
+void SampleFailureSet(int num_nodes, int f, RngStream& rng,
+                      std::vector<NodeIndex>& scratch,
+                      std::vector<bool>& node_up) {
+  node_up.assign(static_cast<size_t>(num_nodes), true);
+  // Partial Fisher–Yates over the scratch identity permutation.
+  scratch.resize(static_cast<size_t>(num_nodes));
+  std::iota(scratch.begin(), scratch.end(), 0);
+  for (int i = 0; i < f; ++i) {
+    int64_t j = rng.UniformInt(i, num_nodes - 1);
+    std::swap(scratch[static_cast<size_t>(i)], scratch[static_cast<size_t>(j)]);
+    node_up[static_cast<size_t>(scratch[static_cast<size_t>(i)])] = false;
+  }
+}
+
+}  // namespace
+
+StaticAvailabilityPoint EstimateStaticUnavailability(
+    const RedundancyScheme& scheme, const PlacementPolicy& placement,
+    const StaticAvailabilityConfig& config, int failures) {
+  WT_CHECK(failures >= 0 && failures <= config.num_nodes);
+  StaticAvailabilityPoint point;
+  point.failures = failures;
+
+  RngStream root(config.seed);
+  int64_t hits = 0;
+  int64_t loss_hits = 0;
+  double unavailable_fraction_sum = 0.0;
+  int64_t trials = 0;
+
+  std::vector<NodeIndex> scratch;
+  std::vector<bool> node_up;
+
+  for (int ps = 0; ps < config.placement_samples; ++ps) {
+    // One placement layout; deterministic policies yield identical layouts
+    // across samples, randomized ones are resampled.
+    StorageServiceConfig sc;
+    sc.num_users = config.num_users;
+    sc.num_nodes = config.num_nodes;
+    RngStream place_rng = root.Substream(StrFormat("placement-%d", ps));
+    StorageService service(sc, scheme.Clone(), placement.Clone(), place_rng);
+
+    RngStream fail_rng = root.Substream(StrFormat("failures-%d", ps));
+    for (int t = 0; t < config.trials_per_placement; ++t) {
+      SampleFailureSet(config.num_nodes, failures, fail_rng, scratch,
+                       node_up);
+      if (service.AnyUnavailable(node_up)) {
+        ++hits;
+        unavailable_fraction_sum +=
+            static_cast<double>(service.CountUnavailable(node_up)) /
+            static_cast<double>(config.num_users);
+        // Loss implies unavailability, so only hit trials need the check.
+        if (service.AnyNotDurable(node_up)) ++loss_hits;
+      }
+      ++trials;
+    }
+  }
+
+  point.trials = trials;
+  point.p_any_unavailable =
+      trials > 0 ? static_cast<double>(hits) / static_cast<double>(trials)
+                 : 0.0;
+  point.mean_unavailable_fraction =
+      trials > 0 ? unavailable_fraction_sum / static_cast<double>(trials)
+                 : 0.0;
+  point.p_any_lost =
+      trials > 0 ? static_cast<double>(loss_hits) / static_cast<double>(trials)
+                 : 0.0;
+  return point;
+}
+
+std::vector<StaticAvailabilityPoint> StaticUnavailabilityCurve(
+    const RedundancyScheme& scheme, const PlacementPolicy& placement,
+    const StaticAvailabilityConfig& config, int max_failures) {
+  std::vector<StaticAvailabilityPoint> curve;
+  curve.reserve(static_cast<size_t>(max_failures + 1));
+  for (int f = 0; f <= max_failures; ++f) {
+    StaticAvailabilityConfig cfg = config;
+    cfg.seed = config.seed + static_cast<uint64_t>(f) * 7919;
+    curve.push_back(
+        EstimateStaticUnavailability(scheme, placement, cfg, f));
+  }
+  return curve;
+}
+
+}  // namespace wt

@@ -1,0 +1,29 @@
+#include "wt/soft/quorum.h"
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+Status QuorumSpec::Validate() const {
+  if (n < 1) return Status::InvalidArgument("quorum n must be >= 1");
+  if (read_quorum < 1 || read_quorum > n) {
+    return Status::InvalidArgument(
+        StrFormat("read quorum %d out of [1, %d]", read_quorum, n));
+  }
+  if (write_quorum < 1 || write_quorum > n) {
+    return Status::InvalidArgument(
+        StrFormat("write quorum %d out of [1, %d]", write_quorum, n));
+  }
+  if (read_quorum + write_quorum <= n) {
+    return Status::InvalidArgument(
+        StrFormat("R + W must exceed n for intersection: %d + %d <= %d",
+                  read_quorum, write_quorum, n));
+  }
+  return Status::OK();
+}
+
+std::string QuorumSpec::ToString() const {
+  return StrFormat("quorum(n=%d, R=%d, W=%d)", n, read_quorum, write_quorum);
+}
+
+}  // namespace wt

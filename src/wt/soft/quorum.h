@@ -1,0 +1,54 @@
+// Quorum protocols over replicated data.
+//
+// The Figure 1 setup: "the service uses a quorum-based protocol. If the
+// majority of data replicas of a given customer are unavailable, then the
+// customer is not able to operate on the data." QuorumSpec generalizes this
+// to configurable read/write quorums with the standard R + W > N constraint.
+
+#ifndef WT_SOFT_QUORUM_H_
+#define WT_SOFT_QUORUM_H_
+
+#include <algorithm>
+#include <string>
+
+#include "wt/common/result.h"
+
+namespace wt {
+
+/// Read/write quorum configuration for an n-replica object.
+struct QuorumSpec {
+  int n = 3;
+  int read_quorum = 2;
+  int write_quorum = 2;
+
+  /// Majority quorums: R = W = floor(n/2) + 1 (the Figure 1 protocol).
+  static QuorumSpec Majority(int n) {
+    int q = n / 2 + 1;
+    return QuorumSpec{n, q, q};
+  }
+
+  /// Read-one/write-all.
+  static QuorumSpec ReadOneWriteAll(int n) { return QuorumSpec{n, 1, n}; }
+
+  /// Validates 1 <= R,W <= n and strict intersection R + W > n.
+  Status Validate() const;
+
+  bool ReadAvailable(int up_replicas) const {
+    return up_replicas >= read_quorum;
+  }
+  bool WriteAvailable(int up_replicas) const {
+    return up_replicas >= write_quorum;
+  }
+  /// "Able to operate on the data": both quorums reachable.
+  bool Available(int up_replicas) const {
+    return up_replicas >= std::max(read_quorum, write_quorum);
+  }
+  /// Replica losses tolerated while staying available.
+  int FaultTolerance() const { return n - std::max(read_quorum, write_quorum); }
+
+  std::string ToString() const;
+};
+
+}  // namespace wt
+
+#endif  // WT_SOFT_QUORUM_H_

@@ -1,0 +1,79 @@
+#include "wt/soft/redundancy.h"
+
+#include "wt/common/macros.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+ReplicationScheme::ReplicationScheme(QuorumSpec quorum) : quorum_(quorum) {
+  WT_CHECK(quorum.Validate().ok()) << quorum.Validate().ToString();
+}
+
+std::string ReplicationScheme::name() const {
+  return StrFormat("replication(%d)", quorum_.n);
+}
+
+ReedSolomonScheme::ReedSolomonScheme(int k, int m) : k_(k), m_(m) {
+  WT_CHECK(k >= 1 && m >= 1) << "RS requires k >= 1 and m >= 1";
+}
+
+std::string ReedSolomonScheme::name() const {
+  return StrFormat("rs(%d,%d)", k_, m_);
+}
+
+LrcScheme::LrcScheme(int k, int global_parities, int groups)
+    : k_(k), m_(global_parities), groups_(groups) {
+  WT_CHECK(k >= 1 && global_parities >= 0 && groups >= 1);
+  WT_CHECK(k % groups == 0) << "k must divide evenly into local groups";
+}
+
+std::string LrcScheme::name() const {
+  return StrFormat("lrc(%d,%d,%d)", k_, m_, groups_);
+}
+
+Result<std::unique_ptr<RedundancyScheme>> RedundancyScheme::Create(
+    const std::string& spec) {
+  std::string s(StrTrim(spec));
+  size_t open = s.find('(');
+  if (open == std::string::npos || s.empty() || s.back() != ')') {
+    return Status::ParseError("redundancy spec must be name(args): '" + s +
+                              "'");
+  }
+  std::string name = StrToLower(StrTrim(s.substr(0, open)));
+  std::vector<long long> args;
+  std::string args_str = s.substr(open + 1, s.size() - open - 2);
+  if (!StrTrim(args_str).empty()) {
+    for (const auto& part : StrSplit(args_str, ',')) {
+      WT_ASSIGN_OR_RETURN(long long v, ParseInt(part));
+      args.push_back(v);
+    }
+  }
+  if (name == "replication" || name == "rep") {
+    if (args.size() != 1 || args[0] < 1) {
+      return Status::ParseError("replication(n) requires n >= 1");
+    }
+    return std::unique_ptr<RedundancyScheme>(std::make_unique<ReplicationScheme>(
+        QuorumSpec::Majority(static_cast<int>(args[0]))));
+  }
+  if (name == "rs" || name == "reedsolomon") {
+    if (args.size() != 2 || args[0] < 1 || args[1] < 1) {
+      return Status::ParseError("rs(k,m) requires k,m >= 1");
+    }
+    return std::unique_ptr<RedundancyScheme>(
+        std::make_unique<ReedSolomonScheme>(static_cast<int>(args[0]),
+                                            static_cast<int>(args[1])));
+  }
+  if (name == "lrc") {
+    if (args.size() != 3 || args[0] < 1 || args[1] < 0 || args[2] < 1 ||
+        args[0] % args[2] != 0) {
+      return Status::ParseError(
+          "lrc(k,m,groups) requires k >= 1, m >= 0, groups | k");
+    }
+    return std::unique_ptr<RedundancyScheme>(std::make_unique<LrcScheme>(
+        static_cast<int>(args[0]), static_cast<int>(args[1]),
+        static_cast<int>(args[2])));
+  }
+  return Status::ParseError("unknown redundancy scheme: '" + name + "'");
+}
+
+}  // namespace wt

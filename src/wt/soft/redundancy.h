@@ -1,0 +1,131 @@
+// Redundancy schemes: how an object is encoded into fragments.
+//
+// The wind tunnel compares n-way replication against erasure codes
+// ("replication, erasure codes [XORing Elephants, PVLDB'13]", §3). A scheme
+// answers: how many fragments, how big, how many must be up to operate, and
+// how expensive is rebuilding one lost fragment.
+
+#ifndef WT_SOFT_REDUNDANCY_H_
+#define WT_SOFT_REDUNDANCY_H_
+
+#include <memory>
+#include <string>
+
+#include "wt/common/result.h"
+#include "wt/soft/quorum.h"
+
+namespace wt {
+
+/// Abstract redundancy scheme over one logical object.
+class RedundancyScheme {
+ public:
+  virtual ~RedundancyScheme() = default;
+
+  /// Total fragments stored (replicas, or k+m coded blocks).
+  virtual int num_fragments() const = 0;
+
+  /// Size of one fragment relative to the object (1 for replication,
+  /// 1/k for a (k,m) code).
+  virtual double fragment_size_factor() const = 0;
+
+  /// Raw bytes stored per logical byte (n for replication, (k+m)/k for RS).
+  double storage_overhead() const {
+    return num_fragments() * fragment_size_factor();
+  }
+
+  /// Whether the object can be *operated on* with `up` live fragments
+  /// (quorum for replication; decodability for codes).
+  virtual bool Available(int up_fragments) const = 0;
+
+  /// Whether the object's content still exists at all (durability): at
+  /// least one replica, or >= k coded fragments.
+  virtual bool Durable(int up_fragments) const = 0;
+
+  /// Fragments that must be read to rebuild ONE lost fragment (repair
+  /// network amplification): 1 for replication, k for RS, group size for
+  /// locally repairable codes.
+  virtual int RepairReadFragments() const = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<RedundancyScheme> Clone() const = 0;
+
+  /// Factory: "replication(3)", "rs(10,4)", "lrc(10,4,2)".
+  static Result<std::unique_ptr<RedundancyScheme>> Create(
+      const std::string& spec);
+};
+
+/// Classic n-way replication under a quorum protocol.
+class ReplicationScheme final : public RedundancyScheme {
+ public:
+  explicit ReplicationScheme(QuorumSpec quorum);
+  /// Majority quorum over n replicas (the Figure 1 configuration).
+  static ReplicationScheme Majority(int n) {
+    return ReplicationScheme(QuorumSpec::Majority(n));
+  }
+
+  int num_fragments() const override { return quorum_.n; }
+  double fragment_size_factor() const override { return 1.0; }
+  bool Available(int up) const override { return quorum_.Available(up); }
+  bool Durable(int up) const override { return up >= 1; }
+  int RepairReadFragments() const override { return 1; }
+  std::string name() const override;
+  std::unique_ptr<RedundancyScheme> Clone() const override {
+    return std::make_unique<ReplicationScheme>(*this);
+  }
+  const QuorumSpec& quorum() const { return quorum_; }
+
+ private:
+  QuorumSpec quorum_;
+};
+
+/// Reed–Solomon (k, m): k data + m parity fragments; any k decode.
+class ReedSolomonScheme final : public RedundancyScheme {
+ public:
+  ReedSolomonScheme(int k, int m);
+
+  int num_fragments() const override { return k_ + m_; }
+  double fragment_size_factor() const override { return 1.0 / k_; }
+  bool Available(int up) const override { return up >= k_; }
+  bool Durable(int up) const override { return up >= k_; }
+  int RepairReadFragments() const override { return k_; }
+  std::string name() const override;
+  std::unique_ptr<RedundancyScheme> Clone() const override {
+    return std::make_unique<ReedSolomonScheme>(*this);
+  }
+  int k() const { return k_; }
+  int m() const { return m_; }
+
+ private:
+  int k_, m_;
+};
+
+/// Locally repairable code à la XORing Elephants: k data fragments in
+/// `groups` local groups, each with one local parity, plus m global
+/// parities. Single-fragment repair reads only its local group
+/// (k/groups fragments) instead of k.
+///
+/// Availability is approximated information-theoretically (up >= k); exact
+/// LRC decodability depends on which fragments survive, and >= k is the
+/// tight necessary condition, optimistic by a small margin for adversarial
+/// loss patterns.
+class LrcScheme final : public RedundancyScheme {
+ public:
+  LrcScheme(int k, int global_parities, int groups);
+
+  int num_fragments() const override { return k_ + m_ + groups_; }
+  double fragment_size_factor() const override { return 1.0 / k_; }
+  bool Available(int up) const override { return up >= k_; }
+  bool Durable(int up) const override { return up >= k_; }
+  int RepairReadFragments() const override { return k_ / groups_; }
+  std::string name() const override;
+  std::unique_ptr<RedundancyScheme> Clone() const override {
+    return std::make_unique<LrcScheme>(*this);
+  }
+
+ private:
+  int k_, m_, groups_;
+};
+
+}  // namespace wt
+
+#endif  // WT_SOFT_REDUNDANCY_H_

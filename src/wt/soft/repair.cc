@@ -1,0 +1,162 @@
+#include "wt/soft/repair.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+RepairManager::RepairManager(Simulator* sim, Datacenter* dc, Network* network,
+                             StorageService* service, RepairConfig config,
+                             RngStream rng,
+                             std::function<void(ObjectId)> on_fragment_restored)
+    : sim_(sim),
+      dc_(dc),
+      network_(network),
+      service_(service),
+      config_(config),
+      rng_(rng),
+      on_fragment_restored_(std::move(on_fragment_restored)) {
+  WT_CHECK(config.max_concurrent >= 1);
+}
+
+void RepairManager::OnNodeFailed(NodeIndex node,
+                                 const std::vector<ObjectId>& affected) {
+  // Requeue active transfers that used the failed node as src or dst. Their
+  // flows are stalled (link capacity 0), so they would never complete.
+  std::vector<Task> requeue;
+  for (auto it = active_tasks_.begin(); it != active_tasks_.end();) {
+    if (it->second.src == node || it->second.dst == node) {
+      network_->CancelFlow(it->second.flow);
+      requeue.push_back(it->second.task);
+      it = active_tasks_.erase(it);
+      --active_;
+    } else {
+      ++it;
+    }
+  }
+  for (Task& t : requeue) queue_.push_back(t);
+
+  // Enqueue the newly lost fragments after the detection delay.
+  std::vector<Task> tasks;
+  for (ObjectId o : affected) {
+    const auto& frags = service_->fragments(o);
+    for (int i = 0; i < static_cast<int>(frags.size()); ++i) {
+      if (!frags[static_cast<size_t>(i)].alive &&
+          frags[static_cast<size_t>(i)].node == node) {
+        tasks.push_back(Task{o, i, sim_->Now()});
+      }
+    }
+  }
+  if (tasks.empty()) {
+    MaybeStartNext();
+    return;
+  }
+  sim_->Schedule(SimTime::Seconds(config_.detection_delay_s),
+                 [this, tasks = std::move(tasks)] {
+                   for (const Task& t : tasks) queue_.push_back(t);
+                   MaybeStartNext();
+                 });
+  MaybeStartNext();
+}
+
+void RepairManager::MaybeStartNext() {
+  while (active_ < config_.max_concurrent && !queue_.empty()) {
+    Task t = queue_.front();
+    queue_.pop_front();
+    StartTask(t);
+  }
+}
+
+void RepairManager::StartTask(Task task) {
+  const auto& frags = service_->fragments(task.object);
+  const FragmentLoc& frag = frags[static_cast<size_t>(task.frag_idx)];
+  if (frag.alive) return;  // repaired by an earlier pass (stale task)
+
+  NodeIndex src = PickSource(task.object);
+  if (src < 0) {
+    // No live fragment anywhere: the object's data is gone. Nothing to
+    // repair — record the durability loss (once per object would require
+    // dedup; callers dedup via metrics on object state).
+    ++objects_unrepairable_;
+    return;
+  }
+  NodeIndex dst = PickDestination(task.object);
+  if (dst < 0) {
+    // Cluster too degraded to host a new fragment; retry after a backoff.
+    sim_->Schedule(SimTime::Minutes(10), [this, task] {
+      queue_.push_back(task);
+      MaybeStartNext();
+    });
+    return;
+  }
+
+  // Repair amplification: rebuilding one fragment reads RepairReadFragments
+  // fragments' worth of data. The converging bottleneck is the destination
+  // ingress link, so the total is modeled as one flow into dst.
+  double bytes = service_->FragmentBytes() *
+                 service_->scheme().RepairReadFragments();
+  int64_t key = next_task_key_++;
+  ++active_;
+  FlowId flow = network_->StartFlow(
+      src, dst, bytes, [this, key](FlowId, SimTime) { OnTransferDone(key); });
+  active_tasks_.emplace(key, ActiveTask{task, src, dst, flow});
+}
+
+void RepairManager::OnTransferDone(int64_t key) {
+  auto it = active_tasks_.find(key);
+  if (it == active_tasks_.end()) return;  // was cancelled/requeued
+  ActiveTask at = it->second;
+  active_tasks_.erase(it);
+  --active_;
+
+  const auto& frags = service_->fragments(at.task.object);
+  if (!frags[static_cast<size_t>(at.task.frag_idx)].alive &&
+      dc_->NodeUp(at.dst)) {
+    service_->RestoreFragment(at.task.object, at.task.frag_idx, at.dst);
+    ++repairs_completed_;
+    bytes_transferred_ +=
+        service_->FragmentBytes() * service_->scheme().RepairReadFragments();
+    repair_latency_hours_.Add((sim_->Now() - at.task.failed_at).hours());
+    if (on_fragment_restored_) on_fragment_restored_(at.task.object);
+  } else if (!frags[static_cast<size_t>(at.task.frag_idx)].alive) {
+    // Destination died mid-flight; try again.
+    queue_.push_back(at.task);
+  }
+  MaybeStartNext();
+}
+
+NodeIndex RepairManager::PickSource(ObjectId o) {
+  std::vector<NodeIndex> live = service_->LiveFragmentNodes(o);
+  std::vector<NodeIndex> usable;
+  for (NodeIndex n : live) {
+    if (dc_->NodeUp(n)) usable.push_back(n);
+  }
+  if (usable.empty()) return -1;
+  auto& rng = rng_;
+  return usable[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(usable.size()) - 1))];
+}
+
+NodeIndex RepairManager::PickDestination(ObjectId o) {
+  const auto& frags = service_->fragments(o);
+  std::vector<NodeIndex> candidates;
+  for (NodeIndex n = 0; n < dc_->num_nodes(); ++n) {
+    if (!dc_->NodeUp(n)) continue;
+    bool holds = false;
+    for (const FragmentLoc& f : frags) {
+      if (f.node == n && f.alive) {
+        holds = true;
+        break;
+      }
+    }
+    if (!holds) candidates.push_back(n);
+  }
+  if (candidates.empty()) return -1;
+  auto& rng = rng_;
+  return candidates[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+}
+
+}  // namespace wt

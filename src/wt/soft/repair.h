@@ -1,0 +1,106 @@
+// RepairManager: re-replicates fragments lost to node failures.
+//
+// This is the software half of the paper's motivating example (§1): "the
+// latency of the repair process can be reduced by using a faster network
+// (hardware), or by optimizing the repair algorithm (software), or both.
+// For example, by instantiating parallel repairs on different machines, one
+// can decrease the probability that the data will become unavailable."
+//
+// The manager keeps a FIFO of lost fragments and runs up to
+// `max_concurrent` repair transfers over the Network model, so repair speed
+// is co-determined by the software knob (parallelism) and the hardware knob
+// (NIC/uplink bandwidth) — the interaction the wind tunnel exists to expose.
+
+#ifndef WT_SOFT_REPAIR_H_
+#define WT_SOFT_REPAIR_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "wt/hw/network.h"
+#include "wt/soft/storage_service.h"
+#include "wt/stats/welford.h"
+
+namespace wt {
+
+/// Repair policy knobs.
+struct RepairConfig {
+  /// Maximum simultaneous fragment transfers cluster-wide. 1 models a
+  /// sequential repair daemon; higher values model parallel repair.
+  int max_concurrent = 1;
+  /// Delay between a node failing and its fragments being enqueued
+  /// (failure-detection latency).
+  double detection_delay_s = 30.0;
+};
+
+/// Event-driven repair service bound to one simulation run.
+class RepairManager {
+ public:
+  /// `on_fragment_restored(object)` fires after a fragment of `object` is
+  /// re-created (availability bookkeeping hook).
+  RepairManager(Simulator* sim, Datacenter* dc, Network* network,
+                StorageService* service, RepairConfig config, RngStream rng,
+                std::function<void(ObjectId)> on_fragment_restored);
+
+  /// Notifies the manager that `node` failed and these objects lost
+  /// fragments there. Call after StorageService::FailNode.
+  void OnNodeFailed(NodeIndex node, const std::vector<ObjectId>& affected);
+
+  /// --- statistics ---
+  int64_t repairs_completed() const { return repairs_completed_; }
+  int64_t repairs_pending() const {
+    return static_cast<int64_t>(queue_.size()) + active_;
+  }
+  /// Objects found with zero live fragments when their repair was attempted
+  /// (unrepairable: durability loss).
+  int64_t objects_unrepairable() const { return objects_unrepairable_; }
+  double bytes_transferred() const { return bytes_transferred_; }
+  /// Hours from node failure to fragment restored.
+  const RunningStats& repair_latency_hours() const {
+    return repair_latency_hours_;
+  }
+
+ private:
+  struct Task {
+    ObjectId object;
+    int frag_idx;
+    SimTime failed_at;
+  };
+  struct ActiveTask {
+    Task task;
+    NodeIndex src;
+    NodeIndex dst;
+    FlowId flow;
+  };
+
+  void MaybeStartNext();
+  void StartTask(Task task);
+  void OnTransferDone(int64_t key);
+  // Picks a random live, reachable source fragment node; -1 if none.
+  NodeIndex PickSource(ObjectId o);
+  // Picks a random up node not already holding a fragment of o; -1 if none.
+  NodeIndex PickDestination(ObjectId o);
+
+  Simulator* sim_;
+  Datacenter* dc_;
+  Network* network_;
+  StorageService* service_;
+  RepairConfig config_;
+  RngStream rng_;
+  std::function<void(ObjectId)> on_fragment_restored_;
+
+  std::deque<Task> queue_;
+  std::unordered_map<int64_t, ActiveTask> active_tasks_;
+  int64_t next_task_key_ = 1;
+  int active_ = 0;
+
+  int64_t repairs_completed_ = 0;
+  int64_t objects_unrepairable_ = 0;
+  double bytes_transferred_ = 0.0;
+  RunningStats repair_latency_hours_;
+};
+
+}  // namespace wt
+
+#endif  // WT_SOFT_REPAIR_H_

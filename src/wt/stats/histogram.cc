@@ -1,0 +1,129 @@
+#include "wt/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wt/common/macros.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+namespace {
+// 64 octaves cover doubles up to ~1.8e19; plenty for ns-scale latencies.
+constexpr int kOctaves = 64;
+}  // namespace
+
+LogHistogram::LogHistogram(int sub_buckets) : sub_buckets_(sub_buckets) {
+  WT_CHECK(sub_buckets >= 1);
+  // +1 for the dedicated zero bucket at index 0.
+  buckets_.assign(static_cast<size_t>(kOctaves * sub_buckets_ + 1), 0);
+}
+
+int LogHistogram::BucketIndex(double value) const {
+  if (value < 1.0) return 0;  // zero/sub-unit bucket
+  int exponent;
+  double mantissa = std::frexp(value, &exponent);  // value = mantissa * 2^exp, mantissa in [0.5,1)
+  // Map mantissa [0.5, 1) onto sub-bucket [0, sub_buckets).
+  int sub = static_cast<int>((mantissa - 0.5) * 2.0 * sub_buckets_);
+  sub = std::min(sub, sub_buckets_ - 1);
+  int octave = std::min(exponent - 1, kOctaves - 1);
+  return 1 + octave * sub_buckets_ + sub;
+}
+
+double LogHistogram::BucketMid(int index) const {
+  if (index == 0) return 0.0;
+  int i = index - 1;
+  int octave = i / sub_buckets_;
+  int sub = i % sub_buckets_;
+  double lo = std::ldexp(0.5 + static_cast<double>(sub) / (2.0 * sub_buckets_),
+                         octave + 1);
+  double hi = std::ldexp(
+      0.5 + static_cast<double>(sub + 1) / (2.0 * sub_buckets_), octave + 1);
+  return 0.5 * (lo + hi);
+}
+
+void LogHistogram::Add(double value) { AddN(value, 1); }
+
+void LogHistogram::AddN(double value, int64_t n) {
+  if (n <= 0) return;
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[static_cast<size_t>(BucketIndex(value))] += n;
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  WT_CHECK(sub_buckets_ == other.sub_buckets_)
+      << "merging histograms with different resolutions";
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t target = static_cast<int64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (target < 1) target = 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      double v = BucketMid(static_cast<int>(i));
+      // Clamp to the observed range so tails are not inflated by bucket width.
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+std::string LogHistogram::ToString() const {
+  return StrFormat("n=%lld mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+                   static_cast<long long>(count_), mean(), P50(), P95(), P99(),
+                   max_value());
+}
+
+double ExactQuantiles::Quantile(double q) {
+  if (values_.empty()) return 0.0;
+  if (dirty_) {
+    std::sort(values_.begin(), values_.end());
+    dirty_ = false;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values_.size())));
+  if (rank < 1) rank = 1;
+  return values_[rank - 1];
+}
+
+double ExactQuantiles::Mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+}  // namespace wt

@@ -1,0 +1,82 @@
+// Histograms for latency-style metrics.
+//
+// LogHistogram: HDR-style log-bucketed histogram covering [1, 2^63) with a
+// configurable number of sub-buckets per power of two; supports approximate
+// quantiles with bounded relative error. Used for p95/p99 SLAs.
+
+#ifndef WT_STATS_HISTOGRAM_H_
+#define WT_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wt {
+
+/// Log-bucketed histogram over non-negative values.
+///
+/// Values are bucketed as (exponent, sub-bucket), giving a relative quantile
+/// error of at most 1/sub_buckets. Value 0 has a dedicated bucket.
+class LogHistogram {
+ public:
+  /// `sub_buckets` per octave; 32 gives ~3% relative error.
+  explicit LogHistogram(int sub_buckets = 32);
+
+  /// Records `value` (values < 0 are clamped to 0).
+  void Add(double value);
+  /// Records `value` `count` times.
+  void AddN(double value, int64_t count);
+
+  /// Merges another histogram with the same sub-bucket count.
+  void Merge(const LogHistogram& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double max_value() const { return max_; }
+  double min_value() const { return count_ > 0 ? min_ : 0.0; }
+
+  /// Approximate q-quantile, q in [0,1]. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  /// Convenience percentiles.
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  /// Resets to empty.
+  void Clear();
+
+  /// One-line summary with count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  int BucketIndex(double value) const;
+  double BucketMid(int index) const;
+
+  int sub_buckets_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile over a materialized sample (sorts a copy on demand).
+/// Fine for up to a few million samples; used by tests as an oracle.
+class ExactQuantiles {
+ public:
+  void Add(double v) { values_.push_back(v); dirty_ = true; }
+  int64_t count() const { return static_cast<int64_t>(values_.size()); }
+  /// Exact q-quantile using the nearest-rank method. 0 when empty.
+  double Quantile(double q);
+  double Mean() const;
+
+ private:
+  std::vector<double> values_;
+  bool dirty_ = false;
+};
+
+}  // namespace wt
+
+#endif  // WT_STATS_HISTOGRAM_H_

@@ -1,0 +1,53 @@
+#include "wt/stats/time_weighted.h"
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+void TimeWeightedStats::Set(double t, double v) {
+  if (!started_) {
+    started_ = true;
+    first_t_ = t;
+    last_t_ = t;
+    current_ = v;
+    return;
+  }
+  WT_CHECK(t >= last_t_) << "time went backwards";
+  weighted_sum_ += current_ * (t - last_t_);
+  last_t_ = t;
+  current_ = v;
+}
+
+double TimeWeightedStats::Mean(double t_end) const {
+  if (!started_) return 0.0;
+  WT_CHECK(t_end >= last_t_) << "t_end precedes last sample";
+  double total = t_end - first_t_;
+  if (total <= 0.0) return current_;
+  double integral = weighted_sum_ + current_ * (t_end - last_t_);
+  return integral / total;
+}
+
+void TimeWeightedFraction::Set(double t, bool on) {
+  if (!started_) {
+    started_ = true;
+    first_t_ = t;
+    last_t_ = t;
+    current_ = on;
+    return;
+  }
+  WT_CHECK(t >= last_t_) << "time went backwards";
+  if (current_) time_on_ += t - last_t_;
+  last_t_ = t;
+  current_ = on;
+}
+
+double TimeWeightedFraction::Fraction(double t_end) const {
+  if (!started_) return 0.0;
+  WT_CHECK(t_end >= last_t_) << "t_end precedes last sample";
+  double total = t_end - first_t_;
+  if (total <= 0.0) return current_ ? 1.0 : 0.0;
+  double on = time_on_ + (current_ ? (t_end - last_t_) : 0.0);
+  return on / total;
+}
+
+}  // namespace wt

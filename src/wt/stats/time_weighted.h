@@ -1,0 +1,52 @@
+// Time-weighted statistics: the correct way to average a piecewise-constant
+// signal (queue length, #failed nodes, utilization) over simulated time.
+
+#ifndef WT_STATS_TIME_WEIGHTED_H_
+#define WT_STATS_TIME_WEIGHTED_H_
+
+namespace wt {
+
+/// Accumulates a piecewise-constant signal; call Set(t, v) at every change
+/// point (with non-decreasing t) and Mean(t_end) for the time-average.
+class TimeWeightedStats {
+ public:
+  /// Records that the signal takes value `v` starting at time `t` (any
+  /// consistent time unit; t must be non-decreasing across calls).
+  void Set(double t, double v);
+
+  /// Time-weighted mean over [first_t, t_end]. Requires t_end >= last Set t.
+  double Mean(double t_end) const;
+
+  double current() const { return current_; }
+  bool empty() const { return !started_; }
+
+ private:
+  bool started_ = false;
+  double first_t_ = 0.0;
+  double last_t_ = 0.0;
+  double current_ = 0.0;
+  double weighted_sum_ = 0.0;  // integral of v dt up to last_t_
+};
+
+/// Tracks the fraction of time a boolean condition holds (e.g. "data object
+/// is unavailable"), which is exactly the unavailability metric of an
+/// availability SLA.
+class TimeWeightedFraction {
+ public:
+  void Set(double t, bool on);
+  /// Fraction of [first_t, t_end] during which the condition was true.
+  double Fraction(double t_end) const;
+  bool current() const { return current_; }
+  bool empty() const { return !started_; }
+
+ private:
+  bool started_ = false;
+  bool current_ = false;
+  double first_t_ = 0.0;
+  double last_t_ = 0.0;
+  double time_on_ = 0.0;
+};
+
+}  // namespace wt
+
+#endif  // WT_STATS_TIME_WEIGHTED_H_

@@ -1,0 +1,46 @@
+// Streaming mean/variance (Welford's algorithm) with merge support.
+
+#ifndef WT_STATS_WELFORD_H_
+#define WT_STATS_WELFORD_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace wt {
+
+/// Numerically stable streaming statistics: count, mean, variance, min, max.
+/// Two RunningStats can be merged (parallel reduction / batching).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (Chan et al. parallel update).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for fewer than 2 observations.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// "n=... mean=... sd=... min=... max=..."
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace wt
+
+#endif  // WT_STATS_WELFORD_H_

@@ -1,0 +1,118 @@
+#include "wt/store/result_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+Status ResultStore::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: '" + name + "'");
+  }
+  tables_.emplace(name, Table(std::move(schema)));
+  return Status::OK();
+}
+
+bool ResultStore::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<Table*> ResultStore::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<const Table*> ResultStore::GetTableConst(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> ResultStore::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<std::vector<size_t>> ResultStore::FindSimilar(
+    const std::string& table, const std::map<std::string, Value>& target,
+    const std::vector<std::string>& dimensions, size_t k) const {
+  WT_ASSIGN_OR_RETURN(const Table* t, GetTableConst(table));
+
+  // Per-dimension normalization stats (for numeric dimensions).
+  struct DimInfo {
+    size_t col;
+    bool numeric;
+    double mean = 0.0;
+    double stddev = 1.0;
+    double target_value = 0.0;  // numeric target
+    Value target_raw;
+  };
+  std::vector<DimInfo> dims;
+  for (const std::string& d : dimensions) {
+    auto target_it = target.find(d);
+    if (target_it == target.end()) {
+      return Status::InvalidArgument("target missing dimension: '" + d + "'");
+    }
+    WT_ASSIGN_OR_RETURN(size_t col, t->schema().IndexOf(d));
+    DimInfo info;
+    info.col = col;
+    info.target_raw = target_it->second;
+    auto numeric = target_it->second.ToNumeric();
+    info.numeric = numeric.ok();
+    if (info.numeric) {
+      info.target_value = numeric.value();
+      Table::ColumnStats stats = t->Aggregate(d).value_or(Table::ColumnStats{});
+      double m2 = 0.0;
+      for (size_t r = 0; r < t->num_rows(); ++r) {
+        auto v = t->At(r, col).ToNumeric();
+        if (v.ok()) m2 += (v.value() - stats.mean) * (v.value() - stats.mean);
+      }
+      info.mean = stats.mean;
+      info.stddev = stats.count > 1
+                        ? std::sqrt(m2 / static_cast<double>(stats.count - 1))
+                        : 1.0;
+      if (info.stddev < 1e-12) info.stddev = 1.0;
+    }
+    dims.push_back(std::move(info));
+  }
+  if (t->num_rows() == 0) return std::vector<size_t>{};
+
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(t->num_rows());
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    double d2 = 0.0;
+    for (const DimInfo& info : dims) {
+      const Value& cell = t->At(r, info.col);
+      if (info.numeric) {
+        auto v = cell.ToNumeric();
+        if (!v.ok()) {
+          d2 += 1.0;
+          continue;
+        }
+        double z = (v.value() - info.target_value) / info.stddev;
+        d2 += z * z;
+      } else {
+        d2 += cell == info.target_raw ? 0.0 : 1.0;
+      }
+    }
+    scored.emplace_back(d2, r);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<size_t> out;
+  for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace wt

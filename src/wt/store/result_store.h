@@ -1,0 +1,51 @@
+// ResultStore: the wind tunnel's memory of past explorations (§4.4).
+//
+// Every sweep appends one row per simulation run: the configuration
+// dimensions, the measured metrics, and the run status. The store answers
+// the two exploratory questions the paper calls out: "have we already
+// explored a configuration similar to X?" (similarity search over numeric
+// dimensions) and aggregate pattern queries (via Table's operators).
+
+#ifndef WT_STORE_RESULT_STORE_H_
+#define WT_STORE_RESULT_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wt/store/table.h"
+
+namespace wt {
+
+/// A named collection of result tables.
+class ResultStore {
+ public:
+  /// Creates an empty table; fails if the name exists.
+  Status CreateTable(const std::string& name, Schema schema);
+
+  /// True if a table with this name exists.
+  bool HasTable(const std::string& name) const;
+
+  /// Mutable access; fails if absent.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTableConst(const std::string& name) const;
+
+  /// Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Similarity search: among rows of `table`, finds the `k` rows whose
+  /// values on `dimensions` are closest to `target` in normalized (z-score
+  /// per dimension) Euclidean distance. Non-numeric dimensions match 0/1
+  /// (equal / different). Returns row indices, closest first.
+  Result<std::vector<size_t>> FindSimilar(
+      const std::string& table,
+      const std::map<std::string, Value>& target,
+      const std::vector<std::string>& dimensions, size_t k) const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace wt
+
+#endif  // WT_STORE_RESULT_STORE_H_

@@ -1,0 +1,97 @@
+// In-memory tables for wind tunnel results (§4.4).
+//
+// "A large amount of simulation data ... will be collected over time. This
+// data can be subjected to deep exploratory analysis." Tables here hold the
+// output of design-space sweeps: one row per simulation run, one column per
+// configuration dimension or measured metric. Filter / project / sort /
+// group-by cover the exploratory queries the paper sketches; CSV export
+// feeds external tooling.
+
+#ifndef WT_STORE_TABLE_H_
+#define WT_STORE_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wt/common/result.h"
+#include "wt/store/value.h"
+
+namespace wt {
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+};
+
+/// Ordered column definitions with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  /// Index of `name`, or error.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// Row-append, column-read table. Cells are Values; a column accepts its
+/// declared type or null.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; must match the schema arity and cell types.
+  Status AppendRow(std::vector<Value> row);
+
+  const Value& At(size_t row, size_t col) const;
+  /// Cell by column name.
+  Result<Value> Get(size_t row, const std::string& column) const;
+
+  /// Rows matching a predicate.
+  Table Filter(const std::function<bool(const Table&, size_t row)>& pred) const;
+
+  /// Subset of columns, in the given order.
+  Result<Table> Project(const std::vector<std::string>& columns) const;
+
+  /// Stable sort by column (ascending or descending). Nulls sort first.
+  Result<Table> SortBy(const std::string& column, bool ascending = true) const;
+
+  /// First `n` rows.
+  Table Head(size_t n) const;
+
+  /// Aggregates over a numeric column.
+  struct ColumnStats {
+    double min = 0, max = 0, sum = 0, mean = 0;
+    size_t count = 0;
+  };
+  Result<ColumnStats> Aggregate(const std::string& column) const;
+
+  /// Group rows by `key` and compute the mean of `value` per group.
+  /// Returns a table (key, mean_<value>, count).
+  Result<Table> GroupByMean(const std::string& key,
+                            const std::string& value) const;
+
+  /// CSV with a header row.
+  std::string ToCsv() const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace wt
+
+#endif  // WT_STORE_TABLE_H_

@@ -1,0 +1,67 @@
+#include "wt/workload/resource_queue.h"
+
+#include <utility>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+
+ResourceQueue::ResourceQueue(Simulator* sim, int servers, std::string name)
+    : sim_(sim), servers_(servers), name_(std::move(name)) {
+  WT_CHECK(servers >= 1);
+  RecordState();
+}
+
+void ResourceQueue::RecordState() {
+  double t = sim_->Now().seconds();
+  busy_stats_.Set(t, static_cast<double>(busy_));
+  qlen_stats_.Set(t, static_cast<double>(waiting_.size()));
+}
+
+void ResourceQueue::Submit(double service_seconds,
+                           std::function<void()> on_done) {
+  WT_CHECK(service_seconds >= 0);
+  Job job{service_seconds, std::move(on_done)};
+  if (busy_ < servers_) {
+    Dispatch(std::move(job));
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+  RecordState();
+}
+
+void ResourceQueue::Dispatch(Job job) {
+  ++busy_;
+  double effective = job.service_seconds / perf_factor_;
+  sim_->Schedule(SimTime::Seconds(effective),
+                 [this, done = std::move(job.on_done)]() mutable {
+                   OnJobDone(std::move(done));
+                 });
+}
+
+void ResourceQueue::OnJobDone(std::function<void()> on_done) {
+  --busy_;
+  ++completed_;
+  if (!waiting_.empty()) {
+    Job next = std::move(waiting_.front());
+    waiting_.pop_front();
+    Dispatch(std::move(next));
+  }
+  RecordState();
+  if (on_done) on_done();
+}
+
+void ResourceQueue::SetPerfFactor(double f) {
+  WT_CHECK(f > 0 && f <= 1.0) << "perf factor must be in (0,1]";
+  perf_factor_ = f;
+}
+
+double ResourceQueue::Utilization(SimTime now) const {
+  return busy_stats_.Mean(now.seconds()) / static_cast<double>(servers_);
+}
+
+double ResourceQueue::MeanQueueLength(SimTime now) const {
+  return qlen_stats_.Mean(now.seconds());
+}
+
+}  // namespace wt

@@ -1,0 +1,69 @@
+// A c-server FCFS queue inside the DES — the building block of the
+// performance simulation (one per CPU pool, disk array, or NIC).
+
+#ifndef WT_WORKLOAD_RESOURCE_QUEUE_H_
+#define WT_WORKLOAD_RESOURCE_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "wt/sim/simulator.h"
+#include "wt/stats/time_weighted.h"
+
+namespace wt {
+
+/// First-come-first-served queue with `servers` identical servers.
+/// Service times are supplied per job; a perf factor (limpware) stretches
+/// the service of jobs dispatched while degraded.
+class ResourceQueue {
+ public:
+  ResourceQueue(Simulator* sim, int servers, std::string name);
+  ResourceQueue(const ResourceQueue&) = delete;
+  ResourceQueue& operator=(const ResourceQueue&) = delete;
+
+  /// Enqueues a job needing `service_seconds` of one server's time;
+  /// `on_done` fires at completion.
+  void Submit(double service_seconds, std::function<void()> on_done);
+
+  /// Sets the performance factor applied to jobs dispatched from now on
+  /// (0 < f <= 1; 0.01 = hundredfold slowdown).
+  void SetPerfFactor(double f);
+  double perf_factor() const { return perf_factor_; }
+
+  int64_t completed() const { return completed_; }
+  int busy_servers() const { return busy_; }
+  size_t queue_length() const { return waiting_.size(); }
+
+  /// Time-averaged fraction of servers busy up to `now`.
+  double Utilization(SimTime now) const;
+  /// Time-averaged number of jobs waiting (not in service).
+  double MeanQueueLength(SimTime now) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Job {
+    double service_seconds;
+    std::function<void()> on_done;
+  };
+
+  void Dispatch(Job job);
+  void OnJobDone(std::function<void()> on_done);
+  void RecordState();
+
+  Simulator* sim_;
+  int servers_;
+  std::string name_;
+  double perf_factor_ = 1.0;
+  int busy_ = 0;
+  std::deque<Job> waiting_;
+  int64_t completed_ = 0;
+  TimeWeightedStats busy_stats_;
+  TimeWeightedStats qlen_stats_;
+};
+
+}  // namespace wt
+
+#endif  // WT_WORKLOAD_RESOURCE_QUEUE_H_

@@ -1,0 +1,125 @@
+#include "wt/workload/trace.h"
+
+#include <algorithm>
+#include <map>
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+const char* TraceKindToString(TraceRecord::Kind kind) {
+  switch (kind) {
+    case TraceRecord::Kind::kFailure:
+      return "failure";
+    case TraceRecord::Kind::kRepair:
+      return "repair";
+    case TraceRecord::Kind::kLatencySample:
+      return "latency";
+  }
+  return "?";
+}
+
+Result<TraceRecord::Kind> TraceKindFromString(const std::string& s) {
+  std::string v = StrToLower(StrTrim(s));
+  if (v == "failure") return TraceRecord::Kind::kFailure;
+  if (v == "repair") return TraceRecord::Kind::kRepair;
+  if (v == "latency") return TraceRecord::Kind::kLatencySample;
+  return Status::ParseError("unknown trace kind: '" + v + "'");
+}
+
+std::vector<TraceRecord> GenerateFailureTrace(int num_nodes, double years,
+                                              const Distribution& ttf_hours,
+                                              const Distribution& ttr_hours,
+                                              uint64_t seed) {
+  std::vector<TraceRecord> records;
+  double horizon = years * 8760.0;
+  RngStream root(seed);
+  for (int node = 0; node < num_nodes; ++node) {
+    RngStream rng = root.Substream(StrFormat("trace-node-%d", node));
+    double t = 0.0;
+    while (true) {
+      t += ttf_hours.Sample(rng);
+      if (t >= horizon) break;
+      records.push_back(
+          TraceRecord{t, node, TraceRecord::Kind::kFailure, 0.0});
+      double repair = ttr_hours.Sample(rng);
+      if (t + repair >= horizon) break;
+      records.push_back(
+          TraceRecord{t + repair, node, TraceRecord::Kind::kRepair, repair});
+      t += repair;
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.timestamp_hours < b.timestamp_hours;
+            });
+  return records;
+}
+
+std::string TraceToCsv(const std::vector<TraceRecord>& records) {
+  std::string out = "timestamp_hours,node,kind,value\n";
+  for (const TraceRecord& r : records) {
+    out += StrFormat("%.6f,%d,%s,%.6f\n", r.timestamp_hours, r.node,
+                     TraceKindToString(r.kind), r.value);
+  }
+  return out;
+}
+
+Result<std::vector<TraceRecord>> TraceFromCsv(const std::string& csv) {
+  std::vector<TraceRecord> out;
+  std::vector<std::string> lines = StrSplit(csv, '\n');
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = StrTrim(lines[i]);
+    if (line.empty()) continue;
+    if (i == 0 && StrStartsWith(line, "timestamp")) continue;  // header
+    std::vector<std::string> fields = StrSplit(line, ',');
+    if (fields.size() != 4) {
+      return Status::ParseError(
+          StrFormat("trace line %zu: expected 4 fields, got %zu", i + 1,
+                    fields.size()));
+    }
+    TraceRecord r;
+    WT_ASSIGN_OR_RETURN(r.timestamp_hours, ParseDouble(fields[0]));
+    WT_ASSIGN_OR_RETURN(long long node, ParseInt(fields[1]));
+    r.node = static_cast<int>(node);
+    WT_ASSIGN_OR_RETURN(r.kind, TraceKindFromString(fields[2]));
+    WT_ASSIGN_OR_RETURN(r.value, ParseDouble(fields[3]));
+    out.push_back(r);
+  }
+  return out;
+}
+
+Result<EmpiricalDist> FitTimeToFailure(
+    const std::vector<TraceRecord>& trace) {
+  // Per node: gaps between a repair completion (or t=0) and the next
+  // failure are the operational (uptime) intervals.
+  std::map<int, double> last_up_since;
+  std::vector<double> gaps;
+  for (const TraceRecord& r : trace) {
+    if (r.kind == TraceRecord::Kind::kFailure) {
+      double since = last_up_since.count(r.node) ? last_up_since[r.node] : 0.0;
+      gaps.push_back(r.timestamp_hours - since);
+    } else if (r.kind == TraceRecord::Kind::kRepair) {
+      last_up_since[r.node] = r.timestamp_hours;
+    }
+  }
+  if (gaps.size() < 2) {
+    return Status::FailedPrecondition(
+        "trace has too few failures to fit a TTF distribution");
+  }
+  return EmpiricalDist(std::move(gaps));
+}
+
+Result<EmpiricalDist> FitRepairTime(const std::vector<TraceRecord>& trace) {
+  std::vector<double> durations;
+  for (const TraceRecord& r : trace) {
+    if (r.kind == TraceRecord::Kind::kRepair) durations.push_back(r.value);
+  }
+  if (durations.size() < 2) {
+    return Status::FailedPrecondition(
+        "trace has too few repairs to fit a repair-time distribution");
+  }
+  return EmpiricalDist(std::move(durations));
+}
+
+}  // namespace wt

@@ -1,0 +1,60 @@
+// Operational trace generation, persistence, and model fitting (§4.4).
+//
+// The paper wants "transformation algorithms that convert log data into
+// meaningful models (e.g., probability distributions) that can be used by
+// the wind tunnel". Real operational logs are proprietary, so this module
+// provides the substitute documented in DESIGN.md §2: a synthetic trace
+// generator whose event processes follow the published failure studies
+// (Weibull TTF, lognormal repair), plus the fitting path — trace records →
+// empirical distributions — that real logs would use unchanged.
+
+#ifndef WT_WORKLOAD_TRACE_H_
+#define WT_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "wt/common/result.h"
+#include "wt/sim/distributions.h"
+
+namespace wt {
+
+/// One log line from a (real or synthetic) cluster.
+struct TraceRecord {
+  enum class Kind { kFailure, kRepair, kLatencySample };
+  double timestamp_hours = 0.0;
+  int node = 0;
+  Kind kind = Kind::kFailure;
+  /// kRepair: repair duration (hours); kLatencySample: latency (ms);
+  /// kFailure: unused (0).
+  double value = 0.0;
+};
+
+const char* TraceKindToString(TraceRecord::Kind kind);
+Result<TraceRecord::Kind> TraceKindFromString(const std::string& s);
+
+/// Generates a failure/repair log for `num_nodes` over `years`:
+/// alternating failure and repair events per node, with times drawn from
+/// the given distributions (hours).
+std::vector<TraceRecord> GenerateFailureTrace(int num_nodes, double years,
+                                              const Distribution& ttf_hours,
+                                              const Distribution& ttr_hours,
+                                              uint64_t seed);
+
+/// Serializes records as CSV ("timestamp_hours,node,kind,value").
+std::string TraceToCsv(const std::vector<TraceRecord>& records);
+
+/// Parses the CSV form (with header).
+Result<std::vector<TraceRecord>> TraceFromCsv(const std::string& csv);
+
+/// Extracts per-node inter-failure gaps (hours) from a trace and fits an
+/// empirical TTF distribution. Fails if the trace has < 2 failures on
+/// every node.
+Result<EmpiricalDist> FitTimeToFailure(const std::vector<TraceRecord>& trace);
+
+/// Fits an empirical repair-duration distribution from kRepair records.
+Result<EmpiricalDist> FitRepairTime(const std::vector<TraceRecord>& trace);
+
+}  // namespace wt
+
+#endif  // WT_WORKLOAD_TRACE_H_

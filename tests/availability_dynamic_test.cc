@@ -1,0 +1,135 @@
+// Tests for the dynamic failure/repair availability simulation — the engine
+// behind the paper's motivating example (§1).
+
+#include <gtest/gtest.h>
+
+#include "wt/soft/availability_dynamic.h"
+
+namespace wt {
+namespace {
+
+DynamicAvailabilityConfig SmallScenario() {
+  DynamicAvailabilityConfig cfg;
+  cfg.datacenter.num_racks = 1;
+  cfg.datacenter.nodes_per_rack = 10;
+  cfg.datacenter.node.nic.bandwidth_gbps = 10.0;
+  cfg.storage.num_users = 200;
+  cfg.storage.object_size_gb = 1.0;
+  cfg.storage.num_nodes = 10;
+  cfg.redundancy = "replication(3)";
+  cfg.placement = "random";
+  // Aggressive failures so a short horizon sees plenty of events.
+  cfg.node_ttf = std::make_unique<ExponentialDist>(1.0 / 500.0);  // 500 h
+  cfg.node_replace = std::make_unique<DeterministicDist>(24.0);
+  cfg.repair.max_concurrent = 4;
+  cfg.repair.detection_delay_s = 30.0;
+  cfg.sim_years = 0.5;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(DynamicAvailabilityTest, RunsAndRepairs) {
+  auto m = RunDynamicAvailability(SmallScenario());
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_GT(m->node_failures, 0);
+  EXPECT_GT(m->repairs_completed, 0);
+  EXPECT_GT(m->repair_bytes, 0.0);
+  EXPECT_GE(m->availability(), 0.0);
+  EXPECT_LE(m->availability(), 1.0);
+  EXPECT_NEAR(m->horizon_hours, 0.5 * 8760.0, 1.0);
+}
+
+TEST(DynamicAvailabilityTest, DeterministicGivenSeed) {
+  auto a = RunDynamicAvailability(SmallScenario());
+  auto b = RunDynamicAvailability(SmallScenario());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->node_failures, b->node_failures);
+  EXPECT_EQ(a->repairs_completed, b->repairs_completed);
+  EXPECT_DOUBLE_EQ(a->mean_unavailable_fraction, b->mean_unavailable_fraction);
+}
+
+TEST(DynamicAvailabilityTest, NoFailuresPerfectAvailability) {
+  DynamicAvailabilityConfig cfg = SmallScenario();
+  cfg.node_ttf = std::make_unique<DeterministicDist>(1e9);  // never fails
+  auto m = RunDynamicAvailability(cfg);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->node_failures, 0);
+  EXPECT_DOUBLE_EQ(m->mean_unavailable_fraction, 0.0);
+  EXPECT_EQ(m->objects_lost, 0);
+}
+
+TEST(DynamicAvailabilityTest, ParallelRepairImprovesAvailability) {
+  DynamicAvailabilityConfig seq = SmallScenario();
+  seq.repair.max_concurrent = 1;
+  seq.datacenter.node.nic.bandwidth_gbps = 1.0;
+  seq.storage.num_users = 500;
+  seq.storage.object_size_gb = 5.0;  // slow repairs: bandwidth matters
+  DynamicAvailabilityConfig par(seq);
+  par.repair.max_concurrent = 8;
+
+  auto m_seq = RunDynamicAvailability(seq);
+  auto m_par = RunDynamicAvailability(par);
+  ASSERT_TRUE(m_seq.ok() && m_par.ok());
+  // The paper's §1 claim: parallel repair shrinks the vulnerability window.
+  EXPECT_LE(m_par->mean_unavailable_fraction,
+            m_seq->mean_unavailable_fraction);
+  EXPECT_LE(m_par->repair_latency_hours.mean(),
+            m_seq->repair_latency_hours.mean() + 1e-9);
+}
+
+TEST(DynamicAvailabilityTest, FasterNetworkSpeedsRepair) {
+  DynamicAvailabilityConfig slow = SmallScenario();
+  slow.datacenter.node.nic.bandwidth_gbps = 0.1;
+  slow.storage.object_size_gb = 20.0;
+  DynamicAvailabilityConfig fast(slow);
+  fast.datacenter.node.nic.bandwidth_gbps = 10.0;
+
+  auto m_slow = RunDynamicAvailability(slow);
+  auto m_fast = RunDynamicAvailability(fast);
+  ASSERT_TRUE(m_slow.ok() && m_fast.ok());
+  EXPECT_LT(m_fast->repair_latency_hours.mean(),
+            m_slow->repair_latency_hours.mean());
+}
+
+TEST(DynamicAvailabilityTest, MoreReplicasLoseLessData) {
+  DynamicAvailabilityConfig r2 = SmallScenario();
+  r2.redundancy = "replication(2)";
+  r2.node_ttf = std::make_unique<ExponentialDist>(1.0 / 100.0);  // brutal
+  r2.sim_years = 1.0;
+  DynamicAvailabilityConfig r5(r2);
+  r5.redundancy = "replication(5)";
+
+  auto m2 = RunDynamicAvailability(r2);
+  auto m5 = RunDynamicAvailability(r5);
+  ASSERT_TRUE(m2.ok() && m5.ok());
+  EXPECT_LE(m5->objects_lost, m2->objects_lost);
+  EXPECT_LE(m5->mean_unavailable_fraction, m2->mean_unavailable_fraction);
+}
+
+TEST(DynamicAvailabilityTest, ValidatesConfig) {
+  DynamicAvailabilityConfig cfg = SmallScenario();
+  cfg.storage.num_nodes = 5;  // mismatched with datacenter
+  EXPECT_FALSE(RunDynamicAvailability(cfg).ok());
+
+  DynamicAvailabilityConfig bad_years = SmallScenario();
+  bad_years.sim_years = 0.0;
+  EXPECT_FALSE(RunDynamicAvailability(bad_years).ok());
+
+  DynamicAvailabilityConfig bad_scheme = SmallScenario();
+  bad_scheme.redundancy = "nonsense(1)";
+  EXPECT_FALSE(RunDynamicAvailability(bad_scheme).ok());
+}
+
+TEST(DynamicAvailabilityTest, ErasureCodeRuns) {
+  DynamicAvailabilityConfig cfg = SmallScenario();
+  cfg.datacenter.nodes_per_rack = 20;
+  cfg.storage.num_nodes = 20;
+  cfg.storage.num_users = 100;
+  cfg.redundancy = "rs(6,3)";
+  auto m = RunDynamicAvailability(cfg);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_GT(m->node_failures, 0);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,110 @@
+// Tests the Figure 1 Monte-Carlo estimator against the exact closed forms —
+// the paper's own validation methodology (§4.3): "simple simulation models
+// can be validated using analytical models".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wt/analytics/combinatorics.h"
+#include "wt/soft/availability_static.h"
+
+namespace wt {
+namespace {
+
+StaticAvailabilityConfig FastConfig(int nodes) {
+  StaticAvailabilityConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.num_users = 2000;  // plenty to saturate all windows
+  cfg.placement_samples = 10;
+  cfg.trials_per_placement = 100;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(StaticAvailabilityTest, ZeroFailuresIsAlwaysAvailable) {
+  ReplicationScheme scheme = ReplicationScheme::Majority(3);
+  RoundRobinPlacement rr;
+  auto point = EstimateStaticUnavailability(scheme, rr, FastConfig(10), 0);
+  EXPECT_DOUBLE_EQ(point.p_any_unavailable, 0.0);
+  EXPECT_DOUBLE_EQ(point.mean_unavailable_fraction, 0.0);
+}
+
+TEST(StaticAvailabilityTest, AllNodesFailedIsAlwaysUnavailable) {
+  ReplicationScheme scheme = ReplicationScheme::Majority(3);
+  RoundRobinPlacement rr;
+  auto point = EstimateStaticUnavailability(scheme, rr, FastConfig(10), 10);
+  EXPECT_DOUBLE_EQ(point.p_any_unavailable, 1.0);
+  EXPECT_DOUBLE_EQ(point.mean_unavailable_fraction, 1.0);
+}
+
+TEST(StaticAvailabilityTest, RoundRobinMatchesExactDp) {
+  ReplicationScheme scheme = ReplicationScheme::Majority(3);
+  RoundRobinPlacement rr;
+  StaticAvailabilityConfig cfg = FastConfig(10);
+  for (int f : {1, 2, 3, 4}) {
+    auto mc = EstimateStaticUnavailability(scheme, rr, cfg, f);
+    double exact = RoundRobinAnyUnavailable(10, 3, 2, f).value();
+    // 1000 trials: tolerance ~4 sigma of a Bernoulli estimate.
+    double sigma = std::sqrt(exact * (1 - exact) / 1000.0);
+    EXPECT_NEAR(mc.p_any_unavailable, exact, 4 * sigma + 0.02)
+        << "f=" << f;
+  }
+}
+
+TEST(StaticAvailabilityTest, RandomMatchesClosedForm) {
+  ReplicationScheme scheme = ReplicationScheme::Majority(3);
+  RandomPlacement random;
+  StaticAvailabilityConfig cfg = FastConfig(30);
+  for (int f : {2, 3, 5}) {
+    auto mc = EstimateStaticUnavailability(scheme, random, cfg, f);
+    double exact = RandomPlacementAnyUnavailable(30, 3, 2, f, cfg.num_users);
+    double sigma = std::sqrt(exact * (1 - exact) / 1000.0);
+    EXPECT_NEAR(mc.p_any_unavailable, exact, 4 * sigma + 0.02)
+        << "f=" << f;
+  }
+}
+
+TEST(StaticAvailabilityTest, CurveIsMonotoneInFailures) {
+  ReplicationScheme scheme = ReplicationScheme::Majority(5);
+  RoundRobinPlacement rr;
+  auto curve = StaticUnavailabilityCurve(scheme, rr, FastConfig(10), 6);
+  ASSERT_EQ(curve.size(), 7u);
+  // Allow small Monte-Carlo wiggle.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].p_any_unavailable,
+              curve[i - 1].p_any_unavailable - 0.05)
+        << "f=" << i;
+  }
+}
+
+TEST(StaticAvailabilityTest, HigherReplicationIsSafer) {
+  RoundRobinPlacement rr;
+  StaticAvailabilityConfig cfg = FastConfig(10);
+  ReplicationScheme n3 = ReplicationScheme::Majority(3);
+  ReplicationScheme n5 = ReplicationScheme::Majority(5);
+  auto p3 = EstimateStaticUnavailability(n3, rr, cfg, 3);
+  auto p5 = EstimateStaticUnavailability(n5, rr, cfg, 3);
+  EXPECT_LE(p5.p_any_unavailable, p3.p_any_unavailable + 0.05);
+}
+
+TEST(StaticAvailabilityTest, DeterministicGivenSeed) {
+  ReplicationScheme scheme = ReplicationScheme::Majority(3);
+  RandomPlacement random;
+  StaticAvailabilityConfig cfg = FastConfig(10);
+  auto a = EstimateStaticUnavailability(scheme, random, cfg, 2);
+  auto b = EstimateStaticUnavailability(scheme, random, cfg, 2);
+  EXPECT_DOUBLE_EQ(a.p_any_unavailable, b.p_any_unavailable);
+  EXPECT_DOUBLE_EQ(a.mean_unavailable_fraction, b.mean_unavailable_fraction);
+}
+
+TEST(StaticAvailabilityTest, MeanFractionBoundedByAny) {
+  ReplicationScheme scheme = ReplicationScheme::Majority(3);
+  RandomPlacement random;
+  auto point = EstimateStaticUnavailability(scheme, random, FastConfig(10), 3);
+  EXPECT_LE(point.mean_unavailable_fraction, point.p_any_unavailable);
+  EXPECT_GE(point.mean_unavailable_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,142 @@
+// Tests for the built-in simulations that bridge the DSL to the engines.
+// Configurations are kept tiny so the suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include "wt/query/builtin_sims.h"
+#include "wt/query/executor.h"
+
+namespace wt {
+namespace {
+
+class BuiltinSimsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RegisterBuiltinSimulations(&tunnel_).ok());
+  }
+  WindTunnel tunnel_;
+};
+
+TEST_F(BuiltinSimsTest, RegistersAllSimulations) {
+  EXPECT_TRUE(tunnel_.HasSimulation("availability"));
+  EXPECT_TRUE(tunnel_.HasSimulation("static_availability"));
+  EXPECT_TRUE(tunnel_.HasSimulation("performance"));
+  EXPECT_TRUE(tunnel_.HasSimulation("provisioning"));
+  // Second registration collides.
+  EXPECT_FALSE(RegisterBuiltinSimulations(&tunnel_).ok());
+}
+
+TEST_F(BuiltinSimsTest, ModelInteractionsDeclared) {
+  // Disk and switch failure models are independent (§4.1's example);
+  // repair conflicts with data_transfer through the network resource.
+  EXPECT_TRUE(tunnel_.interactions()
+                  .Independent("disk_failures", "switch_failures")
+                  .value());
+  EXPECT_FALSE(
+      tunnel_.interactions().Independent("repair", "data_transfer").value());
+}
+
+TEST_F(BuiltinSimsTest, StaticAvailabilityPoint) {
+  RunFn sim = MakeStaticAvailabilitySim();
+  DesignPoint point({{"nodes", Value(10)},
+                     {"replication", Value(3)},
+                     {"placement", Value("round_robin")},
+                     {"failures", Value(2)},
+                     {"users", Value(500)},
+                     {"placement_samples", Value(5)},
+                     {"trials", Value(100)}});
+  RngStream rng(1);
+  auto metrics = sim(point, rng);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // Exact value 20/45 ~ 0.444: pairs within circular distance 2 share a
+  // 3-window.
+  EXPECT_NEAR(metrics->at("p_any_unavailable"), 0.444, 0.09);
+  EXPECT_DOUBLE_EQ(metrics->at("availability"),
+                   1.0 - metrics->at("p_any_unavailable"));
+}
+
+TEST_F(BuiltinSimsTest, StaticAvailabilityValidatesFailures) {
+  RunFn sim = MakeStaticAvailabilitySim();
+  DesignPoint point({{"nodes", Value(10)}, {"failures", Value(11)}});
+  RngStream rng(1);
+  EXPECT_FALSE(sim(point, rng).ok());
+}
+
+TEST_F(BuiltinSimsTest, AvailabilitySimProducesMetricsAndCost) {
+  RunFn sim = MakeAvailabilitySim();
+  DesignPoint point({{"nodes", Value(6)},
+                     {"users", Value(50)},
+                     {"object_gb", Value(1.0)},
+                     {"replication", Value(3)},
+                     {"node_afr", Value(0.9)},  // very failure-heavy
+                     {"years", Value(0.2)},
+                     {"repair_parallel", Value(2)}});
+  RngStream rng(3);
+  auto metrics = sim(point, rng);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GT(metrics->at("cost_monthly_usd"), 0.0);
+  EXPECT_GE(metrics->at("availability"), 0.0);
+  EXPECT_LE(metrics->at("availability"), 1.0);
+  EXPECT_GE(metrics->at("node_failures"), 0.0);
+  EXPECT_TRUE(metrics->count("repair_bytes_gb"));
+}
+
+TEST_F(BuiltinSimsTest, AvailabilitySimValidates) {
+  RunFn sim = MakeAvailabilitySim();
+  RngStream rng(1);
+  DesignPoint bad_afr({{"node_afr", Value(1.5)}});
+  EXPECT_FALSE(sim(bad_afr, rng).ok());
+  DesignPoint bad_disk({{"disk", Value("floppy")}});
+  EXPECT_FALSE(sim(bad_disk, rng).ok());
+  DesignPoint bad_racks({{"nodes", Value(10)}, {"racks", Value(3)}});
+  EXPECT_FALSE(sim(bad_racks, rng).ok());
+}
+
+TEST_F(BuiltinSimsTest, PerformanceSimShortRun) {
+  RunFn sim = MakePerformanceSim();
+  DesignPoint point({{"nodes", Value(2)},
+                     {"rate", Value(100.0)},
+                     {"duration_s", Value(30.0)}});
+  RngStream rng(5);
+  auto metrics = sim(point, rng);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GT(metrics->at("latency_p99_ms"), metrics->at("latency_p50_ms"));
+  EXPECT_GT(metrics->at("throughput_per_s"), 0.0);
+}
+
+TEST_F(BuiltinSimsTest, ProvisioningMemoryBuysLatency) {
+  RunFn sim = MakeProvisioningSim();
+  RngStream rng1(7), rng2(7);
+  DesignPoint small({{"memory_gb", Value(16.0)},
+                     {"working_set_gb", Value(256.0)},
+                     {"disk", Value("hdd")},
+                     {"duration_s", Value(30.0)}});
+  DesignPoint large({{"memory_gb", Value(224.0)},
+                     {"working_set_gb", Value(256.0)},
+                     {"disk", Value("hdd")},
+                     {"duration_s", Value(30.0)}});
+  auto m_small = sim(small, rng1);
+  auto m_large = sim(large, rng2);
+  ASSERT_TRUE(m_small.ok() && m_large.ok());
+  EXPECT_GT(m_large->at("cache_hit_ratio"), m_small->at("cache_hit_ratio"));
+  EXPECT_LT(m_large->at("latency_p95_ms"), m_small->at("latency_p95_ms"));
+  EXPECT_GT(m_large->at("cost_monthly_usd"), m_small->at("cost_monthly_usd"));
+}
+
+TEST_F(BuiltinSimsTest, DslDrivesStaticAvailability) {
+  auto result = RunQuery(&tunnel_, R"(
+    EXPLORE replication IN [3, 5]
+    SIMULATE static_availability
+        WITH nodes = 10, failures = 2, users = 500,
+             placement_samples = 5, trials = 60,
+             placement = 'round_robin'
+    ORDER BY p_any_unavailable ASC
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->satisfying.num_rows(), 2u);
+  // n=5 tolerates 2 failures better: sorted first.
+  EXPECT_EQ(result->satisfying.Get(0, "replication").value().AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,138 @@
+// Tests for the exact Figure 1 math: hypergeometric tails and the
+// round-robin transfer-matrix DP, validated against brute-force
+// enumeration for small clusters.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "wt/analytics/combinatorics.h"
+
+namespace wt {
+namespace {
+
+TEST(ChooseTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(Choose(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Choose(5, 2), 10.0);
+  EXPECT_NEAR(Choose(30, 15), 155117520.0, 1.0);
+  EXPECT_DOUBLE_EQ(Choose(5, 6), 0.0);
+  EXPECT_NEAR(LogChoose(10, 3), std::log(120.0), 1e-9);
+}
+
+TEST(HypergeomTest, MatchesBruteForce) {
+  // Population 10, 4 failed, draw 3; P(>= 2 failed in draw).
+  // C(4,2)C(6,1)/C(10,3) + C(4,3)C(6,0)/C(10,3) = (36 + 4)/120 = 1/3.
+  EXPECT_NEAR(HypergeomTailAtLeast(10, 4, 3, 2), 40.0 / 120.0, 1e-12);
+}
+
+TEST(HypergeomTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(HypergeomTailAtLeast(10, 0, 3, 1), 0.0);   // no failures
+  EXPECT_DOUBLE_EQ(HypergeomTailAtLeast(10, 10, 3, 1), 1.0);  // all failed
+  EXPECT_DOUBLE_EQ(HypergeomTailAtLeast(10, 4, 3, 0), 1.0);   // q=0 trivial
+  EXPECT_DOUBLE_EQ(HypergeomTailAtLeast(10, 1, 3, 2), 0.0);   // q > f
+}
+
+TEST(RandomPlacementTest, SingleObjectMatchesHypergeometric) {
+  // n=3, majority q=2: unavailable iff >= 2 replicas failed.
+  double p = RandomPlacementObjectUnavailability(10, 3, 2, 4);
+  EXPECT_NEAR(p, HypergeomTailAtLeast(10, 4, 3, 2), 1e-12);
+}
+
+TEST(RandomPlacementTest, ManyUsersApproachOne) {
+  double p1 = RandomPlacementAnyUnavailable(30, 3, 2, 5, 1);
+  double p10k = RandomPlacementAnyUnavailable(30, 3, 2, 5, 10000);
+  EXPECT_LT(p1, p10k);
+  EXPECT_GT(p10k, 0.99);  // with 10k users someone almost surely loses quorum
+  EXPECT_LE(p10k, 1.0);
+}
+
+TEST(RandomPlacementTest, ZeroFailuresZeroRisk) {
+  EXPECT_DOUBLE_EQ(RandomPlacementAnyUnavailable(10, 3, 2, 0, 10000), 0.0);
+}
+
+// Brute-force oracle: enumerate all C(N,f) failure sets and test every
+// circular window of length n for >= (n - q + 1) failures.
+double BruteForceRoundRobin(int N, int n, int q, int f) {
+  int bad_threshold = n - q + 1;
+  int64_t total = 0, bad = 0;
+  for (uint32_t mask = 0; mask < (1u << N); ++mask) {
+    if (std::popcount(mask) != f) continue;
+    ++total;
+    bool is_bad = false;
+    for (int s = 0; s < N && !is_bad; ++s) {
+      int cnt = 0;
+      for (int j = 0; j < n; ++j) {
+        if (mask & (1u << ((s + j) % N))) ++cnt;
+      }
+      if (cnt >= bad_threshold) is_bad = true;
+    }
+    if (is_bad) ++bad;
+  }
+  return static_cast<double>(bad) / static_cast<double>(total);
+}
+
+TEST(RoundRobinExactTest, MatchesBruteForceSweep) {
+  for (int N : {6, 9, 12}) {
+    for (int n : {3, 5}) {
+      if (n > N) continue;
+      int q = n / 2 + 1;
+      for (int f = 1; f <= N / 2; ++f) {
+        auto dp = RoundRobinAnyUnavailable(N, n, q, f);
+        ASSERT_TRUE(dp.ok()) << dp.status().ToString();
+        double brute = BruteForceRoundRobin(N, n, q, f);
+        EXPECT_NEAR(dp.value(), brute, 1e-9)
+            << "N=" << N << " n=" << n << " q=" << q << " f=" << f;
+      }
+    }
+  }
+}
+
+TEST(RoundRobinExactTest, Figure1Shapes) {
+  // The Figure 1 regime: N=10/30, n=3/5, majority quorum, 10k users (all
+  // windows occupied).
+  // Monotone non-decreasing in f.
+  double prev = 0.0;
+  for (int f = 0; f <= 10; ++f) {
+    double p = RoundRobinAnyUnavailable(30, 3, 2, f).value();
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+  // n=5 tolerates more failures than n=3 at the same N, f.
+  double p3 = RoundRobinAnyUnavailable(30, 3, 2, 4).value();
+  double p5 = RoundRobinAnyUnavailable(30, 5, 3, 4).value();
+  EXPECT_LT(p5, p3);
+  // With n=3, two failures kill a window iff they are within circular
+  // distance 2 (both land inside some 3-window): 20 of the C(10,2)=45
+  // pairs.
+  EXPECT_NEAR(RoundRobinAnyUnavailable(10, 3, 2, 2).value(), 20.0 / 45.0,
+              1e-12);
+}
+
+TEST(RoundRobinExactTest, BoundaryConditions) {
+  EXPECT_DOUBLE_EQ(RoundRobinAnyUnavailable(10, 3, 2, 0).value(), 0.0);
+  // All nodes failed: certainly unavailable.
+  EXPECT_DOUBLE_EQ(RoundRobinAnyUnavailable(10, 3, 2, 10).value(), 1.0);
+  // f beyond majority of every window: 9 of 10 failed.
+  EXPECT_DOUBLE_EQ(RoundRobinAnyUnavailable(10, 3, 2, 9).value(), 1.0);
+}
+
+TEST(RoundRobinExactTest, RejectsBadArguments) {
+  EXPECT_FALSE(RoundRobinAnyUnavailable(0, 3, 2, 1).ok());
+  EXPECT_FALSE(RoundRobinAnyUnavailable(10, 11, 2, 1).ok());
+  EXPECT_FALSE(RoundRobinAnyUnavailable(10, 3, 4, 1).ok());
+  EXPECT_FALSE(RoundRobinAnyUnavailable(10, 3, 2, 11).ok());
+}
+
+TEST(CrossPolicyTest, RoundRobinSafestAtLowFailuresN3) {
+  // With few failures, contiguous windows overlap less than random sets:
+  // RR concentrates co-location, random spreads it. For f=2, N=10, n=3:
+  // RR: only adjacent pairs hurt (10/45 ≈ 0.222); random with many users:
+  // almost surely some user had both its replicas on the failed pair.
+  double rr = RoundRobinAnyUnavailable(10, 3, 2, 2).value();
+  double random = RandomPlacementAnyUnavailable(10, 3, 2, 2, 10000);
+  EXPECT_LT(rr, random);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,142 @@
+// Tests for wt/common: Status, Result, string utilities.
+
+#include <gtest/gtest.h>
+
+#include "wt/common/result.h"
+#include "wt/common/status.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad knob");
+}
+
+TEST(StatusTest, CopiesShareRepresentation) {
+  Status a = Status::NotFound("x");
+  Status b = a;
+  EXPECT_EQ(b.ToString(), a.ToString());
+  EXPECT_TRUE(b.IsNotFound());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+}
+
+Status FailingOperation() { return Status::Internal("boom"); }
+
+Status PropagatesError() {
+  WT_RETURN_IF_ERROR(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(PropagatesError().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  WT_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  auto ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_FALSE(QuarterEven(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(QuarterEven(5).ok());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(StrTrim("  a b  "), "a b");
+  EXPECT_EQ(StrTrim("\t\n"), "");
+  EXPECT_EQ(StrTrim("x"), "x");
+}
+
+TEST(StringUtilTest, CasePredicates) {
+  EXPECT_EQ(StrToLower("AbC"), "abc");
+  EXPECT_TRUE(StrStartsWith("windtunnel", "wind"));
+  EXPECT_FALSE(StrStartsWith("wind", "windtunnel"));
+  EXPECT_TRUE(StrEndsWith("model.csv", ".csv"));
+  EXPECT_FALSE(StrEndsWith("csv", "model.csv"));
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(ParseDouble(" 2.5 ").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("2.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, ParseIntStrict) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("x").ok());
+}
+
+TEST(StringUtilTest, ParseBoolForms) {
+  EXPECT_TRUE(ParseBool("TRUE").value());
+  EXPECT_TRUE(ParseBool("1").value());
+  EXPECT_FALSE(ParseBool("off").value());
+  EXPECT_FALSE(ParseBool("maybe").ok());
+}
+
+}  // namespace
+}  // namespace wt

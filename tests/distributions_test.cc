@@ -1,0 +1,198 @@
+// Property tests for the distribution library: sampled moments must match
+// the closed-form mean/variance for every distribution (parameterized
+// sweep), plus factory parsing and Zipf behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "wt/sim/distributions.h"
+
+namespace wt {
+namespace {
+
+// ---- parameterized moment check over every parseable distribution -------
+
+struct MomentCase {
+  std::string spec;
+  // Tolerances as multiples of the theoretical stderr of the estimators.
+  double mean_tol_sigmas = 6.0;
+};
+
+class DistributionMomentsTest : public ::testing::TestWithParam<MomentCase> {};
+
+TEST_P(DistributionMomentsTest, SampledMomentsMatchClosedForm) {
+  const MomentCase& c = GetParam();
+  auto dist = ParseDistribution(c.spec);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+
+  const int kSamples = 200000;
+  RngStream rng(20240601);
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = (*dist)->Sample(rng);
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / kSamples;
+  double var = sum2 / kSamples - mean * mean;
+
+  double want_mean = (*dist)->Mean();
+  double want_var = (*dist)->Variance();
+  // stderr of the sample mean.
+  double se = std::sqrt(want_var / kSamples);
+  EXPECT_NEAR(mean, want_mean, c.mean_tol_sigmas * se + 1e-12)
+      << c.spec << ": sampled mean " << mean << " vs " << want_mean;
+  if (want_var > 0) {
+    EXPECT_NEAR(var / want_var, 1.0, 0.08)
+        << c.spec << ": sampled var " << var << " vs " << want_var;
+  } else {
+    EXPECT_NEAR(var, 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionMomentsTest,
+    ::testing::Values(
+        MomentCase{"deterministic(3.5)"}, MomentCase{"uniform(-2, 5)"},
+        MomentCase{"exponential(0.25)"}, MomentCase{"exponential(40)"},
+        MomentCase{"weibull(0.8, 100)"}, MomentCase{"weibull(1.5, 2)"},
+        MomentCase{"weibull(1.0, 7)"}, MomentCase{"gamma(0.5, 2)"},
+        MomentCase{"gamma(3, 1.5)"}, MomentCase{"gamma(9, 0.25)"},
+        MomentCase{"normal(0, 1)"}, MomentCase{"normal(-4, 0.5)"},
+        MomentCase{"lognormal(0, 0.5)"}, MomentCase{"lognormal(1, 1)"},
+        MomentCase{"pareto(1, 3.5)"}, MomentCase{"erlang(4, 2)"}),
+    [](const ::testing::TestParamInfo<MomentCase>& info) {
+      std::string name = info.param.spec;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---- individual behaviors ------------------------------------------------
+
+TEST(DistributionsTest, ExponentialQuantileStructure) {
+  ExponentialDist d(2.0);
+  RngStream rng(1);
+  // Fraction of samples below the analytic median should be ~0.5.
+  double median = std::log(2.0) / 2.0;
+  int below = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (d.Sample(rng) < median) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kN, 0.5, 0.01);
+}
+
+TEST(DistributionsTest, WeibullShapeOneIsExponential) {
+  WeibullDist w(1.0, 4.0);
+  EXPECT_NEAR(w.Mean(), 4.0, 1e-9);
+  EXPECT_NEAR(w.Variance(), 16.0, 1e-9);
+}
+
+TEST(DistributionsTest, LogNormalFromMoments) {
+  LogNormalDist d = LogNormalDist::FromMoments(10.0, 5.0);
+  EXPECT_NEAR(d.Mean(), 10.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(d.Variance()), 5.0, 1e-9);
+}
+
+TEST(DistributionsTest, ParetoInfiniteMoments) {
+  ParetoDist heavy(1.0, 0.9);
+  EXPECT_TRUE(std::isinf(heavy.Mean()));
+  ParetoDist mid(1.0, 1.5);
+  EXPECT_FALSE(std::isinf(mid.Mean()));
+  EXPECT_TRUE(std::isinf(mid.Variance()));
+}
+
+TEST(DistributionsTest, SamplesAreNonNegativeWhereExpected) {
+  RngStream rng(9);
+  for (const char* spec :
+       {"exponential(1)", "weibull(0.7, 3)", "gamma(0.3, 2)",
+        "lognormal(0, 2)", "pareto(2, 1.1)", "erlang(3, 5)"}) {
+    auto d = ParseDistribution(spec);
+    ASSERT_TRUE(d.ok());
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_GE((*d)->Sample(rng), 0.0) << spec;
+    }
+  }
+}
+
+TEST(DistributionsTest, CloneIsIndependentButIdentical) {
+  auto d = ParseDistribution("gamma(2, 3)").value();
+  auto c = d->Clone();
+  EXPECT_EQ(c->ToString(), d->ToString());
+  RngStream r1(5), r2(5);
+  EXPECT_DOUBLE_EQ(d->Sample(r1), c->Sample(r2));
+}
+
+TEST(DistributionsTest, EmpiricalMatchesSourceMoments) {
+  RngStream rng(33);
+  ExponentialDist src(0.5);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(src.Sample(rng));
+  EmpiricalDist emp(samples);
+  EXPECT_NEAR(emp.Mean(), 2.0, 0.1);
+  // Resampling reproduces the source mean.
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += emp.Sample(rng);
+  EXPECT_NEAR(sum / 20000.0, 2.0, 0.1);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfGenerator zipf(10, 0.0);
+  RngStream rng(3);
+  std::vector<int> counts(10, 0);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[static_cast<size_t>(zipf.Sample(rng))];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.1, 0.01);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfGenerator zipf(1000, 1.0);
+  RngStream rng(4);
+  int rank0 = 0, tail = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    int64_t r = zipf.Sample(rng);
+    if (r == 0) ++rank0;
+    if (r >= 500) ++tail;
+  }
+  // P(rank 0) = 1/H_1000 ~ 0.1336.
+  EXPECT_NEAR(static_cast<double>(rank0) / kN, 0.1336, 0.01);
+  EXPECT_LT(tail, rank0);
+}
+
+TEST(ParseDistributionTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseDistribution("exponential").ok());
+  EXPECT_FALSE(ParseDistribution("exponential(0)").ok());
+  EXPECT_FALSE(ParseDistribution("exponential(1,2)").ok());
+  EXPECT_FALSE(ParseDistribution("uniform(5, 1)").ok());
+  EXPECT_FALSE(ParseDistribution("nosuch(1)").ok());
+  EXPECT_FALSE(ParseDistribution("weibull(-1, 2)").ok());
+  EXPECT_FALSE(ParseDistribution("erlang(0, 1)").ok());
+  EXPECT_FALSE(ParseDistribution("gamma(1, 2").ok());
+}
+
+TEST(ParseDistributionTest, AcceptsAliasesAndWhitespace) {
+  EXPECT_TRUE(ParseDistribution("constant(5)").ok());
+  EXPECT_TRUE(ParseDistribution("  Exponential( 2.0 )  ").ok());
+}
+
+TEST(ParseDistributionTest, RoundTripsToString) {
+  for (const char* spec :
+       {"deterministic(3)", "uniform(0, 1)", "exponential(2)",
+        "weibull(0.8, 100)", "gamma(2, 3)", "normal(0, 1)",
+        "lognormal(1, 0.5)", "pareto(1, 2)", "erlang(3, 4)"}) {
+    auto d = ParseDistribution(spec).value();
+    auto d2 = ParseDistribution(d->ToString());
+    ASSERT_TRUE(d2.ok()) << d->ToString();
+    EXPECT_EQ((*d2)->ToString(), d->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,135 @@
+// Tests for failure processes and AFR conversions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wt/hw/failure.h"
+
+namespace wt {
+namespace {
+
+TEST(AfrTest, ConversionMatchesDefinition) {
+  // AFR 0.1: rate r with 1 - exp(-8760 r) = 0.1.
+  double r = AfrToFailuresPerHour(0.1);
+  EXPECT_NEAR(1.0 - std::exp(-r * 8760.0), 0.1, 1e-12);
+}
+
+TEST(AfrTest, TtfMeanIndependentOfShape) {
+  double afr = 0.05;
+  auto exp_ttf = MakeTtfFromAfr(afr, 1.0);
+  auto weib_ttf = MakeTtfFromAfr(afr, 0.7);
+  EXPECT_NEAR(exp_ttf->Mean(), weib_ttf->Mean(), exp_ttf->Mean() * 1e-9);
+}
+
+TEST(FailureProcessTest, AutoRepairCycles) {
+  Simulator sim;
+  DatacenterConfig cfg;
+  cfg.num_racks = 1;
+  cfg.nodes_per_rack = 1;
+  Datacenter dc(cfg);
+  ComponentId id = dc.node(0).chassis;
+
+  int downs = 0, ups = 0;
+  FailureProcess proc(&sim, &dc, id,
+                      std::make_unique<DeterministicDist>(10.0),  // fail @10h
+                      std::make_unique<DeterministicDist>(2.0),   // repair 2h
+                      RngStream(1));
+  proc.AddListener([&](ComponentId, bool up, SimTime) {
+    if (up) {
+      ++ups;
+    } else {
+      ++downs;
+    }
+  });
+  proc.Start();
+  sim.RunUntil(SimTime::Hours(50));
+  // Cycle = 12h: failures at 10, 22, 34, 46 -> 4 downs, repairs at 12, 24,
+  // 36, 48 -> 4 ups.
+  EXPECT_EQ(downs, 4);
+  EXPECT_EQ(ups, 4);
+  EXPECT_EQ(proc.failures(), 4);
+  EXPECT_TRUE(dc.component(id).IsUp());  // repaired at 48h
+}
+
+TEST(FailureProcessTest, ExternalRepairMode) {
+  Simulator sim;
+  DatacenterConfig cfg;
+  cfg.num_racks = 1;
+  cfg.nodes_per_rack = 1;
+  Datacenter dc(cfg);
+  ComponentId id = dc.node(0).chassis;
+
+  FailureProcess proc(&sim, &dc, id,
+                      std::make_unique<DeterministicDist>(5.0),
+                      /*ttr=*/nullptr, RngStream(1));
+  proc.Start();
+  sim.RunUntil(SimTime::Hours(100));
+  // Without external restore the component stays failed forever.
+  EXPECT_FALSE(dc.component(id).IsUp());
+  EXPECT_EQ(proc.failures(), 1);
+
+  // Restoring reschedules the next failure.
+  proc.Restore();
+  EXPECT_TRUE(dc.component(id).IsUp());
+  sim.RunUntil(SimTime::Hours(200));
+  EXPECT_FALSE(dc.component(id).IsUp());
+  EXPECT_EQ(proc.failures(), 2);
+}
+
+TEST(FailureProcessTest, RestoreWhenUpIsNoOp) {
+  Simulator sim;
+  DatacenterConfig cfg;
+  cfg.num_racks = 1;
+  cfg.nodes_per_rack = 1;
+  Datacenter dc(cfg);
+  FailureProcess proc(&sim, &dc, dc.node(0).chassis,
+                      std::make_unique<DeterministicDist>(1000.0), nullptr,
+                      RngStream(1));
+  proc.Start();
+  proc.Restore();  // component is up; nothing should change
+  EXPECT_TRUE(dc.component(dc.node(0).chassis).IsUp());
+}
+
+TEST(FailureProcessTest, PerNodeProcessesAreIndependentStreams) {
+  Simulator sim;
+  DatacenterConfig cfg;
+  cfg.num_racks = 1;
+  cfg.nodes_per_rack = 5;
+  Datacenter dc(cfg);
+  ExponentialDist ttf(1.0 / 100.0);  // mean 100h
+  DeterministicDist ttr(1.0);
+  auto procs = MakeNodeFailureProcesses(&sim, &dc, ttf, &ttr, RngStream(7));
+  ASSERT_EQ(procs.size(), 5u);
+  for (auto& p : procs) p->Start();
+  sim.RunUntil(SimTime::Hours(2000));
+  // Every node should see failures, and counts should differ across nodes
+  // (independent streams).
+  bool any_diff = false;
+  for (auto& p : procs) EXPECT_GT(p->failures(), 0);
+  for (size_t i = 1; i < procs.size(); ++i) {
+    if (procs[i]->failures() != procs[0]->failures()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FailureProcessTest, WeibullFailureCountMatchesMean) {
+  // Over a long horizon, #failures ~ horizon / (mean TTF + TTR).
+  Simulator sim;
+  DatacenterConfig cfg;
+  cfg.num_racks = 1;
+  cfg.nodes_per_rack = 1;
+  Datacenter dc(cfg);
+  auto ttf = MakeTtfFromAfr(0.9, 0.7);  // heavy infant mortality
+  DeterministicDist ttr(1.0);
+  FailureProcess proc(&sim, &dc, dc.node(0).chassis, ttf->Clone(),
+                      ttr.Clone(), RngStream(12));
+  proc.Start();
+  double horizon_h = 8760.0 * 100;  // 100 simulated years (clock max ~292y)
+  sim.RunUntil(SimTime::Hours(horizon_h));
+  double expected = horizon_h / (ttf->Mean() + 1.0);
+  EXPECT_NEAR(static_cast<double>(proc.failures()) / expected, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace wt

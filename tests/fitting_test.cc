@@ -1,0 +1,117 @@
+// Tests for distribution fitting and model selection (§4.4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wt/analytics/fitting.h"
+
+namespace wt {
+namespace {
+
+std::vector<double> Draw(const Distribution& dist, int n, uint64_t seed) {
+  RngStream rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(dist.Sample(rng));
+  return out;
+}
+
+TEST(FittingTest, ExponentialRecovery) {
+  ExponentialDist truth(0.25);
+  auto fit = FitExponential(Draw(truth, 20000, 1));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->rate(), 0.25, 0.01);
+}
+
+TEST(FittingTest, LogNormalRecovery) {
+  LogNormalDist truth(1.5, 0.75);
+  auto fit = FitLogNormal(Draw(truth, 20000, 2));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->Mean() / truth.Mean(), 1.0, 0.05);
+  EXPECT_NEAR(fit->Variance() / truth.Variance(), 1.0, 0.15);
+}
+
+TEST(FittingTest, WeibullRecoveryAcrossShapes) {
+  for (double shape : {0.7, 1.0, 1.8, 3.0}) {
+    WeibullDist truth(shape, 120.0);
+    auto fit = FitWeibull(Draw(truth, 30000, 3));
+    ASSERT_TRUE(fit.ok()) << "shape " << shape;
+    EXPECT_NEAR(fit->shape() / shape, 1.0, 0.07) << "shape " << shape;
+    EXPECT_NEAR(fit->scale() / 120.0, 1.0, 0.05) << "shape " << shape;
+  }
+}
+
+TEST(FittingTest, RejectsBadSamples) {
+  EXPECT_FALSE(FitExponential({}).ok());
+  EXPECT_FALSE(FitExponential({1.0}).ok());
+  EXPECT_FALSE(FitExponential({1.0, -2.0}).ok());
+  EXPECT_FALSE(FitLogNormal({0.0, 1.0}).ok());
+  EXPECT_FALSE(FitWeibull({2.0, 2.0, 2.0}).ok());  // zero variance
+}
+
+TEST(FittingTest, CdfsAreValid) {
+  EXPECT_DOUBLE_EQ(ExponentialCdf(-1, 2.0), 0.0);
+  EXPECT_NEAR(ExponentialCdf(std::log(2.0) / 2.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(WeibullCdf(120.0 * std::pow(std::log(2.0), 1.0 / 1.5), 1.5,
+                         120.0),
+              0.5, 1e-12);
+  EXPECT_NEAR(LogNormalCdf(std::exp(1.5), 1.5, 0.7), 0.5, 1e-12);
+}
+
+TEST(FittingTest, KsStatisticDiscriminates) {
+  // Samples from Weibull(0.7): the Weibull CDF fits far better than an
+  // exponential at the same mean.
+  WeibullDist truth(0.7, 100.0);
+  auto samples = Draw(truth, 5000, 7);
+  double mean = 0;
+  for (double v : samples) mean += v;
+  mean /= static_cast<double>(samples.size());
+  double ks_exp = KsStatistic(
+      samples, [&](double x) { return ExponentialCdf(x, 1.0 / mean); });
+  double ks_weib = KsStatistic(samples, [](double x) {
+    return WeibullCdf(x, 0.7, 100.0);
+  });
+  EXPECT_LT(ks_weib, ks_exp);
+  EXPECT_LT(ks_weib, 0.03);  // true model fits tightly
+}
+
+TEST(FittingTest, SelectBestFitPicksTrueFamily) {
+  {
+    WeibullDist truth(0.7, 100.0);
+    auto sel = SelectBestFit(Draw(truth, 8000, 11));
+    ASSERT_TRUE(sel.ok());
+    EXPECT_EQ(sel->family, "weibull");
+    EXPECT_LT(sel->ks_statistic, 0.05);
+  }
+  {
+    LogNormalDist truth(2.0, 1.2);
+    auto sel = SelectBestFit(Draw(truth, 8000, 12));
+    ASSERT_TRUE(sel.ok());
+    EXPECT_EQ(sel->family, "lognormal");
+  }
+  {
+    // Exponential data: Weibull with k~1 fits equally well; accept either
+    // family but require a tight fit.
+    ExponentialDist truth(0.1);
+    auto sel = SelectBestFit(Draw(truth, 8000, 13));
+    ASSERT_TRUE(sel.ok());
+    EXPECT_LT(sel->ks_statistic, 0.03);
+    EXPECT_EQ(sel->scores.size(), 3u);
+  }
+}
+
+TEST(FittingTest, SelectedModelIsUsable) {
+  WeibullDist truth(1.5, 50.0);
+  auto sel = SelectBestFit(Draw(truth, 8000, 14));
+  ASSERT_TRUE(sel.ok());
+  ASSERT_NE(sel->distribution, nullptr);
+  EXPECT_NEAR(sel->distribution->Mean() / truth.Mean(), 1.0, 0.05);
+  RngStream rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(sel->distribution->Sample(rng), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wt

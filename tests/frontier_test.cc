@@ -1,0 +1,138 @@
+// Tests for monotone frontier search (§4.2 extension).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "wt/core/frontier.h"
+
+namespace wt {
+namespace {
+
+// latency = 100 / gbps: SLA latency <= 10 needs gbps >= 10.
+RunFn BandwidthModel(std::atomic<int>* calls = nullptr) {
+  return [calls](const DesignPoint& p, RngStream&) -> Result<MetricMap> {
+    if (calls) calls->fetch_add(1);
+    return MetricMap{{"latency_ms", 100.0 / p.GetDouble("gbps", 1)}};
+  };
+}
+
+Dimension GbpsDim() {
+  return Dimension{"gbps",
+                   {Value(1), Value(2), Value(5), Value(10), Value(25),
+                    Value(40), Value(100)}};
+}
+
+std::vector<SlaConstraint> LatencySla(double bound) {
+  return {{"latency_ms", SlaOp::kAtMost, bound}};
+}
+
+TEST(FrontierTest, FindsMinimalSatisfyingValue) {
+  auto r = FindMonotoneFrontier(GbpsDim(), MonotoneDirection::kHigherIsBetter,
+                                DesignPoint{}, BandwidthModel(),
+                                LatencySla(10.0), 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->frontier_value.has_value());
+  EXPECT_EQ(r->frontier_value->AsInt(), 10);
+}
+
+TEST(FrontierTest, UsesLogarithmicRuns) {
+  std::atomic<int> calls{0};
+  auto r = FindMonotoneFrontier(GbpsDim(), MonotoneDirection::kHigherIsBetter,
+                                DesignPoint{}, BandwidthModel(&calls),
+                                LatencySla(10.0), 1);
+  ASSERT_TRUE(r.ok());
+  // 7 candidates: 1 probe of the best + ceil(log2(6)) = 3 -> <= 4 runs.
+  EXPECT_LE(calls.load(), 4);
+  EXPECT_EQ(r->full_sweep_runs, 7u);
+  EXPECT_LT(r->runs.size(), r->full_sweep_runs);
+}
+
+TEST(FrontierTest, NoSatisfyingValue) {
+  auto r = FindMonotoneFrontier(GbpsDim(), MonotoneDirection::kHigherIsBetter,
+                                DesignPoint{}, BandwidthModel(),
+                                LatencySla(0.5), 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->frontier_value.has_value());
+  // Only the best end was probed before giving up.
+  EXPECT_EQ(r->runs.size(), 1u);
+}
+
+TEST(FrontierTest, EverythingSatisfies) {
+  auto r = FindMonotoneFrontier(GbpsDim(), MonotoneDirection::kHigherIsBetter,
+                                DesignPoint{}, BandwidthModel(),
+                                LatencySla(1000.0), 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->frontier_value.has_value());
+  EXPECT_EQ(r->frontier_value->AsInt(), 1);  // even the worst passes
+}
+
+TEST(FrontierTest, LowerIsBetterDirection) {
+  // Error rate grows with load; SLA error <= 30 needs load <= 3.
+  RunFn model = [](const DesignPoint& p, RngStream&) -> Result<MetricMap> {
+    return MetricMap{{"errors", 10.0 * p.GetDouble("load", 0)}};
+  };
+  Dimension load{"load", {Value(1), Value(2), Value(3), Value(4), Value(8)}};
+  auto r = FindMonotoneFrontier(load, MonotoneDirection::kLowerIsBetter,
+                                DesignPoint{}, model,
+                                {{"errors", SlaOp::kAtMost, 30.0}}, 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->frontier_value.has_value());
+  // Cheapest in goodness order (lower better => highest satisfying load).
+  EXPECT_EQ(r->frontier_value->AsInt(), 3);
+}
+
+TEST(FrontierTest, BaseDimensionsReachModel) {
+  // SLA threshold shifts with the base point's 'boost'.
+  RunFn model = [](const DesignPoint& p, RngStream&) -> Result<MetricMap> {
+    return MetricMap{
+        {"latency_ms",
+         100.0 / p.GetDouble("gbps", 1) - p.GetDouble("boost", 0)}};
+  };
+  DesignPoint base({{"boost", Value(5.0)}});
+  auto r = FindMonotoneFrontier(GbpsDim(), MonotoneDirection::kHigherIsBetter,
+                                base, model, LatencySla(10.0), 1);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->frontier_value.has_value());
+  // Needs 100/g - 5 <= 10 -> g >= 100/15 = 6.67 -> frontier 10.
+  EXPECT_EQ(r->frontier_value->AsInt(), 10);
+}
+
+TEST(FrontierTest, RejectsNonNumericCandidates) {
+  Dimension bad{"disk", {Value("hdd"), Value("ssd")}};
+  auto r = FindMonotoneFrontier(bad, MonotoneDirection::kHigherIsBetter,
+                                DesignPoint{}, BandwidthModel(),
+                                LatencySla(10.0), 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FrontierTest, SurfaceAcrossRestSpace) {
+  // Frontier of gbps for each (memory) value: more memory relaxes the
+  // needed bandwidth.
+  RunFn model = [](const DesignPoint& p, RngStream&) -> Result<MetricMap> {
+    double relief = p.GetDouble("memory_gb", 16) / 16.0;  // 1, 2, 4
+    return MetricMap{
+        {"latency_ms", 100.0 / (p.GetDouble("gbps", 1) * relief)}};
+  };
+  DesignSpace rest;
+  ASSERT_TRUE(
+      rest.AddDimension("memory_gb", {Value(16), Value(32), Value(64)}).ok());
+  auto surface =
+      FindFrontierSurface(GbpsDim(), MonotoneDirection::kHigherIsBetter,
+                          rest, model, LatencySla(10.0), 3);
+  ASSERT_TRUE(surface.ok());
+  ASSERT_EQ(surface->size(), 3u);
+  // memory 16 -> need gbps >= 10; 32 -> >= 5; 64 -> >= 2.5 -> frontier 5.
+  for (const FrontierPoint& fp : *surface) {
+    ASSERT_TRUE(fp.frontier_value.has_value());
+    int64_t mem = fp.rest.GetInt("memory_gb", 0);
+    int64_t frontier = fp.frontier_value->AsInt();
+    if (mem == 16) { EXPECT_EQ(frontier, 10); }
+    if (mem == 32) { EXPECT_EQ(frontier, 5); }
+    if (mem == 64) { EXPECT_EQ(frontier, 5); }
+    EXPECT_LE(fp.runs_used, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace wt

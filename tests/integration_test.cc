@@ -1,0 +1,141 @@
+// End-to-end integration tests: the full wind-tunnel loop (declare, sweep,
+// prune, store, explore), and the Figure 1 pipeline from the DSL down to
+// the Monte-Carlo engine with analytic cross-checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "wt/analytics/combinatorics.h"
+#include "wt/query/builtin_sims.h"
+#include "wt/query/executor.h"
+
+namespace wt {
+namespace {
+
+TEST(IntegrationTest, Figure1MiniSweepMatchesExactMath) {
+  WindTunnel tunnel;
+  ASSERT_TRUE(RegisterBuiltinSimulations(&tunnel).ok());
+  // A reduced Figure 1: N=10, n in {3,5}, both placements, f=2 failures.
+  auto result = RunQuery(&tunnel, R"(
+    EXPLORE replication IN [3, 5], placement IN ['random', 'round_robin']
+    SIMULATE static_availability
+        WITH nodes = 10, failures = 2, users = 2000,
+             placement_samples = 8, trials = 125
+  )",
+                         "fig1_mini");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& t = result->satisfying;
+  ASSERT_EQ(t.num_rows(), 4u);
+
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    int n = static_cast<int>(t.Get(r, "replication").value().AsInt());
+    std::string placement = t.Get(r, "placement").value().AsString();
+    double measured = t.Get(r, "p_any_unavailable").value().AsDouble();
+    int q = n / 2 + 1;
+    double exact =
+        placement == "round_robin"
+            ? RoundRobinAnyUnavailable(10, n, q, 2).value()
+            : RandomPlacementAnyUnavailable(10, n, q, 2, 2000);
+    double sigma = std::sqrt(std::max(exact * (1 - exact), 1e-4) / 1000.0);
+    EXPECT_NEAR(measured, exact, 5 * sigma + 0.03)
+        << "n=" << n << " placement=" << placement;
+  }
+}
+
+TEST(IntegrationTest, ProvisioningQueryFindsCheapestSatisfyingConfig) {
+  // §3: "Should I invest in storage or memory in order to satisfy the SLAs
+  // ... and minimize the total operating cost?"
+  WindTunnel tunnel;
+  ASSERT_TRUE(RegisterBuiltinSimulations(&tunnel).ok());
+  auto result = RunQuery(&tunnel, R"(
+    EXPLORE memory_gb IN [16, 64, 224], disk IN ['hdd', 'ssd']
+    SIMULATE provisioning
+        WITH working_set_gb = 256, rate = 400, duration_s = 40
+    WHERE latency_p95_ms <= 30
+    ORDER BY cost_monthly_usd ASC
+    LIMIT 1
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->stats.executed, 1u);
+  // At least one config meets the SLA, and the winner is the cheapest
+  // satisfying one (ordering guarantees it).
+  ASSERT_EQ(result->satisfying.num_rows(), 1u);
+  double winner_cost =
+      result->satisfying.Get(0, "cost_monthly_usd").value().AsDouble();
+  EXPECT_GT(winner_cost, 0.0);
+}
+
+TEST(IntegrationTest, SimilaritySearchOverSweepResults) {
+  // §4.4: "have I already explored a configuration scenario similar to a
+  // target scenario?"
+  WindTunnel tunnel;
+  ASSERT_TRUE(RegisterBuiltinSimulations(&tunnel).ok());
+  auto result = RunQuery(&tunnel, R"(
+    EXPLORE nodes IN [5, 10, 20], replication IN [3, 5]
+    SIMULATE static_availability
+        WITH failures = 1, users = 200, placement_samples = 2, trials = 20
+  )",
+                         "history");
+  ASSERT_TRUE(result.ok());
+
+  std::map<std::string, Value> target{{"nodes", Value(11)},
+                                      {"replication", Value(3)}};
+  auto similar = tunnel.store().FindSimilar("history", target,
+                                            {"nodes", "replication"}, 1);
+  ASSERT_TRUE(similar.ok());
+  ASSERT_EQ(similar->size(), 1u);
+  const Table* t = tunnel.store().GetTableConst("history").value();
+  EXPECT_EQ(t->Get((*similar)[0], "nodes").value().AsInt(), 10);
+  EXPECT_EQ(t->Get((*similar)[0], "replication").value().AsInt(), 3);
+}
+
+TEST(IntegrationTest, PruningSavesRunsOnRealSimulation) {
+  // Availability improves with replication; an unachievable SLA plus the
+  // hint prunes the lower replication factors.
+  WindTunnel tunnel;
+  ASSERT_TRUE(RegisterBuiltinSimulations(&tunnel).ok());
+  auto result = RunQuery(&tunnel, R"(
+    EXPLORE replication IN [1, 2, 3]
+    SIMULATE static_availability
+        WITH nodes = 10, failures = 5, users = 500,
+             placement_samples = 3, trials = 30
+    ASSUMING HIGHER replication IS BETTER
+    WHERE availability >= 0.999999
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // f=5 of 10 nodes: even n=3 majority fails sometimes; the SLA is
+  // unreachable, so after the best config fails the rest are pruned.
+  EXPECT_EQ(result->stats.executed, 1u);
+  EXPECT_EQ(result->stats.pruned, 2u);
+}
+
+TEST(IntegrationTest, ResultTablesSupportExploratoryAnalysis) {
+  WindTunnel tunnel;
+  ASSERT_TRUE(RegisterBuiltinSimulations(&tunnel).ok());
+  ASSERT_TRUE(RunQuery(&tunnel, R"(
+    EXPLORE replication IN [3, 5], failures IN [1, 2, 3]
+    SIMULATE static_availability
+        WITH nodes = 10, users = 300, placement_samples = 3, trials = 40
+  )",
+                       "grid")
+                  .ok());
+  const Table* t = tunnel.store().GetTableConst("grid").value();
+  EXPECT_EQ(t->num_rows(), 6u);
+  // Group by replication: mean unavailability lower for n=5.
+  auto grouped = t->GroupByMean("replication", "p_any_unavailable");
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->num_rows(), 2u);
+  double mean_n3 = grouped->At(0, 1).AsDouble();
+  double mean_n5 = grouped->At(1, 1).AsDouble();
+  EXPECT_EQ(grouped->At(0, 0).AsInt(), 3);
+  EXPECT_LE(mean_n5, mean_n3 + 0.05);
+  // CSV export is well-formed (header + 6 rows).
+  std::string csv = t->ToCsv();
+  size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 7u);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,84 @@
+// Tests for limpware injection scheduling and state transitions.
+
+#include <gtest/gtest.h>
+
+#include "wt/hw/limpware.h"
+
+namespace wt {
+namespace {
+
+DatacenterConfig OneRack() {
+  DatacenterConfig cfg;
+  cfg.num_racks = 1;
+  cfg.nodes_per_rack = 2;
+  return cfg;
+}
+
+TEST(LimpwareTest, ApplySetsDegradedState) {
+  Simulator sim;
+  Datacenter dc(OneRack());
+  LimpwareInjector injector(&sim, &dc, nullptr);
+  ComponentId nic = dc.node(0).nic;
+  injector.Apply(nic, 0.25);
+  EXPECT_EQ(dc.component(nic).state, ComponentState::kDegraded);
+  EXPECT_DOUBLE_EQ(dc.component(nic).perf_factor, 0.25);
+  EXPECT_TRUE(dc.NodeUp(0));  // degraded != failed
+}
+
+TEST(LimpwareTest, RestoreToNominalClearsDegraded) {
+  Simulator sim;
+  Datacenter dc(OneRack());
+  LimpwareInjector injector(&sim, &dc, nullptr);
+  ComponentId nic = dc.node(0).nic;
+  injector.Apply(nic, 0.25);
+  injector.Apply(nic, 1.0);
+  EXPECT_EQ(dc.component(nic).state, ComponentState::kOperational);
+  EXPECT_DOUBLE_EQ(dc.component(nic).perf_factor, 1.0);
+}
+
+TEST(LimpwareTest, FailedComponentStaysFailed) {
+  Simulator sim;
+  Datacenter dc(OneRack());
+  LimpwareInjector injector(&sim, &dc, nullptr);
+  ComponentId nic = dc.node(0).nic;
+  dc.component(nic).state = ComponentState::kFailed;
+  injector.Apply(nic, 0.5);
+  EXPECT_EQ(dc.component(nic).state, ComponentState::kFailed);
+}
+
+TEST(LimpwareTest, ScheduledEventsFireInOrder) {
+  Simulator sim;
+  Datacenter dc(OneRack());
+  LimpwareInjector injector(&sim, &dc, nullptr);
+  ComponentId nic = dc.node(1).nic;
+  injector.Schedule({
+      {nic, SimTime::Seconds(10), 0.1},
+      {nic, SimTime::Seconds(20), 1.0},
+  });
+  sim.RunUntil(SimTime::Seconds(5));
+  EXPECT_DOUBLE_EQ(dc.component(nic).perf_factor, 1.0);
+  sim.RunUntil(SimTime::Seconds(15));
+  EXPECT_DOUBLE_EQ(dc.component(nic).perf_factor, 0.1);
+  sim.RunUntil(SimTime::Seconds(25));
+  EXPECT_DOUBLE_EQ(dc.component(nic).perf_factor, 1.0);
+  EXPECT_EQ(dc.component(nic).state, ComponentState::kOperational);
+}
+
+TEST(LimpwareTest, SwitchDegradationAffectsWholeRack) {
+  Simulator sim;
+  DatacenterConfig cfg;
+  cfg.num_racks = 2;
+  cfg.nodes_per_rack = 2;
+  Datacenter dc(cfg);
+  Network net(&sim, &dc);
+  LimpwareInjector injector(&sim, &dc, &net);
+  double before = net.NodeEgressCapacity(0);
+  injector.Apply(dc.rack(0).tor, 0.5);
+  EXPECT_DOUBLE_EQ(net.NodeEgressCapacity(0), before * 0.5);
+  EXPECT_DOUBLE_EQ(net.NodeEgressCapacity(1), before * 0.5);
+  // Other rack untouched.
+  EXPECT_DOUBLE_EQ(net.NodeEgressCapacity(2), before);
+}
+
+}  // namespace
+}  // namespace wt

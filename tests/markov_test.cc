@@ -1,0 +1,178 @@
+// Tests for the linear solver and CTMC availability models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wt/analytics/linalg.h"
+#include "wt/analytics/markov.h"
+
+namespace wt {
+namespace {
+
+TEST(LinalgTest, SolvesSmallSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  auto x = SolveLinearSystem(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LinalgTest, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LinalgTest, DetectsSingular) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2}).ok());
+}
+
+TEST(LinalgTest, IdentityAndMultiply) {
+  Matrix id = Matrix::Identity(3);
+  Matrix a(3, 3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) a.at(i, j) = static_cast<double>(i * 3 + j);
+  }
+  Matrix prod = a.Multiply(id);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(prod.at(i, j), a.at(i, j));
+  }
+  Matrix t = a.Transpose();
+  EXPECT_DOUBLE_EQ(t.at(0, 2), a.at(2, 0));
+}
+
+TEST(CtmcTest, TwoStateStationary) {
+  // 0 <-> 1 with rates up=2 (0->1) and down=1 (1->0):
+  // pi = (1/3, 2/3).
+  Ctmc chain(2);
+  chain.AddRate(0, 1, 2.0);
+  chain.AddRate(1, 0, 1.0);
+  auto pi = chain.StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR((*pi)[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR((*pi)[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(CtmcTest, BirthDeathMatchesClosedForm) {
+  // M/M/1-like chain truncated at 3: rates lambda=1 up, mu=2 down.
+  // pi_n ∝ (1/2)^n.
+  Ctmc chain(4);
+  for (size_t i = 0; i < 3; ++i) {
+    chain.AddRate(i, i + 1, 1.0);
+    chain.AddRate(i + 1, i, 2.0);
+  }
+  auto pi = chain.StationaryDistribution();
+  ASSERT_TRUE(pi.ok());
+  double z = 1 + 0.5 + 0.25 + 0.125;
+  EXPECT_NEAR((*pi)[0], 1.0 / z, 1e-9);
+  EXPECT_NEAR((*pi)[3], 0.125 / z, 1e-9);
+}
+
+TEST(CtmcTest, AbsorptionTimeSingleStep) {
+  // One transient state with exit rate r: mean absorption time 1/r.
+  Ctmc chain(2);
+  chain.AddRate(0, 1, 0.25);
+  auto t = chain.MeanTimeToAbsorption(0, {1});
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(*t, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(chain.MeanTimeToAbsorption(1, {1}).value(), 0.0);
+}
+
+TEST(ReplicaChainTest, SingleReplicaMttdl) {
+  // n=1: data dies at the first failure; MTTDL = 1/lambda.
+  ReplicaChainParams p;
+  p.n = 1;
+  p.lambda = 0.01;
+  p.mu = 1.0;
+  p.quorum = 1;
+  auto mttdl = ReplicaChainMttdl(p);
+  ASSERT_TRUE(mttdl.ok());
+  EXPECT_NEAR(*mttdl, 100.0, 1e-6);
+}
+
+TEST(ReplicaChainTest, TwoReplicaMttdlClosedForm) {
+  // Classic result: MTTDL(2) = (3*lambda + mu) / (2*lambda^2).
+  ReplicaChainParams p;
+  p.n = 2;
+  p.lambda = 0.001;
+  p.mu = 1.0;
+  p.quorum = 1;
+  auto mttdl = ReplicaChainMttdl(p);
+  ASSERT_TRUE(mttdl.ok());
+  double expected = (3 * p.lambda + p.mu) / (2 * p.lambda * p.lambda);
+  EXPECT_NEAR(*mttdl / expected, 1.0, 1e-6);
+}
+
+TEST(ReplicaChainTest, MoreReplicasLastLonger) {
+  ReplicaChainParams p;
+  p.lambda = 0.001;
+  p.mu = 0.5;
+  p.n = 2;
+  double m2 = ReplicaChainMttdl(p).value();
+  p.n = 3;
+  double m3 = ReplicaChainMttdl(p).value();
+  EXPECT_GT(m3, m2 * 10);  // each replica multiplies MTTDL by ~mu/lambda
+}
+
+TEST(ReplicaChainTest, ParallelRepairBeatsSequential) {
+  ReplicaChainParams p;
+  p.n = 5;
+  p.lambda = 0.01;
+  p.mu = 0.1;
+  p.quorum = 3;
+  p.parallel_repair = false;
+  double seq = ReplicaChainUnavailability(p).value();
+  p.parallel_repair = true;
+  double par = ReplicaChainUnavailability(p).value();
+  EXPECT_LT(par, seq);
+}
+
+TEST(ReplicaChainTest, UnavailabilityIsSmallWhenRepairFast) {
+  ReplicaChainParams p;
+  p.n = 3;
+  p.lambda = 1.0 / 8760.0;  // ~1/year
+  p.mu = 1.0;               // 1 hour repairs
+  p.quorum = 2;
+  double u = ReplicaChainUnavailability(p).value();
+  EXPECT_GT(u, 0.0);
+  EXPECT_LT(u, 1e-5);
+}
+
+TEST(ReplicaChainTest, HigherQuorumLessAvailable) {
+  ReplicaChainParams p;
+  p.n = 5;
+  p.lambda = 0.01;
+  p.mu = 0.1;
+  p.quorum = 3;
+  double majority = ReplicaChainUnavailability(p).value();
+  p.quorum = 5;  // read-all
+  double all = ReplicaChainUnavailability(p).value();
+  EXPECT_GT(all, majority);
+}
+
+TEST(ReplicaChainTest, RejectsBadQuorum) {
+  ReplicaChainParams p;
+  p.n = 3;
+  p.quorum = 4;
+  EXPECT_FALSE(ReplicaChainUnavailability(p).ok());
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,201 @@
+// Tests for the queueing-network performance simulation, including the
+// M/M/1 validation the paper prescribes (§4.3: validate simple simulation
+// models with analytical models).
+
+#include <gtest/gtest.h>
+
+#include "wt/analytics/queueing.h"
+#include "wt/workload/perf_sim.h"
+
+namespace wt {
+namespace {
+
+// A cluster degenerated to a single M/M/1 queue: one node, one "disk"
+// server doing exponential service; zero-cost cpu/nic stages.
+PerfSimConfig MM1Cluster() {
+  PerfSimConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.cores_per_node = 64;   // cpu never queues
+  cfg.disks_per_node = 1;
+  cfg.nic_gbps = 1000.0;     // nic service ~0
+  cfg.replication = 1;
+  cfg.duration_s = 4000.0;
+  cfg.warmup_s = 200.0;
+  cfg.seed = 5;
+  return cfg;
+}
+
+PerfWorkloadSpec MM1Workload(double lambda, double mu) {
+  PerfWorkloadSpec w;
+  w.name = "primary";
+  w.arrival_rate = lambda;
+  w.read_fraction = 1.0;
+  w.disk_service_s = std::make_unique<ExponentialDist>(mu);
+  w.cpu_service_s = std::make_unique<DeterministicDist>(0.0);
+  w.request_bytes = 1.0;  // negligible nic time
+  w.zipf_s = 0.0;
+  return w;
+}
+
+TEST(PerfSimTest, MM1MeanLatencyMatchesAnalytic) {
+  // lambda = 40/s, mu = 50/s -> W = 1/(mu-lambda) = 100 ms.
+  std::vector<PerfWorkloadSpec> specs;
+  specs.push_back(MM1Workload(40.0, 50.0));
+  auto result = RunPerfSim(MM1Cluster(), specs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const WorkloadResult& w = result->workloads.at("primary");
+  MM1 analytic{.lambda = 40.0, .mu = 50.0};
+  EXPECT_GT(w.completed, 100000);
+  EXPECT_NEAR(w.latency_ms.mean() / (analytic.W() * 1000.0), 1.0, 0.10);
+  // Utilization ~ rho = 0.8.
+  EXPECT_NEAR(result->disk_utilization[0], 0.8, 0.03);
+  // Throughput ~ lambda.
+  EXPECT_NEAR(w.throughput_per_s, 40.0, 2.0);
+}
+
+TEST(PerfSimTest, MM1TailMatchesExponentialResponse) {
+  std::vector<PerfWorkloadSpec> specs;
+  specs.push_back(MM1Workload(30.0, 50.0));
+  auto result = RunPerfSim(MM1Cluster(), specs);
+  ASSERT_TRUE(result.ok());
+  const WorkloadResult& w = result->workloads.at("primary");
+  MM1 analytic{.lambda = 30.0, .mu = 50.0};
+  // p99 of Exp(mu - lambda) = ln(100)/20 s = 230 ms.
+  EXPECT_NEAR(w.latency_ms.P99() / (analytic.ResponseQuantile(0.99) * 1000.0),
+              1.0, 0.15);
+}
+
+TEST(PerfSimTest, ColocationInflatesLatency) {
+  PerfSimConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.duration_s = 600.0;
+  cfg.seed = 9;
+  std::vector<PerfWorkloadSpec> alone;
+  alone.emplace_back();
+  alone[0].name = "primary";
+  alone[0].arrival_rate = 300.0;
+
+  std::vector<PerfWorkloadSpec> shared;
+  shared.emplace_back();
+  shared[0].name = "primary";
+  shared[0].arrival_rate = 300.0;
+  shared.emplace_back();
+  shared[1].name = "tenant_b";
+  shared[1].arrival_rate = 500.0;
+
+  auto base = RunPerfSim(cfg, alone);
+  auto co = RunPerfSim(cfg, shared);
+  ASSERT_TRUE(base.ok() && co.ok());
+  EXPECT_GT(co->workloads.at("primary").latency_ms.P95(),
+            base->workloads.at("primary").latency_ms.P95());
+}
+
+TEST(PerfSimTest, OutageRedirectsAndRecovers) {
+  PerfSimConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.replication = 3;
+  cfg.duration_s = 300.0;
+  cfg.seed = 11;
+  std::vector<PerfWorkloadSpec> specs;
+  specs.emplace_back();
+  specs[0].arrival_rate = 200.0;
+  specs[0].name = "primary";
+
+  OutageEvent outage;
+  outage.at_s = 100.0;
+  outage.node = 0;
+  outage.duration_s = 100.0;
+  outage.repair_disk_jobs_per_s = 50.0;
+
+  auto with = RunPerfSim(cfg, specs, {outage});
+  auto without = RunPerfSim(cfg, specs);
+  ASSERT_TRUE(with.ok() && without.ok());
+  const auto& w = with->workloads.at("primary");
+  // With replication 3 on 4 nodes, reads always find a live replica.
+  EXPECT_EQ(w.failed, 0);
+  // Failover + repair interference raise tail latency.
+  EXPECT_GT(w.latency_ms.P99(),
+            without->workloads.at("primary").latency_ms.P99());
+}
+
+TEST(PerfSimTest, NoReplicaMeansFailedRequests) {
+  PerfSimConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.replication = 1;
+  cfg.duration_s = 60.0;
+  cfg.warmup_s = 0.0;
+  std::vector<PerfWorkloadSpec> specs;
+  specs.emplace_back();
+  specs[0].arrival_rate = 100.0;
+  specs[0].name = "primary";
+  OutageEvent outage;
+  outage.at_s = 0.0;
+  outage.node = 0;
+  outage.duration_s = 60.0;
+  auto result = RunPerfSim(cfg, specs, {outage});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->workloads.at("primary").failed, 0);
+}
+
+TEST(PerfSimTest, LimpingNicCollapsesTail) {
+  PerfSimConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.nic_gbps = 0.1;  // make the NIC matter
+  cfg.duration_s = 300.0;
+  cfg.seed = 13;
+  std::vector<PerfWorkloadSpec> specs;
+  specs.emplace_back();
+  specs[0].name = "primary";
+  specs[0].arrival_rate = 400.0;
+  specs[0].request_bytes = 512 * 1024.0;
+
+  DegradeEvent limp;
+  limp.at_s = 0.0;
+  limp.node = 0;
+  limp.resource = DegradeEvent::Resource::kNic;
+  limp.perf_factor = 0.05;
+
+  auto healthy = RunPerfSim(cfg, specs);
+  auto limping = RunPerfSim(cfg, specs, {}, {limp});
+  ASSERT_TRUE(healthy.ok() && limping.ok());
+  EXPECT_GT(limping->workloads.at("primary").latency_ms.P99(),
+            2.0 * healthy->workloads.at("primary").latency_ms.P99());
+}
+
+TEST(PerfSimTest, DeterministicGivenSeed) {
+  PerfSimConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.replication = 2;
+  cfg.duration_s = 100.0;
+  cfg.seed = 21;
+  std::vector<PerfWorkloadSpec> specs;
+  specs.emplace_back();
+  specs[0].name = "primary";
+  auto a = RunPerfSim(cfg, specs);
+  auto b = RunPerfSim(cfg, specs);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->workloads.at("primary").completed,
+            b->workloads.at("primary").completed);
+  EXPECT_DOUBLE_EQ(a->workloads.at("primary").latency_ms.mean(),
+                   b->workloads.at("primary").latency_ms.mean());
+}
+
+TEST(PerfSimTest, ValidatesInput) {
+  PerfSimConfig cfg;
+  cfg.num_nodes = 0;
+  EXPECT_FALSE(RunPerfSim(cfg, {PerfWorkloadSpec{}}).ok());
+  cfg.num_nodes = 2;
+  cfg.replication = 3;
+  EXPECT_FALSE(RunPerfSim(cfg, {PerfWorkloadSpec{}}).ok());
+  cfg.replication = 1;
+  EXPECT_FALSE(RunPerfSim(cfg, {}).ok());
+  PerfWorkloadSpec bad;
+  bad.arrival_rate = 0.0;
+  EXPECT_FALSE(RunPerfSim(cfg, {std::move(bad)}).ok());
+  OutageEvent out_of_range;
+  out_of_range.node = 99;
+  EXPECT_FALSE(RunPerfSim(cfg, {PerfWorkloadSpec{}}, {out_of_range}).ok());
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,209 @@
+// Tests for the declarative what-if language: lexer, parser, executor.
+
+#include <gtest/gtest.h>
+
+#include "wt/query/executor.h"
+#include "wt/query/lexer.h"
+#include "wt/query/parser.h"
+
+namespace wt {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerTest, TokenizesKeywordsIdentsAndLiterals) {
+  auto tokens = Tokenize("EXPLORE nodes IN [10, 'ten']");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // incl. kEnd
+  EXPECT_TRUE((*tokens)[0].IsKeyword("EXPLORE"));
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[1].text, "nodes");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("IN"));
+  EXPECT_TRUE((*tokens)[3].IsSymbol('['));
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kNumber);
+  EXPECT_TRUE((*tokens)[5].IsSymbol(','));
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[6].text, "ten");
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("explore Simulate wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("EXPLORE"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("SIMULATE"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("WHERE"));
+}
+
+TEST(LexerTest, NumbersWithSignsDecimalsExponents) {
+  auto tokens = Tokenize("-3 2.5 1e-4 0.999");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "-3");
+  EXPECT_EQ((*tokens)[1].text, "2.5");
+  EXPECT_EQ((*tokens)[2].text, "1e-4");
+  EXPECT_EQ((*tokens)[3].text, "0.999");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("a >= 0.9 AND b <= 100");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kCompare);
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[5].text, "<=");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("EXPLORE # comment here\n x IN [1]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("EXPLORE"));
+  EXPECT_EQ((*tokens)[1].text, "x");
+}
+
+TEST(LexerTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+}
+
+// ----------------------------------------------------------------- parser
+
+constexpr char kFullQuery[] = R"(
+  EXPLORE nodes IN [10, 30], placement IN ['random', 'round_robin']
+  SIMULATE availability WITH years = 2, users = 10000
+  ASSUMING HIGHER nodes IS BETTER
+  WHERE availability >= 0.999 AND cost_monthly_usd <= 20000
+  ORDER BY cost_monthly_usd ASC
+  LIMIT 5;
+)";
+
+TEST(ParserTest, ParsesFullQuery) {
+  auto spec = ParseQuery(kFullQuery);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->dimensions.size(), 2u);
+  EXPECT_EQ(spec->dimensions[0].name, "nodes");
+  ASSERT_EQ(spec->dimensions[0].candidates.size(), 2u);
+  EXPECT_EQ(spec->dimensions[0].candidates[1].AsInt(), 30);
+  EXPECT_EQ(spec->dimensions[1].candidates[0].AsString(), "random");
+  EXPECT_EQ(spec->simulation, "availability");
+  EXPECT_EQ(spec->params.at("years").AsInt(), 2);
+  ASSERT_EQ(spec->hints.size(), 1u);
+  EXPECT_EQ(spec->hints[0].dimension, "nodes");
+  EXPECT_EQ(spec->hints[0].direction, MonotoneDirection::kHigherIsBetter);
+  ASSERT_EQ(spec->constraints.size(), 2u);
+  EXPECT_EQ(spec->constraints[0].metric, "availability");
+  EXPECT_EQ(spec->constraints[0].op, SlaOp::kAtLeast);
+  EXPECT_DOUBLE_EQ(spec->constraints[0].threshold, 0.999);
+  EXPECT_EQ(spec->constraints[1].op, SlaOp::kAtMost);
+  EXPECT_EQ(spec->order_by, "cost_monthly_usd");
+  EXPECT_TRUE(spec->order_ascending);
+  EXPECT_EQ(spec->limit, 5);
+}
+
+TEST(ParserTest, MinimalQuery) {
+  auto spec = ParseQuery("EXPLORE x IN [1] SIMULATE toy");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->simulation, "toy");
+  EXPECT_TRUE(spec->constraints.empty());
+  EXPECT_EQ(spec->limit, -1);
+  EXPECT_TRUE(spec->order_by.empty());
+}
+
+TEST(ParserTest, DescOrdering) {
+  auto spec =
+      ParseQuery("EXPLORE x IN [1] SIMULATE toy ORDER BY y DESC");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->order_ascending);
+}
+
+TEST(ParserTest, LowerIsBetterHint) {
+  auto spec = ParseQuery(
+      "EXPLORE x IN [1] SIMULATE toy ASSUMING LOWER load IS BETTER");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->hints[0].direction, MonotoneDirection::kLowerIsBetter);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SIMULATE toy").ok());               // no EXPLORE
+  EXPECT_FALSE(ParseQuery("EXPLORE x IN [] SIMULATE t").ok()); // empty list
+  EXPECT_FALSE(ParseQuery("EXPLORE x IN [1]").ok());           // no SIMULATE
+  EXPECT_FALSE(ParseQuery("EXPLORE x IN [1] SIMULATE t WHERE y > 1").ok());
+  EXPECT_FALSE(ParseQuery("EXPLORE x IN [1] SIMULATE t LIMIT -2").ok());
+  EXPECT_FALSE(
+      ParseQuery("EXPLORE x IN [1] SIMULATE t trailing junk").ok());
+  EXPECT_FALSE(
+      ParseQuery("EXPLORE x IN [1] SIMULATE t ASSUMING x IS BETTER").ok());
+}
+
+// --------------------------------------------------------------- executor
+
+RunFn ToyModel() {
+  return [](const DesignPoint& p, RngStream&) -> Result<MetricMap> {
+    double x = p.GetDouble("x", 0);
+    double boost = p.GetDouble("boost", 0);
+    return MetricMap{{"y", x * 10 + boost}, {"cost", x}};
+  };
+}
+
+TEST(ExecutorTest, EndToEndFilterOrderLimit) {
+  WindTunnel tunnel;
+  ASSERT_TRUE(tunnel.RegisterSimulation("toy", ToyModel()).ok());
+  auto result = RunQuery(&tunnel, R"(
+    EXPLORE x IN [1, 2, 3, 4]
+    SIMULATE toy
+    WHERE y >= 20
+    ORDER BY cost DESC
+    LIMIT 2
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // y >= 20 keeps x in {2,3,4}; DESC by cost takes x=4,3.
+  ASSERT_EQ(result->satisfying.num_rows(), 2u);
+  EXPECT_EQ(result->satisfying.Get(0, "x").value().AsInt(), 4);
+  EXPECT_EQ(result->satisfying.Get(1, "x").value().AsInt(), 3);
+  EXPECT_EQ(result->stats.total_points, 4u);
+}
+
+TEST(ExecutorTest, ParamsReachTheModel) {
+  WindTunnel tunnel;
+  ASSERT_TRUE(tunnel.RegisterSimulation("toy", ToyModel()).ok());
+  auto result = RunQuery(&tunnel,
+                         "EXPLORE x IN [1] SIMULATE toy WITH boost = 100");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->satisfying.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result->satisfying.Get(0, "y").value().AsDouble(), 110.0);
+  // Params also appear as columns.
+  EXPECT_TRUE(result->satisfying.schema().Has("boost"));
+}
+
+TEST(ExecutorTest, UnknownSimulationErrors) {
+  WindTunnel tunnel;
+  EXPECT_FALSE(RunQuery(&tunnel, "EXPLORE x IN [1] SIMULATE ghost").ok());
+}
+
+TEST(ExecutorTest, SweepTableIsStored) {
+  WindTunnel tunnel;
+  ASSERT_TRUE(tunnel.RegisterSimulation("toy", ToyModel()).ok());
+  auto result =
+      RunQuery(&tunnel, "EXPLORE x IN [1, 2] SIMULATE toy", "my_sweep");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sweep_table, "my_sweep");
+  EXPECT_TRUE(tunnel.store().HasTable("my_sweep"));
+  EXPECT_EQ((*tunnel.store().GetTableConst("my_sweep"))->num_rows(), 2u);
+}
+
+TEST(ExecutorTest, PruningHintsFlowThrough) {
+  WindTunnel tunnel;  // single worker: deterministic pruning
+  ASSERT_TRUE(tunnel.RegisterSimulation("toy", ToyModel()).ok());
+  // Impossible SLA + monotone hint: only the best x runs.
+  auto result = RunQuery(&tunnel, R"(
+    EXPLORE x IN [1, 2, 3, 4]
+    SIMULATE toy
+    ASSUMING HIGHER x IS BETTER
+    WHERE y >= 1000
+  )");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.executed, 1u);
+  EXPECT_EQ(result->stats.pruned, 3u);
+  EXPECT_EQ(result->satisfying.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,125 @@
+// Tests for the analytical queueing models (M/M/1, M/M/c, M/G/1, G/G/1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wt/analytics/queueing.h"
+
+namespace wt {
+namespace {
+
+TEST(MM1Test, TextbookValues) {
+  MM1 q{.lambda = 2.0, .mu = 3.0};
+  ASSERT_TRUE(q.Validate().ok());
+  EXPECT_NEAR(q.utilization(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(q.L(), 2.0, 1e-12);            // rho/(1-rho)
+  EXPECT_NEAR(q.W(), 1.0, 1e-12);            // 1/(mu-lambda)
+  EXPECT_NEAR(q.Wq(), 2.0 / 3.0, 1e-12);     // rho/(mu-lambda)
+  EXPECT_NEAR(q.Lq(), 4.0 / 3.0, 1e-12);
+  // Little's law: L = lambda W.
+  EXPECT_NEAR(q.L(), q.lambda * q.W(), 1e-12);
+}
+
+TEST(MM1Test, GeometricStateDistribution) {
+  MM1 q{.lambda = 1.0, .mu = 2.0};
+  double sum = 0;
+  for (int n = 0; n < 50; ++n) sum += q.Pn(n);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(q.Pn(0), 0.5, 1e-12);
+  EXPECT_NEAR(q.Pn(1), 0.25, 1e-12);
+}
+
+TEST(MM1Test, ResponseQuantileIsExponential) {
+  MM1 q{.lambda = 1.0, .mu = 2.0};
+  // Median of Exp(1): ln 2.
+  EXPECT_NEAR(q.ResponseQuantile(0.5), std::log(2.0), 1e-12);
+  EXPECT_GT(q.ResponseQuantile(0.99), q.ResponseQuantile(0.5));
+}
+
+TEST(MM1Test, RejectsUnstable) {
+  MM1 q{.lambda = 3.0, .mu = 3.0};
+  EXPECT_FALSE(q.Validate().ok());
+  MM1 neg{.lambda = -1.0, .mu = 3.0};
+  EXPECT_FALSE(neg.Validate().ok());
+}
+
+TEST(MMcTest, ReducesToMM1WhenCIs1) {
+  MM1 mm1{.lambda = 2.0, .mu = 3.0};
+  MMc mmc{.lambda = 2.0, .mu = 3.0, .c = 1};
+  ASSERT_TRUE(mmc.Validate().ok());
+  EXPECT_NEAR(mmc.W(), mm1.W(), 1e-9);
+  EXPECT_NEAR(mmc.Lq(), mm1.Lq(), 1e-9);
+  // Erlang C with one server = rho.
+  EXPECT_NEAR(mmc.ErlangC(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MMcTest, TextbookTwoServer) {
+  // lambda=3, mu=2, c=2: rho=0.75, a=1.5.
+  MMc q{.lambda = 3.0, .mu = 2.0, .c = 2};
+  ASSERT_TRUE(q.Validate().ok());
+  // Erlang-C known value: P(wait) = a^c/(c!(1-rho)) * P0 ... = 0.6428571.
+  EXPECT_NEAR(q.ErlangC(), 0.642857142857, 1e-9);
+  EXPECT_NEAR(q.Lq(), 0.642857142857 * 0.75 / 0.25, 1e-9);
+  // Little's law.
+  EXPECT_NEAR(q.L(), q.lambda * q.W(), 1e-9);
+}
+
+TEST(MMcTest, MoreServersLessWait) {
+  MMc two{.lambda = 3.0, .mu = 2.0, .c = 2};
+  MMc four{.lambda = 3.0, .mu = 2.0, .c = 4};
+  EXPECT_LT(four.Wq(), two.Wq());
+}
+
+TEST(ErlangBTest, KnownValues) {
+  // B(a=1, c=1) = 1/2; B(a=1, c=2) = 1/5.
+  EXPECT_NEAR(ErlangB(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(ErlangB(1.0, 2), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(ErlangB(1.0, 0), 1.0);  // no servers: always blocked
+}
+
+TEST(MG1Test, ReducesToMM1ForExponentialService) {
+  // Exponential service: var = mean^2.
+  MG1 q{.lambda = 2.0, .service_mean = 1.0 / 3.0,
+        .service_variance = 1.0 / 9.0};
+  MM1 mm1{.lambda = 2.0, .mu = 3.0};
+  ASSERT_TRUE(q.Validate().ok());
+  EXPECT_NEAR(q.Wq(), mm1.Wq(), 1e-9);
+  EXPECT_NEAR(q.W(), mm1.W(), 1e-9);
+}
+
+TEST(MG1Test, DeterministicServiceHalvesWait) {
+  // M/D/1 waits exactly half of M/M/1 at the same rho.
+  MG1 md1{.lambda = 2.0, .service_mean = 1.0 / 3.0, .service_variance = 0.0};
+  MG1 mm1{.lambda = 2.0, .service_mean = 1.0 / 3.0,
+          .service_variance = 1.0 / 9.0};
+  EXPECT_NEAR(md1.Wq(), mm1.Wq() / 2.0, 1e-9);
+}
+
+TEST(MG1Test, VarianceInflatesWait) {
+  MG1 low{.lambda = 1.0, .service_mean = 0.5, .service_variance = 0.01};
+  MG1 high{.lambda = 1.0, .service_mean = 0.5, .service_variance = 1.0};
+  EXPECT_GT(high.Wq(), low.Wq());
+}
+
+TEST(GG1Test, MatchesMM1ForPoissonExponential) {
+  // ca2 = cs2 = 1 reduces Kingman to the exact M/M/1 wait.
+  GG1 q{.lambda = 2.0, .service_mean = 1.0 / 3.0, .ca2 = 1.0, .cs2 = 1.0};
+  MM1 mm1{.lambda = 2.0, .mu = 3.0};
+  ASSERT_TRUE(q.Validate().ok());
+  EXPECT_NEAR(q.Wq(), mm1.Wq(), 1e-9);
+}
+
+TEST(GG1Test, SmootherTrafficWaitsLess) {
+  GG1 bursty{.lambda = 2.0, .service_mean = 0.3, .ca2 = 4.0, .cs2 = 1.0};
+  GG1 smooth{.lambda = 2.0, .service_mean = 0.3, .ca2 = 0.25, .cs2 = 1.0};
+  EXPECT_GT(bursty.Wq(), smooth.Wq());
+}
+
+TEST(GG1Test, RejectsUnstable) {
+  GG1 q{.lambda = 4.0, .service_mean = 0.3, .ca2 = 1.0, .cs2 = 1.0};
+  EXPECT_FALSE(q.Validate().ok());
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,127 @@
+// Tests for RNG streams: determinism, substream independence, uniformity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "wt/sim/random.h"
+
+namespace wt {
+namespace {
+
+TEST(RandomTest, SameSeedSameSequence) {
+  RngStream a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  RngStream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, NamedSubstreamsAreDeterministic) {
+  RngStream root(42);
+  RngStream a1 = root.Substream("alpha");
+  RngStream a2 = root.Substream("alpha");
+  RngStream b = root.Substream("beta");
+  EXPECT_EQ(a1.NextU64(), a2.NextU64());
+  RngStream a3 = root.Substream("alpha");
+  EXPECT_NE(a3.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, IndexedSubstreamsDiffer) {
+  RngStream root(42);
+  std::set<uint64_t> firsts;
+  for (uint64_t i = 0; i < 50; ++i) {
+    firsts.insert(root.Substream(i).NextU64());
+  }
+  EXPECT_EQ(firsts.size(), 50u);  // no collisions
+}
+
+TEST(RandomTest, SubstreamDoesNotPerturbParent) {
+  RngStream a(7), b(7);
+  (void)a.Substream("x");  // deriving must not consume parent state
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  RngStream rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, NextDoubleOpenNeverZero) {
+  RngStream rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextDoubleOpen(), 0.0);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversRangeInclusive) {
+  RngStream rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, UniformIntDegenerateRange) {
+  RngStream rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RandomTest, UniformIntIsUnbiased) {
+  RngStream rng(13);
+  // Range of size 3 over many draws: each bucket ~ 1/3.
+  int counts[3] = {0, 0, 0};
+  const int kDraws = 90000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformInt(0, 2)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(RandomTest, BernoulliMatchesP) {
+  RngStream rng(17);
+  int hits = 0;
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RandomTest, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+  EXPECT_EQ(Fnv1a64("same"), Fnv1a64("same"));
+}
+
+TEST(RandomTest, SplitMix64Advances) {
+  uint64_t s = 0;
+  uint64_t a = SplitMix64(s);
+  uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,119 @@
+// Tests for quorum specs and redundancy schemes.
+
+#include <gtest/gtest.h>
+
+#include "wt/soft/quorum.h"
+#include "wt/soft/redundancy.h"
+
+namespace wt {
+namespace {
+
+TEST(QuorumTest, MajorityFormula) {
+  EXPECT_EQ(QuorumSpec::Majority(3).read_quorum, 2);
+  EXPECT_EQ(QuorumSpec::Majority(3).write_quorum, 2);
+  EXPECT_EQ(QuorumSpec::Majority(5).read_quorum, 3);
+  EXPECT_EQ(QuorumSpec::Majority(4).read_quorum, 3);
+  EXPECT_EQ(QuorumSpec::Majority(1).read_quorum, 1);
+}
+
+TEST(QuorumTest, AvailabilityThresholds) {
+  QuorumSpec q = QuorumSpec::Majority(5);
+  EXPECT_TRUE(q.Available(5));
+  EXPECT_TRUE(q.Available(3));
+  EXPECT_FALSE(q.Available(2));
+  EXPECT_EQ(q.FaultTolerance(), 2);
+}
+
+TEST(QuorumTest, ReadOneWriteAll) {
+  QuorumSpec q = QuorumSpec::ReadOneWriteAll(3);
+  EXPECT_TRUE(q.ReadAvailable(1));
+  EXPECT_FALSE(q.WriteAvailable(2));
+  EXPECT_TRUE(q.WriteAvailable(3));
+  EXPECT_TRUE(q.Validate().ok());
+  EXPECT_EQ(q.FaultTolerance(), 0);
+}
+
+TEST(QuorumTest, ValidationRejectsNonIntersecting) {
+  QuorumSpec bad{3, 1, 2};  // R + W = 3 <= n
+  EXPECT_FALSE(bad.Validate().ok());
+  QuorumSpec good{3, 2, 2};
+  EXPECT_TRUE(good.Validate().ok());
+  QuorumSpec out_of_range{3, 0, 3};
+  EXPECT_FALSE(out_of_range.Validate().ok());
+  QuorumSpec too_big{3, 4, 3};
+  EXPECT_FALSE(too_big.Validate().ok());
+}
+
+TEST(ReplicationTest, MajoritySemantics) {
+  ReplicationScheme rep = ReplicationScheme::Majority(3);
+  EXPECT_EQ(rep.num_fragments(), 3);
+  EXPECT_DOUBLE_EQ(rep.storage_overhead(), 3.0);
+  EXPECT_TRUE(rep.Available(2));
+  EXPECT_FALSE(rep.Available(1));
+  EXPECT_TRUE(rep.Durable(1));
+  EXPECT_FALSE(rep.Durable(0));
+  EXPECT_EQ(rep.RepairReadFragments(), 1);
+  EXPECT_EQ(rep.name(), "replication(3)");
+}
+
+TEST(ReedSolomonTest, AnyKDecode) {
+  ReedSolomonScheme rs(10, 4);
+  EXPECT_EQ(rs.num_fragments(), 14);
+  EXPECT_NEAR(rs.storage_overhead(), 1.4, 1e-12);
+  EXPECT_TRUE(rs.Available(10));
+  EXPECT_FALSE(rs.Available(9));
+  EXPECT_TRUE(rs.Durable(10));
+  EXPECT_FALSE(rs.Durable(9));
+  EXPECT_EQ(rs.RepairReadFragments(), 10);
+  EXPECT_EQ(rs.name(), "rs(10,4)");
+}
+
+TEST(LrcTest, LocalRepairIsCheaper) {
+  // XORing-Elephants-style: 10 data, 4 global parities, 2 local groups.
+  LrcScheme lrc(10, 4, 2);
+  ReedSolomonScheme rs(10, 4);
+  EXPECT_EQ(lrc.num_fragments(), 16);   // 10 + 4 + 2 local parities
+  EXPECT_NEAR(lrc.storage_overhead(), 1.6, 1e-12);
+  EXPECT_LT(lrc.RepairReadFragments(), rs.RepairReadFragments());
+  EXPECT_EQ(lrc.RepairReadFragments(), 5);
+  EXPECT_TRUE(lrc.Available(10));
+  EXPECT_FALSE(lrc.Available(9));
+}
+
+TEST(RedundancyOrdering, StorageOverheadRanking) {
+  // The E8 claim: RS < LRC < 3-way replication on storage overhead.
+  ReplicationScheme rep = ReplicationScheme::Majority(3);
+  ReedSolomonScheme rs(10, 4);
+  LrcScheme lrc(10, 4, 2);
+  EXPECT_LT(rs.storage_overhead(), lrc.storage_overhead());
+  EXPECT_LT(lrc.storage_overhead(), rep.storage_overhead());
+}
+
+TEST(RedundancyFactoryTest, ParsesSpecs) {
+  EXPECT_EQ(RedundancyScheme::Create("replication(5)").value()->name(),
+            "replication(5)");
+  EXPECT_EQ(RedundancyScheme::Create("rs(6,3)").value()->name(), "rs(6,3)");
+  EXPECT_EQ(RedundancyScheme::Create("lrc(12,4,3)").value()->name(),
+            "lrc(12,4,3)");
+  EXPECT_EQ(RedundancyScheme::Create("rep(3)").value()->name(),
+            "replication(3)");
+}
+
+TEST(RedundancyFactoryTest, RejectsMalformed) {
+  EXPECT_FALSE(RedundancyScheme::Create("replication()").ok());
+  EXPECT_FALSE(RedundancyScheme::Create("replication(0)").ok());
+  EXPECT_FALSE(RedundancyScheme::Create("rs(10)").ok());
+  EXPECT_FALSE(RedundancyScheme::Create("lrc(10,4,3)").ok());  // 3 !| 10
+  EXPECT_FALSE(RedundancyScheme::Create("raid(5)").ok());
+  EXPECT_FALSE(RedundancyScheme::Create("rs(10,4").ok());
+}
+
+TEST(RedundancyFactoryTest, CloneRoundTrips) {
+  auto scheme = RedundancyScheme::Create("rs(10,4)").value();
+  auto clone = scheme->Clone();
+  EXPECT_EQ(clone->name(), scheme->name());
+  EXPECT_EQ(clone->num_fragments(), scheme->num_fragments());
+}
+
+}  // namespace
+}  // namespace wt

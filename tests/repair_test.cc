@@ -1,0 +1,193 @@
+// Focused tests for the RepairManager over a controlled scenario.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "wt/soft/repair.h"
+
+namespace wt {
+namespace {
+
+struct RepairFixture {
+  Simulator sim;
+  Datacenter dc;
+  Network net;
+  StorageService service;
+  std::vector<ObjectId> restored;
+
+  explicit RepairFixture(int nodes = 6, int64_t users = 4,
+                         double object_gb = 1.0, int n = 3)
+      : dc(MakeDcConfig(nodes)),
+        net(&sim, &dc),
+        service(MakeStorageConfig(nodes, users, object_gb),
+                std::make_unique<ReplicationScheme>(
+                    ReplicationScheme::Majority(n)),
+                PlacementPolicy::Create("round_robin").value(),
+                RngStream(1)) {}
+
+  static DatacenterConfig MakeDcConfig(int nodes) {
+    DatacenterConfig cfg;
+    cfg.num_racks = 1;
+    cfg.nodes_per_rack = nodes;
+    cfg.node.nic.bandwidth_gbps = 8.0;  // 1 GB/s: 1 GB fragment in ~1 s
+    return cfg;
+  }
+  static StorageServiceConfig MakeStorageConfig(int nodes, int64_t users,
+                                                double gb) {
+    StorageServiceConfig cfg;
+    cfg.num_nodes = nodes;
+    cfg.num_users = users;
+    cfg.object_size_gb = gb;
+    return cfg;
+  }
+
+  std::unique_ptr<RepairManager> MakeManager(int max_concurrent,
+                                             double detection_s = 10.0) {
+    RepairConfig cfg;
+    cfg.max_concurrent = max_concurrent;
+    cfg.detection_delay_s = detection_s;
+    return std::make_unique<RepairManager>(
+        &sim, &dc, &net, &service, cfg, RngStream(2),
+        [this](ObjectId o) { restored.push_back(o); });
+  }
+
+  // Fails node hardware + data, informs the manager.
+  void FailNode(NodeIndex n, RepairManager* mgr) {
+    dc.component(dc.node(n).chassis).state = ComponentState::kFailed;
+    net.RefreshCapacities();
+    auto affected = service.FailNode(n);
+    mgr->OnNodeFailed(n, affected);
+  }
+};
+
+TEST(RepairManagerTest, RestoresAllFragmentsOfFailedNode) {
+  RepairFixture f;
+  auto mgr = f.MakeManager(/*max_concurrent=*/4);
+  // Node 0 holds fragments of objects 0..3 (4 users, windows 0..3 on 6
+  // nodes: objects with window {0,1,2} -> object 0; {4,5,0} and {5,0,1}
+  // need users at those ids — with 4 users, objects 0..3 start at 0..3, so
+  // node 0 carries only object 0's first fragment.
+  f.FailNode(0, mgr.get());
+  f.sim.Run();
+  EXPECT_EQ(mgr->repairs_completed(), 1);
+  EXPECT_EQ(f.restored.size(), 1u);
+  EXPECT_EQ(f.restored[0], 0);
+  // The restored fragment lives on an up node.
+  for (const FragmentLoc& frag : f.service.fragments(0)) {
+    EXPECT_TRUE(frag.alive);
+    EXPECT_TRUE(f.dc.NodeUp(frag.node));
+  }
+  EXPECT_EQ(mgr->repairs_pending(), 0);
+}
+
+TEST(RepairManagerTest, DetectionDelayGatesStart) {
+  RepairFixture f;
+  auto mgr = f.MakeManager(4, /*detection_s=*/100.0);
+  f.FailNode(0, mgr.get());
+  f.sim.RunUntil(SimTime::Seconds(50.0));
+  EXPECT_EQ(mgr->repairs_completed(), 0);
+  f.sim.Run();
+  EXPECT_EQ(mgr->repairs_completed(), 1);
+}
+
+TEST(RepairManagerTest, ConcurrencyLimitSerializesRepairs) {
+  // More users so node 0 carries several fragments.
+  RepairFixture f(/*nodes=*/6, /*users=*/18, /*object_gb=*/1.0);
+  // 18 users on 6 nodes: 3 objects per window start; node 0 appears in
+  // windows starting at 4, 5, 0 -> 9 fragments.
+  auto seq_mgr = f.MakeManager(/*max_concurrent=*/1, /*detection_s=*/0.0);
+  f.FailNode(0, seq_mgr.get());
+  f.sim.Run();
+  double seq_time = f.sim.Now().seconds();
+  EXPECT_EQ(seq_mgr->repairs_completed(), 9);
+
+  RepairFixture g(6, 18, 1.0);
+  auto par_mgr = g.MakeManager(/*max_concurrent=*/8, /*detection_s=*/0.0);
+  g.FailNode(0, par_mgr.get());
+  g.sim.Run();
+  double par_time = g.sim.Now().seconds();
+  EXPECT_EQ(par_mgr->repairs_completed(), 9);
+  // Parallel repair finishes sooner (paper §1's software knob).
+  EXPECT_LT(par_time, seq_time);
+  EXPECT_LT(par_mgr->repair_latency_hours().mean(),
+            seq_mgr->repair_latency_hours().mean());
+}
+
+TEST(RepairManagerTest, UnrepairableWhenAllReplicasLost) {
+  RepairFixture f(/*nodes=*/6, /*users=*/4, /*object_gb=*/1.0);
+  auto mgr = f.MakeManager(4, /*detection_s=*/0.0);
+  // Object 0's window is {0,1,2}; kill all three before repair can move.
+  f.dc.component(f.dc.node(0).chassis).state = ComponentState::kFailed;
+  f.dc.component(f.dc.node(1).chassis).state = ComponentState::kFailed;
+  f.dc.component(f.dc.node(2).chassis).state = ComponentState::kFailed;
+  f.net.RefreshCapacities();
+  auto a0 = f.service.FailNode(0);
+  auto a1 = f.service.FailNode(1);
+  auto a2 = f.service.FailNode(2);
+  mgr->OnNodeFailed(0, a0);
+  mgr->OnNodeFailed(1, a1);
+  mgr->OnNodeFailed(2, a2);
+  f.sim.Run();
+  EXPECT_GT(mgr->objects_unrepairable(), 0);
+  // Object 0 has no live fragments.
+  EXPECT_TRUE(f.service.LiveFragmentNodes(0).empty());
+}
+
+TEST(RepairManagerTest, MidTransferDestinationFailureRequeues) {
+  RepairFixture f(/*nodes=*/6, /*users=*/4, /*object_gb=*/10.0);  // ~10 s
+  auto mgr = f.MakeManager(1, /*detection_s=*/0.0);
+  f.FailNode(0, mgr.get());
+  // After repair starts, fail every possible destination once: we fail one
+  // node mid-transfer; the manager must cancel, requeue, and finish on
+  // another destination.
+  f.sim.Schedule(SimTime::Seconds(2.0), [&] {
+    // Find the current destination: any up node that is not in object 0's
+    // live set — we simply fail node 3 (a likely destination) and let the
+    // requeue logic handle it if it was involved.
+    f.dc.component(f.dc.node(3).chassis).state = ComponentState::kFailed;
+    f.net.RefreshCapacities();
+    auto affected = f.service.FailNode(3);
+    mgr->OnNodeFailed(3, affected);
+  });
+  f.sim.Run();
+  // Object 0 ends fully repaired regardless.
+  int live = 0;
+  for (const FragmentLoc& frag : f.service.fragments(0)) {
+    if (frag.alive && f.dc.NodeUp(frag.node)) ++live;
+  }
+  EXPECT_EQ(live, 3);
+}
+
+TEST(RepairManagerTest, TracksBytesWithAmplification) {
+  // Reed-Solomon repair reads k fragments per rebuild.
+  Simulator sim;
+  DatacenterConfig dcfg = RepairFixture::MakeDcConfig(8);
+  Datacenter dc(dcfg);
+  Network net(&sim, &dc);
+  StorageServiceConfig scfg;
+  scfg.num_nodes = 8;
+  scfg.num_users = 2;
+  scfg.object_size_gb = 4.0;
+  StorageService service(scfg, std::make_unique<ReedSolomonScheme>(4, 2),
+                         PlacementPolicy::Create("round_robin").value(),
+                         RngStream(3));
+  RepairConfig rcfg;
+  rcfg.max_concurrent = 2;
+  rcfg.detection_delay_s = 0.0;
+  RepairManager mgr(&sim, &dc, &net, &service, rcfg, RngStream(4), nullptr);
+
+  dc.component(dc.node(0).chassis).state = ComponentState::kFailed;
+  net.RefreshCapacities();
+  auto affected = service.FailNode(0);
+  mgr.OnNodeFailed(0, affected);
+  sim.Run();
+  // Each lost fragment is 1 GB (4 GB / k=4); repair reads k=4 fragments.
+  ASSERT_GT(mgr.repairs_completed(), 0);
+  double per_repair =
+      mgr.bytes_transferred() / static_cast<double>(mgr.repairs_completed());
+  EXPECT_NEAR(per_repair, 4.0 * 1e9, 1e6);
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,109 @@
+// Tests for the FCFS resource queue used by the performance simulation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wt/workload/resource_queue.h"
+
+namespace wt {
+namespace {
+
+TEST(ResourceQueueTest, SingleServerSerializes) {
+  Simulator sim;
+  ResourceQueue q(&sim, 1, "disk");
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    q.Submit(1.0, [&] { done.push_back(sim.Now().seconds()); });
+  }
+  EXPECT_EQ(q.busy_servers(), 1);
+  EXPECT_EQ(q.queue_length(), 2u);
+  sim.Run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+  EXPECT_NEAR(done[2], 3.0, 1e-9);
+  EXPECT_EQ(q.completed(), 3);
+}
+
+TEST(ResourceQueueTest, MultiServerRunsConcurrently) {
+  Simulator sim;
+  ResourceQueue q(&sim, 3, "cpu");
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    q.Submit(1.0, [&] { done.push_back(sim.Now().seconds()); });
+  }
+  sim.Run();
+  for (double t : done) EXPECT_NEAR(t, 1.0, 1e-9);
+}
+
+TEST(ResourceQueueTest, FcfsOrder) {
+  Simulator sim;
+  ResourceQueue q(&sim, 1, "disk");
+  std::vector<int> order;
+  q.Submit(1.0, [&] { order.push_back(0); });
+  q.Submit(0.1, [&] { order.push_back(1); });  // short job still waits
+  q.Submit(0.1, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ResourceQueueTest, UtilizationTracksLoad) {
+  Simulator sim;
+  ResourceQueue q(&sim, 1, "disk");
+  q.Submit(3.0, nullptr);
+  sim.Run();
+  // Busy 3 s of 3 s.
+  EXPECT_NEAR(q.Utilization(sim.Now()), 1.0, 1e-9);
+  // Idle 3 more seconds: utilization halves.
+  EXPECT_NEAR(q.Utilization(SimTime::Seconds(6.0)), 0.5, 1e-9);
+}
+
+TEST(ResourceQueueTest, MeanQueueLength) {
+  Simulator sim;
+  ResourceQueue q(&sim, 1, "disk");
+  q.Submit(1.0, nullptr);
+  q.Submit(1.0, nullptr);  // waits 1 s
+  sim.Run();
+  // One waiter for 1 s over a 2 s horizon = 0.5.
+  EXPECT_NEAR(q.MeanQueueLength(sim.Now()), 0.5, 1e-9);
+}
+
+TEST(ResourceQueueTest, PerfFactorStretchesService) {
+  Simulator sim;
+  ResourceQueue q(&sim, 1, "nic");
+  q.SetPerfFactor(0.1);
+  double done_at = -1;
+  q.Submit(1.0, [&] { done_at = sim.Now().seconds(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 10.0, 1e-9);
+}
+
+TEST(ResourceQueueTest, PerfRestoredMidStream) {
+  Simulator sim;
+  ResourceQueue q(&sim, 1, "nic");
+  q.SetPerfFactor(0.5);
+  std::vector<double> done;
+  q.Submit(1.0, [&] { done.push_back(sim.Now().seconds()); });  // 2 s
+  sim.Schedule(SimTime::Seconds(2.0), [&] {
+    q.SetPerfFactor(1.0);
+    q.Submit(1.0, [&] { done.push_back(sim.Now().seconds()); });  // 1 s
+  });
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 3.0, 1e-9);
+}
+
+TEST(ResourceQueueTest, ZeroServiceCompletesImmediately) {
+  Simulator sim;
+  ResourceQueue q(&sim, 1, "cpu");
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) q.Submit(0.0, [&] { ++completed; });
+  sim.Run();
+  EXPECT_EQ(completed, 100);
+  EXPECT_DOUBLE_EQ(sim.Now().seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace wt

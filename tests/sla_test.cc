@@ -1,0 +1,96 @@
+// Tests for SLA specification and evaluation.
+
+#include <gtest/gtest.h>
+
+#include "wt/sla/evaluator.h"
+#include "wt/sla/sla.h"
+
+namespace wt {
+namespace {
+
+TEST(SlaConstraintTest, Directions) {
+  SlaConstraint at_least{"availability", SlaOp::kAtLeast, 0.999};
+  EXPECT_TRUE(at_least.Satisfied(0.9995));
+  EXPECT_TRUE(at_least.Satisfied(0.999));
+  EXPECT_FALSE(at_least.Satisfied(0.99));
+
+  SlaConstraint at_most{"latency", SlaOp::kAtMost, 100.0};
+  EXPECT_TRUE(at_most.Satisfied(50.0));
+  EXPECT_TRUE(at_most.Satisfied(100.0));
+  EXPECT_FALSE(at_most.Satisfied(101.0));
+}
+
+TEST(SlaConstraintTest, ToStringReadable) {
+  SlaConstraint c{"availability", SlaOp::kAtLeast, 0.999};
+  EXPECT_EQ(c.ToString(), "availability >= 0.999");
+}
+
+TEST(AvailabilitySlaTest, NinesConversionRoundTrips) {
+  AvailabilitySla three = AvailabilitySla::Nines(3);
+  EXPECT_NEAR(three.min_availability, 0.999, 1e-12);
+  EXPECT_NEAR(AvailabilityToNines(0.999), 3.0, 1e-9);
+  EXPECT_NEAR(AvailabilityToNines(0.99999), 5.0, 1e-9);
+  AvailabilitySla half = AvailabilitySla::Nines(3.5);
+  EXPECT_GT(half.min_availability, 0.999);
+  EXPECT_LT(half.min_availability, 0.9999);
+}
+
+TEST(TypedSlaTest, ConstraintConversion) {
+  AvailabilitySla avail{0.999};
+  SlaConstraint c = avail.ToConstraint();
+  EXPECT_EQ(c.metric, "availability");
+  EXPECT_EQ(c.op, SlaOp::kAtLeast);
+
+  PerformanceSla perf{0.99, 150.0};
+  SlaConstraint p = perf.ToConstraint();
+  EXPECT_EQ(p.metric, "latency_p99_ms");
+  EXPECT_EQ(p.op, SlaOp::kAtMost);
+  EXPECT_DOUBLE_EQ(p.threshold, 150.0);
+
+  DurabilitySla dur{1e-9};
+  SlaConstraint d = dur.ToConstraint();
+  EXPECT_EQ(d.op, SlaOp::kAtMost);
+}
+
+TEST(EvaluatorTest, EvaluatesAgainstMetrics) {
+  MetricMap metrics{{"availability", 0.9995}, {"latency_p99_ms", 80.0}};
+  std::vector<SlaConstraint> constraints = {
+      {"availability", SlaOp::kAtLeast, 0.999},
+      {"latency_p99_ms", SlaOp::kAtMost, 100.0}};
+  auto outcomes = EvaluateConstraints(constraints, metrics);
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_TRUE(AllSatisfied(*outcomes));
+  EXPECT_DOUBLE_EQ((*outcomes)[0].measured, 0.9995);
+}
+
+TEST(EvaluatorTest, FailedConstraintReported) {
+  MetricMap metrics{{"availability", 0.9}};
+  auto outcome = EvaluateConstraint(
+      {"availability", SlaOp::kAtLeast, 0.999}, metrics);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->satisfied);
+  EXPECT_NE(outcome->ToString().find("FAIL"), std::string::npos);
+}
+
+TEST(EvaluatorTest, MissingMetricIsError) {
+  MetricMap metrics{{"availability", 0.9}};
+  EXPECT_FALSE(
+      EvaluateConstraint({"latency", SlaOp::kAtMost, 1.0}, metrics).ok());
+  std::vector<SlaConstraint> constraints = {
+      {"availability", SlaOp::kAtLeast, 0.5},
+      {"latency", SlaOp::kAtMost, 1.0}};
+  EXPECT_FALSE(EvaluateConstraints(constraints, metrics).ok());
+}
+
+TEST(EvaluatorTest, AllSatisfiedShortForms) {
+  EXPECT_TRUE(AllSatisfied({}));
+  SlaOutcome pass;
+  pass.satisfied = true;
+  SlaOutcome fail;
+  fail.satisfied = false;
+  EXPECT_TRUE(AllSatisfied({pass, pass}));
+  EXPECT_FALSE(AllSatisfied({pass, fail}));
+}
+
+}  // namespace
+}  // namespace wt

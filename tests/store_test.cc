@@ -1,0 +1,213 @@
+// Tests for the result store: values, tables, aggregation, similarity.
+
+#include <gtest/gtest.h>
+
+#include "wt/store/result_store.h"
+#include "wt/store/table.h"
+#include "wt/store/value.h"
+
+namespace wt {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).AsBool(), true);
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_EQ(Value(7).AsInt(), 7);  // int promotes to int64
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(std::string("s")).type(), ValueType::kString);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_TRUE(Value(2) == Value(2.0));
+  EXPECT_TRUE(Value(1) < Value(1.5));
+  EXPECT_TRUE(Value(1.5) < Value(2));
+  EXPECT_FALSE(Value("2") == Value(2));
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(Value(3).ToNumeric().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(true).ToNumeric().value(), 1.0);
+  EXPECT_FALSE(Value("x").ToNumeric().ok());
+  EXPECT_FALSE(Value().ToNumeric().ok());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+}
+
+Schema TestSchema() {
+  return Schema({{"name", ValueType::kString},
+                 {"nodes", ValueType::kInt},
+                 {"cost", ValueType::kDouble}});
+}
+
+TEST(TableTest, AppendValidatesArityAndTypes) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.AppendRow({Value("a"), Value(10), Value(1.5)}).ok());
+  EXPECT_FALSE(t.AppendRow({Value("a"), Value(10)}).ok());          // arity
+  EXPECT_FALSE(t.AppendRow({Value("a"), Value(1.0), Value(1.5)}).ok());  // type
+  EXPECT_TRUE(t.AppendRow({Value("b"), Value(), Value(2.5)}).ok());  // null ok
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, GetByName) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value(10), Value(1.5)}).ok());
+  EXPECT_EQ(t.Get(0, "nodes").value().AsInt(), 10);
+  EXPECT_FALSE(t.Get(0, "bogus").ok());
+  EXPECT_FALSE(t.Get(5, "nodes").ok());
+}
+
+Table PopulatedTable() {
+  Table t(TestSchema());
+  WT_CHECK(t.AppendRow({Value("a"), Value(10), Value(5.0)}).ok());
+  WT_CHECK(t.AppendRow({Value("b"), Value(30), Value(2.0)}).ok());
+  WT_CHECK(t.AppendRow({Value("c"), Value(20), Value(8.0)}).ok());
+  WT_CHECK(t.AppendRow({Value("d"), Value(30), Value(4.0)}).ok());
+  return t;
+}
+
+TEST(TableTest, FilterByPredicate) {
+  Table t = PopulatedTable();
+  Table big = t.Filter([](const Table& tbl, size_t r) {
+    return tbl.Get(r, "nodes").value().AsInt() == 30;
+  });
+  EXPECT_EQ(big.num_rows(), 2u);
+}
+
+TEST(TableTest, ProjectReordersColumns) {
+  Table t = PopulatedTable();
+  auto p = t.Project({"cost", "name"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->schema().num_columns(), 2u);
+  EXPECT_EQ(p->schema().column(0).name, "cost");
+  EXPECT_DOUBLE_EQ(p->At(0, 0).AsDouble(), 5.0);
+  EXPECT_FALSE(t.Project({"nope"}).ok());
+}
+
+TEST(TableTest, SortAscendingDescending) {
+  Table t = PopulatedTable();
+  auto asc = t.SortBy("cost", true);
+  ASSERT_TRUE(asc.ok());
+  EXPECT_DOUBLE_EQ(asc->At(0, 2).AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(asc->At(3, 2).AsDouble(), 8.0);
+  auto desc = t.SortBy("cost", false);
+  EXPECT_DOUBLE_EQ(desc->At(0, 2).AsDouble(), 8.0);
+}
+
+TEST(TableTest, SortIsStable) {
+  Table t = PopulatedTable();
+  auto sorted = t.SortBy("nodes", true).value();
+  // Two rows with nodes=30 keep original relative order (b before d).
+  EXPECT_EQ(sorted.At(2, 0).AsString(), "b");
+  EXPECT_EQ(sorted.At(3, 0).AsString(), "d");
+}
+
+TEST(TableTest, HeadTruncates) {
+  Table t = PopulatedTable();
+  EXPECT_EQ(t.Head(2).num_rows(), 2u);
+  EXPECT_EQ(t.Head(100).num_rows(), 4u);
+  EXPECT_EQ(t.Head(0).num_rows(), 0u);
+}
+
+TEST(TableTest, AggregateColumn) {
+  Table t = PopulatedTable();
+  auto stats = t.Aggregate("cost");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->min, 2.0);
+  EXPECT_DOUBLE_EQ(stats->max, 8.0);
+  EXPECT_DOUBLE_EQ(stats->sum, 19.0);
+  EXPECT_DOUBLE_EQ(stats->mean, 4.75);
+  EXPECT_EQ(stats->count, 4u);
+}
+
+TEST(TableTest, GroupByMean) {
+  Table t = PopulatedTable();
+  auto grouped = t.GroupByMean("nodes", "cost");
+  ASSERT_TRUE(grouped.ok());
+  // Groups: 10 -> 5.0; 20 -> 8.0; 30 -> 3.0.
+  EXPECT_EQ(grouped->num_rows(), 3u);
+  auto by30 = grouped->Filter([](const Table& tbl, size_t r) {
+    return tbl.At(r, 0).AsInt() == 30;
+  });
+  ASSERT_EQ(by30.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(by30.At(0, 1).AsDouble(), 3.0);
+  EXPECT_EQ(by30.At(0, 2).AsInt(), 2);
+}
+
+TEST(TableTest, CsvEscapesSeparators) {
+  Table t(Schema({{"s", ValueType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value("a,b")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("say \"hi\"")}).ok());
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ResultStoreTest, CreateAndFetch) {
+  ResultStore store;
+  EXPECT_TRUE(store.CreateTable("runs", TestSchema()).ok());
+  EXPECT_FALSE(store.CreateTable("runs", TestSchema()).ok());  // duplicate
+  EXPECT_TRUE(store.HasTable("runs"));
+  EXPECT_TRUE(store.GetTable("runs").ok());
+  EXPECT_FALSE(store.GetTable("nope").ok());
+  EXPECT_EQ(store.TableNames(), (std::vector<std::string>{"runs"}));
+}
+
+TEST(ResultStoreTest, FindSimilarRanksByDistance) {
+  ResultStore store;
+  ASSERT_TRUE(store
+                  .CreateTable("runs", Schema({{"nodes", ValueType::kInt},
+                                               {"nic", ValueType::kDouble}}))
+                  .ok());
+  Table* t = store.GetTable("runs").value();
+  ASSERT_TRUE(t->AppendRow({Value(10), Value(1.0)}).ok());   // row 0
+  ASSERT_TRUE(t->AppendRow({Value(30), Value(10.0)}).ok());  // row 1
+  ASSERT_TRUE(t->AppendRow({Value(12), Value(1.0)}).ok());   // row 2
+
+  std::map<std::string, Value> target{{"nodes", Value(11)},
+                                      {"nic", Value(1.0)}};
+  auto similar = store.FindSimilar("runs", target, {"nodes", "nic"}, 2);
+  ASSERT_TRUE(similar.ok());
+  ASSERT_EQ(similar->size(), 2u);
+  // Rows 0 and 2 are the near neighbors; row 1 is far.
+  EXPECT_TRUE(((*similar)[0] == 0 && (*similar)[1] == 2) ||
+              ((*similar)[0] == 2 && (*similar)[1] == 0));
+}
+
+TEST(ResultStoreTest, FindSimilarCategoricalDimension) {
+  ResultStore store;
+  ASSERT_TRUE(store
+                  .CreateTable("runs",
+                               Schema({{"placement", ValueType::kString},
+                                       {"nodes", ValueType::kInt}}))
+                  .ok());
+  Table* t = store.GetTable("runs").value();
+  ASSERT_TRUE(t->AppendRow({Value("random"), Value(10)}).ok());
+  ASSERT_TRUE(t->AppendRow({Value("round_robin"), Value(10)}).ok());
+  std::map<std::string, Value> target{{"placement", Value("round_robin")},
+                                      {"nodes", Value(10)}};
+  auto similar =
+      store.FindSimilar("runs", target, {"placement", "nodes"}, 1);
+  ASSERT_TRUE(similar.ok());
+  ASSERT_EQ(similar->size(), 1u);
+  EXPECT_EQ((*similar)[0], 1u);
+}
+
+TEST(ResultStoreTest, FindSimilarValidatesInput) {
+  ResultStore store;
+  ASSERT_TRUE(
+      store.CreateTable("runs", Schema({{"nodes", ValueType::kInt}})).ok());
+  std::map<std::string, Value> target;  // missing dimension
+  EXPECT_FALSE(store.FindSimilar("runs", target, {"nodes"}, 1).ok());
+  EXPECT_FALSE(store.FindSimilar("none", target, {}, 1).ok());
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,147 @@
+// Tests for datacenter topology, specs, and the cost model.
+
+#include <gtest/gtest.h>
+
+#include "wt/hw/cost.h"
+#include "wt/hw/specs.h"
+#include "wt/hw/topology.h"
+
+namespace wt {
+namespace {
+
+DatacenterConfig SmallDc(int racks = 2, int nodes_per_rack = 3) {
+  DatacenterConfig cfg;
+  cfg.num_racks = racks;
+  cfg.nodes_per_rack = nodes_per_rack;
+  return cfg;
+}
+
+TEST(TopologyTest, BuildsExpectedStructure) {
+  Datacenter dc(SmallDc(2, 3));
+  EXPECT_EQ(dc.num_nodes(), 6);
+  EXPECT_EQ(dc.num_racks(), 2);
+  EXPECT_NE(dc.agg_switch(), kInvalidComponent);
+  // Per node: chassis + nic + cpu + mem + 2 disks = 6 components;
+  // plus 2 ToRs and 1 agg.
+  EXPECT_EQ(dc.num_components(), 6 * 6 + 2 + 1);
+  EXPECT_EQ(dc.RackOf(0), 0);
+  EXPECT_EQ(dc.RackOf(3), 1);
+  EXPECT_EQ(dc.rack(0).nodes.size(), 3u);
+}
+
+TEST(TopologyTest, SingleRackHasNoAggSwitch) {
+  Datacenter dc(SmallDc(1, 4));
+  EXPECT_EQ(dc.agg_switch(), kInvalidComponent);
+  EXPECT_TRUE(dc.Reachable(0, 3));
+}
+
+TEST(TopologyTest, NodeUpRequiresChassisAndNic) {
+  Datacenter dc(SmallDc());
+  EXPECT_TRUE(dc.NodeUp(0));
+  dc.component(dc.node(0).nic).state = ComponentState::kFailed;
+  EXPECT_FALSE(dc.NodeUp(0));
+  dc.component(dc.node(0).nic).state = ComponentState::kOperational;
+  dc.component(dc.node(0).chassis).state = ComponentState::kFailed;
+  EXPECT_FALSE(dc.NodeUp(0));
+}
+
+TEST(TopologyTest, DegradedNodeIsStillUp) {
+  Datacenter dc(SmallDc());
+  dc.component(dc.node(0).nic).state = ComponentState::kDegraded;
+  dc.component(dc.node(0).nic).perf_factor = 0.01;
+  EXPECT_TRUE(dc.NodeUp(0));
+  EXPECT_DOUBLE_EQ(dc.component(dc.node(0).nic).EffectivePerf(), 0.01);
+}
+
+TEST(TopologyTest, TorFailurePartitionsRack) {
+  Datacenter dc(SmallDc(2, 3));
+  EXPECT_TRUE(dc.Reachable(0, 1));  // same rack
+  EXPECT_TRUE(dc.Reachable(0, 3));  // cross rack
+  dc.component(dc.rack(0).tor).state = ComponentState::kFailed;
+  EXPECT_FALSE(dc.Reachable(0, 1));
+  EXPECT_FALSE(dc.Reachable(0, 3));
+  EXPECT_TRUE(dc.Reachable(3, 4));  // other rack unaffected
+}
+
+TEST(TopologyTest, AggFailureCutsCrossRackOnly) {
+  Datacenter dc(SmallDc(2, 3));
+  dc.component(dc.agg_switch()).state = ComponentState::kFailed;
+  EXPECT_TRUE(dc.Reachable(0, 1));
+  EXPECT_FALSE(dc.Reachable(0, 3));
+}
+
+TEST(TopologyTest, UsableCapacityTracksFailures) {
+  DatacenterConfig cfg = SmallDc(1, 2);  // 2 nodes x 2 disks x 1000 GB
+  Datacenter dc(cfg);
+  EXPECT_DOUBLE_EQ(dc.UsableCapacityGb(), 4000.0);
+  dc.component(dc.node(0).disks[0]).state = ComponentState::kFailed;
+  EXPECT_DOUBLE_EQ(dc.UsableCapacityGb(), 3000.0);
+  dc.component(dc.node(1).chassis).state = ComponentState::kFailed;
+  EXPECT_DOUBLE_EQ(dc.UsableCapacityGb(), 1000.0);
+}
+
+TEST(SpecsTest, PresetsAreSane) {
+  DiskSpec hdd = DiskSpec::Hdd();
+  DiskSpec ssd = DiskSpec::Ssd();
+  EXPECT_GT(ssd.random_iops, hdd.random_iops * 100);
+  EXPECT_LT(ssd.access_latency_ms, hdd.access_latency_ms);
+  EXPECT_GT(ssd.capex_usd / ssd.capacity_gb, hdd.capex_usd / hdd.capacity_gb);
+  EXPECT_GT(NicSpec::TenGig().bandwidth_gbps, NicSpec::OneGig().bandwidth_gbps);
+  EXPECT_LT(CpuSpec::LowPower().power_watts, CpuSpec::Commodity().power_watts);
+}
+
+TEST(CostTest, NodeCapexSumsParts) {
+  NodeSpec node;
+  node.disks_per_node = 2;
+  double expected = node.chassis_capex_usd + node.cpu.capex_usd +
+                    node.mem.capacity_gb * node.mem.capex_usd_per_gb +
+                    node.nic.capex_usd + 2 * node.disk.capex_usd;
+  EXPECT_DOUBLE_EQ(NodeCapexUsd(node), expected);
+}
+
+TEST(CostTest, DatacenterCapexIncludesSwitches) {
+  DatacenterConfig cfg = SmallDc(2, 3);
+  CostModel cost;
+  double nodes_only = 6 * NodeCapexUsd(cfg.node);
+  EXPECT_DOUBLE_EQ(cost.TotalCapexUsd(cfg),
+                   nodes_only + 2 * cfg.tor.capex_usd + cfg.agg.capex_usd);
+  // Single rack drops the agg switch.
+  DatacenterConfig single = SmallDc(1, 6);
+  EXPECT_DOUBLE_EQ(cost.TotalCapexUsd(single),
+                   nodes_only + cfg.tor.capex_usd);
+}
+
+TEST(CostTest, MonthlyCombinesCapexAndPower) {
+  DatacenterConfig cfg = SmallDc(1, 1);
+  CostModel cost;
+  cost.usd_per_kwh = 0.10;
+  cost.amortization_years = 3.0;
+  cost.pue = 1.5;
+  double capex_m = cost.TotalCapexUsd(cfg) / 36.0;
+  double power_m =
+      cost.TotalPowerWatts(cfg) * 1.5 * 24 * 30 / 1000.0 * 0.10;
+  EXPECT_NEAR(cost.MonthlyCostUsd(cfg), capex_m + power_m, 1e-9);
+  EXPECT_GT(cost.MonthlyCostUsd(cfg), 0.0);
+}
+
+TEST(CostTest, MoreNodesCostMore) {
+  CostModel cost;
+  EXPECT_GT(cost.MonthlyCostUsd(SmallDc(2, 10)),
+            cost.MonthlyCostUsd(SmallDc(1, 10)));
+}
+
+TEST(CostTest, StorageCostScalesWithGb) {
+  CostModel cost;
+  DatacenterConfig cfg = SmallDc();
+  double c1 = cost.MonthlyStorageCostUsd(cfg, 1000.0);
+  double c3 = cost.MonthlyStorageCostUsd(cfg, 3000.0);
+  EXPECT_NEAR(c3, 3 * c1, 1e-9);
+}
+
+TEST(ComponentTest, StateStrings) {
+  EXPECT_STREQ(ComponentStateToString(ComponentState::kFailed), "failed");
+  EXPECT_STREQ(ComponentKindToString(ComponentKind::kSwitch), "switch");
+}
+
+}  // namespace
+}  // namespace wt

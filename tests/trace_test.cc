@@ -1,0 +1,121 @@
+// Tests for trace generation, CSV round-trips, and log->distribution
+// fitting (the §4.4 pipeline).
+
+#include <gtest/gtest.h>
+
+#include "wt/workload/trace.h"
+
+namespace wt {
+namespace {
+
+TEST(TraceTest, GeneratorAlternatesFailureRepair) {
+  DeterministicDist ttf(100.0);
+  DeterministicDist ttr(10.0);
+  auto trace = GenerateFailureTrace(2, /*years=*/0.1, ttf, ttr, 1);
+  // Horizon 876 h; cycle 110 h -> ~7 failures per node.
+  ASSERT_FALSE(trace.empty());
+  // Sorted by time.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].timestamp_hours, trace[i - 1].timestamp_hours);
+  }
+  // Per node, failures and repairs alternate.
+  int node0_failures = 0, node0_repairs = 0;
+  for (const auto& r : trace) {
+    if (r.node != 0) continue;
+    if (r.kind == TraceRecord::Kind::kFailure) ++node0_failures;
+    if (r.kind == TraceRecord::Kind::kRepair) ++node0_repairs;
+  }
+  EXPECT_GE(node0_failures, 7);
+  EXPECT_LE(node0_failures - node0_repairs, 1);
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  DeterministicDist ttf(50.0);
+  DeterministicDist ttr(5.0);
+  auto trace = GenerateFailureTrace(3, 0.05, ttf, ttr, 9);
+  std::string csv = TraceToCsv(trace);
+  auto parsed = TraceFromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR((*parsed)[i].timestamp_hours, trace[i].timestamp_hours, 1e-5);
+    EXPECT_EQ((*parsed)[i].node, trace[i].node);
+    EXPECT_EQ((*parsed)[i].kind, trace[i].kind);
+  }
+}
+
+TEST(TraceTest, CsvRejectsMalformed) {
+  EXPECT_FALSE(TraceFromCsv("timestamp_hours,node,kind,value\n1,2\n").ok());
+  EXPECT_FALSE(
+      TraceFromCsv("timestamp_hours,node,kind,value\n1,2,alien,0\n").ok());
+  EXPECT_FALSE(
+      TraceFromCsv("timestamp_hours,node,kind,value\nx,2,failure,0\n").ok());
+  // Empty lines and header tolerated.
+  auto ok = TraceFromCsv("timestamp_hours,node,kind,value\n\n1.5,0,failure,0\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 1u);
+}
+
+TEST(TraceTest, FitRecoverTtfMean) {
+  // Generate with known Weibull TTF; the fitted empirical distribution's
+  // mean should be close to the source mean.
+  WeibullDist ttf(0.8, 500.0);
+  DeterministicDist ttr(12.0);
+  auto trace = GenerateFailureTrace(50, 20.0, ttf, ttr, 77);
+  auto fitted = FitTimeToFailure(trace);
+  ASSERT_TRUE(fitted.ok()) << fitted.status().ToString();
+  EXPECT_NEAR(fitted->Mean() / ttf.Mean(), 1.0, 0.15);
+}
+
+TEST(TraceTest, FitRecoverRepairMean) {
+  DeterministicDist ttf(200.0);
+  LogNormalDist ttr = LogNormalDist::FromMoments(8.0, 4.0);
+  auto trace = GenerateFailureTrace(50, 10.0, ttf, ttr, 33);
+  auto fitted = FitRepairTime(trace);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_NEAR(fitted->Mean() / 8.0, 1.0, 0.15);
+}
+
+TEST(TraceTest, FitFailsOnSparseTrace) {
+  std::vector<TraceRecord> empty;
+  EXPECT_FALSE(FitTimeToFailure(empty).ok());
+  EXPECT_FALSE(FitRepairTime(empty).ok());
+  std::vector<TraceRecord> one = {
+      {10.0, 0, TraceRecord::Kind::kFailure, 0.0}};
+  EXPECT_FALSE(FitTimeToFailure(one).ok());
+}
+
+TEST(TraceTest, KindStringsRoundTrip) {
+  for (auto kind : {TraceRecord::Kind::kFailure, TraceRecord::Kind::kRepair,
+                    TraceRecord::Kind::kLatencySample}) {
+    auto parsed = TraceKindFromString(TraceKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(TraceKindFromString("bogus").ok());
+}
+
+TEST(TraceTest, EndToEndLogDrivenModel) {
+  // The full §4.4 pipeline: operational log -> fitted distributions ->
+  // usable as simulation inputs.
+  WeibullDist true_ttf(0.8, 800.0);
+  LogNormalDist true_ttr = LogNormalDist::FromMoments(24.0, 12.0);
+  auto trace = GenerateFailureTrace(100, 15.0, true_ttf, true_ttr, 5);
+
+  auto ttf = FitTimeToFailure(trace);
+  auto ttr = FitRepairTime(trace);
+  ASSERT_TRUE(ttf.ok() && ttr.ok());
+
+  // Sample the fitted models; their means track the source processes.
+  RngStream rng(1);
+  double sum_ttf = 0, sum_ttr = 0;
+  for (int i = 0; i < 5000; ++i) {
+    sum_ttf += ttf->Sample(rng);
+    sum_ttr += ttr->Sample(rng);
+  }
+  EXPECT_NEAR(sum_ttf / 5000.0 / true_ttf.Mean(), 1.0, 0.2);
+  EXPECT_NEAR(sum_ttr / 5000.0 / 24.0, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace wt
