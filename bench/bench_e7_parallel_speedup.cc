@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "wt/core/orchestrator.h"
+#include "wt/core/thread_pool.h"
 #include "wt/sim/simulator.h"
 #include "wt/soft/availability_static.h"
 
@@ -67,9 +68,60 @@ void SweepWallClock() {
   std::printf(
       "\nShape (paper §4.2): independent runs parallelize embarrassingly —\n"
       "speedup tracks min(workers, cores). On a single-core host the curve\n"
-      "is flat by construction; the parallelism is still exercised (the\n"
-      "worker pool runs, results are identical to the sequential sweep).\n\n");
+      "is flat by construction; the parallelism is still exercised, and the\n"
+      "wavefront scheduler makes every row's records byte-identical to the\n"
+      "sequential sweep's (see E6 part 1b and orchestrator_test).\n\n");
 }
+
+// Task-submission overhead: per-task Submit vs one SubmitBatch vs chunked
+// ParallelFor, for many tiny tasks (the E7 sweep used to pay the per-Submit
+// lock + wakeup once per design point).
+constexpr int kTinyTasks = 1 << 14;
+
+void BM_SubmitPerTask(benchmark::State& state) {
+  wt::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int> count{0};
+    for (int i = 0; i < kTinyTasks; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.WaitIdle();
+    benchmark::DoNotOptimize(count.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kTinyTasks);
+}
+BENCHMARK(BM_SubmitPerTask)->Arg(4);
+
+void BM_SubmitBatch(benchmark::State& state) {
+  wt::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(kTinyTasks);
+    for (int i = 0; i < kTinyTasks; ++i) {
+      tasks.push_back(
+          [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.SubmitBatch(std::move(tasks));
+    pool.WaitIdle();
+    benchmark::DoNotOptimize(count.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kTinyTasks);
+}
+BENCHMARK(BM_SubmitBatch)->Arg(4);
+
+void BM_ParallelForChunked(benchmark::State& state) {
+  wt::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, kTinyTasks, [&count](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(count.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kTinyTasks);
+}
+BENCHMARK(BM_ParallelForChunked)->Arg(4);
 
 // DES engine microbenchmark: events/second through the kernel.
 void BM_EventLoopThroughput(benchmark::State& state) {

@@ -1,8 +1,8 @@
 #include "wt/core/orchestrator.h"
 
-#include <atomic>
+#include <algorithm>
 #include <map>
-#include <mutex>
+#include <memory>
 
 #include "wt/common/macros.h"
 #include "wt/core/thread_pool.h"
@@ -27,6 +27,46 @@ RunOrchestrator::RunOrchestrator(SweepOptions options) : options_(options) {
   WT_CHECK(options.replications >= 1);
 }
 
+namespace {
+
+// Wavefront (epoch) schedule. level(j) = 1 + max level over earlier points
+// that could prune j (could-prune = static dominance along the hints), or 0
+// if none can. Two properties make the sweep worker-count-invariant:
+//  * every potential pruner of a point sits in a strictly earlier wavefront,
+//    so by the time a point's pruning check runs, all failures that could
+//    affect it are already committed — identical to a serial sweep;
+//  * points within one wavefront cannot prune each other, so they are
+//    independent and fan out onto the pool in any order.
+// OrderBestFirst sorts descending by hinted goodness and dominance implies
+// equal-or-better goodness, so dominators always precede dominatees and the
+// i < j scan below sees every edge. O(n^2) dominance checks in the worst
+// case; design grids are small (thousands of points) and each check is a
+// handful of map lookups.
+std::vector<std::vector<size_t>> BuildWavefronts(
+    const DominancePruner& pruner, const std::vector<DesignPoint>& points,
+    bool enable_pruning, bool have_hints) {
+  const size_t n = points.size();
+  std::vector<size_t> level(n, 0);
+  size_t num_levels = 1;
+  if (enable_pruning && have_hints) {
+    for (size_t j = 0; j < n; ++j) {
+      for (size_t i = 0; i < j; ++i) {
+        // Cheap level test first; the dominance check is the expensive part.
+        if (level[i] + 1 > level[j] &&
+            pruner.DominatesOrEqual(points[i], points[j])) {
+          level[j] = level[i] + 1;
+        }
+      }
+      num_levels = std::max(num_levels, level[j] + 1);
+    }
+  }
+  std::vector<std::vector<size_t>> waves(num_levels);
+  for (size_t j = 0; j < n; ++j) waves[level[j]].push_back(j);
+  return waves;
+}
+
+}  // namespace
+
 Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
     const DesignSpace& space, const RunFn& fn,
     const std::vector<SlaConstraint>& constraints,
@@ -36,28 +76,19 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
   }
   DominancePruner pruner(hints);
   std::vector<DesignPoint> points = pruner.OrderBestFirst(space.AllPoints());
+  const std::vector<std::vector<size_t>> waves = BuildWavefronts(
+      pruner, points, options_.enable_pruning, !hints.empty());
 
   std::vector<RunRecord> records(points.size());
-  std::mutex mu;  // guards pruner and SLA bookkeeping
   RngStream root(options_.seed);
 
+  // Executes one non-pruned point. Touches only records[idx] and derives
+  // randomness from (seed, run_id, replicate) — no shared mutable state, no
+  // locks, no dependence on scheduling order.
   auto run_one = [&](size_t idx) {
     RunRecord& rec = records[idx];
-    rec.run_id = idx;
-    rec.point = points[idx];
-
-    if (options_.enable_pruning) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (pruner.IsDominated(rec.point)) {
-        rec.status = RunStatus::kPruned;
-        rec.sla_satisfied = false;
-        return;
-      }
-    }
-
-    RngStream point_rng = root.Substream(static_cast<uint64_t>(idx));
     if (options_.replications == 1) {
-      RngStream rng = point_rng;
+      RngStream rng = root.Substream(static_cast<uint64_t>(idx), 0);
       Result<MetricMap> metrics = fn(rec.point, rng);
       if (!metrics.ok()) {
         rec.status = RunStatus::kError;
@@ -66,10 +97,11 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
       }
       rec.metrics = std::move(metrics).value();
     } else {
-      // Replicated run: aggregate each metric across independent seeds.
+      // Replicated run: aggregate each metric across independent substreams.
       std::map<std::string, RunningStats> agg;
       for (int rep = 0; rep < options_.replications; ++rep) {
-        RngStream rng = point_rng.Substream(static_cast<uint64_t>(rep));
+        RngStream rng = root.Substream(static_cast<uint64_t>(idx),
+                                       static_cast<uint64_t>(rep));
         Result<MetricMap> metrics = fn(rec.point, rng);
         if (!metrics.ok()) {
           rec.status = RunStatus::kError;
@@ -93,24 +125,55 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
     }
     rec.sla_outcomes = std::move(outcomes).value();
     rec.sla_satisfied = AllSatisfied(rec.sla_outcomes);
-    if (!rec.sla_satisfied && options_.enable_pruning) {
-      std::lock_guard<std::mutex> lock(mu);
-      pruner.RecordFailure(rec.point);
-    }
   };
 
-  if (options_.num_workers == 1) {
-    for (size_t i = 0; i < points.size(); ++i) run_one(i);
-  } else {
-    ThreadPool pool(options_.num_workers);
-    for (size_t i = 0; i < points.size(); ++i) {
-      pool.Submit([&run_one, i] { run_one(i); });
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_workers > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_workers);
+  }
+
+  for (const std::vector<size_t>& wave : waves) {
+    // Epoch barrier, phase 1 (serial, point-index order): pruning decisions
+    // against the failure set frozen at this boundary.
+    std::vector<size_t> runnable;
+    runnable.reserve(wave.size());
+    for (size_t idx : wave) {
+      RunRecord& rec = records[idx];
+      rec.run_id = idx;
+      rec.point = points[idx];
+      if (options_.enable_pruning && pruner.IsDominated(rec.point)) {
+        rec.status = RunStatus::kPruned;
+        rec.sla_satisfied = false;
+      } else {
+        runnable.push_back(idx);
+      }
     }
-    pool.WaitIdle();
+    // Phase 2: fan the epoch's runnable points onto the pool. Chunked
+    // ParallelFor instead of one Submit per point: one lock acquisition per
+    // batch, and tiny runs amortize across a chunk.
+    if (pool && runnable.size() > 1) {
+      pool->ParallelFor(0, runnable.size(),
+                        [&](size_t k) { run_one(runnable[k]); });
+    } else {
+      for (size_t idx : runnable) run_one(idx);
+    }
+    // Phase 3 (serial, point-index order): commit this epoch's SLA failures
+    // to the pruner. This is the ONLY place pruner state changes, so the
+    // pruned set depends on the wavefront structure alone, never on worker
+    // count or completion order.
+    if (options_.enable_pruning) {
+      for (size_t idx : wave) {
+        const RunRecord& rec = records[idx];
+        if (rec.status == RunStatus::kCompleted && !rec.sla_satisfied) {
+          pruner.RecordFailure(rec.point);
+        }
+      }
+    }
   }
 
   stats_ = SweepStats{};
   stats_.total_points = points.size();
+  stats_.wavefronts = waves.size();
   for (const RunRecord& rec : records) {
     switch (rec.status) {
       case RunStatus::kCompleted:

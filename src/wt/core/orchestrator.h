@@ -7,6 +7,14 @@
 //  * parallelization — independent runs execute on a worker pool (each run
 //    owns a private Simulator, so runs never share mutable state; this is
 //    the run-level parallelism justified by the model interaction graph).
+//
+// The two compose deterministically: the sweep executes in wavefronts
+// (epochs) derived from the static dominance relation. Within a wavefront
+// no point can prune another, so its runs fan out onto the pool; pruning
+// state advances only at epoch barriers, in point-index order. The result —
+// statuses, metrics, pruned set, RNG substreams — is therefore a pure
+// function of (space, hints, seed, replications): byte-identical for any
+// num_workers.
 
 #ifndef WT_CORE_ORCHESTRATOR_H_
 #define WT_CORE_ORCHESTRATOR_H_
@@ -49,7 +57,8 @@ struct RunRecord {
 
 /// Sweep execution knobs.
 struct SweepOptions {
-  /// Worker threads; 1 = fully deterministic pruning decisions.
+  /// Worker threads. Purely a throughput knob: sweep output (records,
+  /// pruning decisions, RNG draws) is independent of num_workers.
   int num_workers = 1;
   uint64_t seed = 1;
   /// Honor MonotoneHints (disable to measure pruning savings — E6).
@@ -68,6 +77,9 @@ struct SweepStats {
   size_t executed = 0;
   size_t pruned = 0;
   size_t errors = 0;
+  /// Number of epochs the sweep executed in (1 when pruning is off or no
+  /// hints are given; otherwise the depth of the dominance DAG).
+  size_t wavefronts = 0;
 };
 
 /// Stateless engine: each Sweep call is independent.

@@ -57,11 +57,13 @@ class DominancePruner {
     return static_cast<int64_t>(failed_.size());
   }
 
- private:
-  // Comparison along hints: returns true if `a` is equal-or-better than `b`
-  // on every hinted dimension and identical elsewhere.
+  /// Comparison along hints: true if `a` is equal-or-better than `b` on
+  /// every hinted dimension and identical elsewhere. This is the static
+  /// could-prune relation the orchestrator uses to build its wavefront
+  /// schedule: if `a` fails its SLA, `b` is guaranteed to fail too.
   bool DominatesOrEqual(const DesignPoint& a, const DesignPoint& b) const;
 
+ private:
   std::vector<MonotoneHint> hints_;
   std::map<std::string, MonotoneDirection> hint_by_dim_;
   std::vector<DesignPoint> failed_;

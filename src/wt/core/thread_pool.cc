@@ -1,5 +1,7 @@
 #include "wt/core/thread_pool.h"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "wt/common/macros.h"
@@ -29,6 +31,55 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (std::function<void()>& t : tasks) queue_.push_back(std::move(t));
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body,
+                             size_t grain) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (grain == 0) grain = std::max<size_t>(1, n / (workers_.size() * 4));
+  const size_t num_chunks = (n + grain - 1) / grain;
+  if (num_chunks <= 1) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Private completion latch: this call must not wait on unrelated tasks
+  // (WaitIdle would), and workers may still touch the latch while the
+  // caller wakes — shared_ptr keeps it alive for the last toucher.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = num_chunks;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t lo = begin + c * grain;
+    const size_t hi = std::min(end, lo + grain);
+    tasks.push_back([&body, lo, hi, latch] {
+      for (size_t i = lo; i < hi; ++i) body(i);
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->cv.notify_all();
+    });
+  }
+  SubmitBatch(std::move(tasks));
+
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&latch] { return latch->remaining == 0; });
 }
 
 void ThreadPool::WaitIdle() {

@@ -101,13 +101,24 @@ Status WindTunnel::StoreRecords(const std::string& table_name,
     std::vector<Value> row;
     row.reserve(defs.size());
     row.emplace_back(static_cast<int64_t>(r.run_id));
+    // if/else pushes rather than `cond ? v : Value()` ternaries: the
+    // ternary over the string-variant Value trips GCC 12's
+    // -Werror=maybe-uninitialized.
     for (const Dimension& d : space.dimensions()) {
       auto v = r.point.Get(d.name);
-      row.push_back(v.ok() ? v.value() : Value());
+      if (v.ok()) {
+        row.push_back(std::move(v).value());
+      } else {
+        row.emplace_back();
+      }
     }
     for (const std::string& m : metric_names) {
       auto it = r.metrics.find(m);
-      row.push_back(it != r.metrics.end() ? Value(it->second) : Value());
+      if (it != r.metrics.end()) {
+        row.emplace_back(it->second);
+      } else {
+        row.emplace_back();
+      }
     }
     row.emplace_back(r.sla_satisfied);
     row.emplace_back(std::string(RunStatusToString(r.status)));

@@ -75,6 +75,19 @@ RngStream RngStream::Substream(uint64_t index) const {
   return RngStream(mix);
 }
 
+RngStream RngStream::Substream(uint64_t a, uint64_t b) const {
+  // Feed (seed, a, b) through a splitmix64 hash chain so distinct pairs land
+  // in decorrelated streams (chaining the one-index Substream twice mixes
+  // only additively, which invites pair collisions).
+  uint64_t state = seed_;
+  uint64_t mix = SplitMix64(state);
+  state = mix ^ (a + 0x9e3779b97f4a7c15ULL);
+  mix = SplitMix64(state);
+  state = mix ^ (b + 0xbf58476d1ce4e5b9ULL);
+  mix = SplitMix64(state);
+  return RngStream(mix);
+}
+
 double RngStream::NextDouble() {
   // 53 random mantissa bits → uniform in [0, 1).
   return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;

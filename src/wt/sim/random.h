@@ -49,6 +49,12 @@ class RngStream {
   /// Derives an independent child stream for the given index (e.g. per-run).
   RngStream Substream(uint64_t index) const;
 
+  /// Derives an independent child stream for an (index, subindex) pair in
+  /// one step — e.g. (run_id, replicate). The derivation depends only on
+  /// (parent seed, a, b), never on submission or execution order, which is
+  /// what makes parallel sweeps byte-reproducible.
+  RngStream Substream(uint64_t a, uint64_t b) const;
+
   /// Uniform uint64.
   uint64_t NextU64() { return engine_.Next(); }
 

@@ -29,11 +29,17 @@ bool Schema::Has(const std::string& name) const {
 }
 
 std::string Schema::ToString() const {
-  std::vector<std::string> parts;
-  for (const ColumnDef& c : columns_) {
-    parts.push_back(c.name + ":" + ValueTypeToString(c.type));
+  // Built with sequential appends: the "(" + StrJoin(...) + ")" form trips
+  // GCC 12's -Werror=restrict false positive (GCC bug 105651).
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeToString(columns_[i].type);
   }
-  return "(" + StrJoin(parts, ", ") + ")";
+  out += ")";
+  return out;
 }
 
 Status Table::AppendRow(std::vector<Value> row) {

@@ -1,6 +1,7 @@
 #include "wt/workload/perf_sim.h"
 
 #include <cmath>
+#include <deque>
 #include <memory>
 #include <utility>
 
@@ -211,6 +212,8 @@ Result<PerfSimResult> RunPerfSim(const PerfSimConfig& config,
 
   // --- cluster events -----------------------------------------------------
   RngStream repair_rng = root.Substream("repair-traffic");
+  // deque: stable addresses, so scheduled events can hold references.
+  std::deque<std::function<void()>> repair_injectors;
   for (const OutageEvent& ev : outages) {
     if (ev.node < 0 || ev.node >= config.num_nodes) {
       return Status::InvalidArgument("outage node out of range");
@@ -223,10 +226,15 @@ Result<PerfSimResult> RunPerfSim(const PerfSimConfig& config,
                            state.nodes[static_cast<size_t>(ev.node)].up = true;
                          });
     // Repair I/O on survivors during the outage: Poisson background disk
-    // jobs spread over live nodes.
+    // jobs spread over live nodes. Each injector lives in repair_injectors
+    // (which outlives the simulation run) and its events capture it by
+    // reference — a shared_ptr captured inside its own closure would be a
+    // reference cycle and leak (LeakSanitizer caught exactly that).
     if (ev.repair_disk_jobs_per_s > 0) {
-      auto inject = std::make_shared<std::function<void()>>();
-      *inject = [&state, ev, &repair_rng, inject, num_nodes = config.num_nodes] {
+      repair_injectors.emplace_back();
+      std::function<void()>& inject = repair_injectors.back();
+      inject = [&state, ev, &repair_rng, &inject,
+                num_nodes = config.num_nodes] {
         double now = state.sim.Now().seconds();
         if (now >= ev.at_s + ev.duration_s) return;
         int victim =
@@ -236,10 +244,9 @@ Result<PerfSimResult> RunPerfSim(const PerfSimConfig& config,
         if (node.up) node.disk->Submit(ev.repair_disk_service_s, nullptr);
         double gap =
             -std::log(repair_rng.NextDoubleOpen()) / ev.repair_disk_jobs_per_s;
-        state.sim.Schedule(SimTime::Seconds(gap), [inject] { (*inject)(); });
+        state.sim.Schedule(SimTime::Seconds(gap), [&inject] { inject(); });
       };
-      state.sim.ScheduleAt(SimTime::Seconds(ev.at_s),
-                           [inject] { (*inject)(); });
+      state.sim.ScheduleAt(SimTime::Seconds(ev.at_s), [&inject] { inject(); });
     }
   }
   for (const DegradeEvent& ev : degrades) {

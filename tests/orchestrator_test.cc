@@ -199,6 +199,134 @@ TEST(OrchestratorTest, SingleReplicationHasNoSeColumns) {
   EXPECT_EQ((*records)[0].metrics.count("y_se"), 0u);
 }
 
+// Full record equality, bitwise on metric doubles: the determinism
+// guarantee is byte-identical output, not approximate agreement.
+void ExpectRecordsIdentical(const std::vector<RunRecord>& a,
+                            const std::vector<RunRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(a[i].run_id, b[i].run_id);
+    EXPECT_EQ(a[i].point.ToString(), b[i].point.ToString());
+    EXPECT_EQ(a[i].status, b[i].status);
+    EXPECT_EQ(a[i].sla_satisfied, b[i].sla_satisfied);
+    EXPECT_EQ(a[i].error, b[i].error);
+    ASSERT_EQ(a[i].metrics.size(), b[i].metrics.size());
+    for (const auto& [name, value] : a[i].metrics) {
+      ASSERT_TRUE(b[i].metrics.count(name)) << name;
+      EXPECT_EQ(value, b[i].metrics.at(name)) << name;  // bitwise
+    }
+    ASSERT_EQ(a[i].sla_outcomes.size(), b[i].sla_outcomes.size());
+    for (size_t j = 0; j < a[i].sla_outcomes.size(); ++j) {
+      EXPECT_EQ(a[i].sla_outcomes[j].satisfied, b[i].sla_outcomes[j].satisfied);
+    }
+  }
+}
+
+// A 4x4 grid with RNG noise and an SLA that splits the grid: some points
+// pass, some fail and prune their dominated cone across several wavefronts.
+TEST(OrchestratorTest, PrunedSweepIsWorkerCountInvariant) {
+  DesignSpace space;
+  ASSERT_TRUE(space.AddDimension(
+                       "nic_gbps", {Value(1), Value(10), Value(25), Value(40)})
+                  .ok());
+  ASSERT_TRUE(space.AddDimension(
+                       "memory_gb", {Value(16), Value(32), Value(64), Value(128)})
+                  .ok());
+  RunFn fn = [](const DesignPoint& p, RngStream& rng) -> Result<MetricMap> {
+    double nic = p.GetDouble("nic_gbps", 1);
+    double mem = p.GetDouble("memory_gb", 16);
+    MetricMap m;
+    m["latency_ms"] = 400.0 / nic + 2000.0 / mem + rng.Uniform(0.0, 5.0);
+    return m;
+  };
+  std::vector<SlaConstraint> slas = {{"latency_ms", SlaOp::kAtMost, 100.0}};
+  std::vector<MonotoneHint> hints = {
+      {"nic_gbps", MonotoneDirection::kHigherIsBetter},
+      {"memory_gb", MonotoneDirection::kHigherIsBetter}};
+
+  std::vector<RunRecord> baseline;
+  SweepStats baseline_stats;
+  for (int workers : {1, 2, 8}) {
+    SweepOptions opts;
+    opts.num_workers = workers;
+    opts.seed = 42;
+    RunOrchestrator orch(opts);
+    auto records = orch.Sweep(space, fn, slas, hints);
+    ASSERT_TRUE(records.ok()) << "workers=" << workers;
+    if (workers == 1) {
+      baseline = *records;
+      baseline_stats = orch.last_stats();
+      // The SLA threshold must actually split the grid for this test to
+      // exercise pruning: expect both executed and pruned runs.
+      EXPECT_GT(baseline_stats.pruned, 0u);
+      EXPECT_GT(baseline_stats.executed, 0u);
+      EXPECT_GT(baseline_stats.wavefronts, 1u);
+    } else {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      ExpectRecordsIdentical(baseline, *records);
+      EXPECT_EQ(orch.last_stats().executed, baseline_stats.executed);
+      EXPECT_EQ(orch.last_stats().pruned, baseline_stats.pruned);
+      EXPECT_EQ(orch.last_stats().wavefronts, baseline_stats.wavefronts);
+    }
+  }
+}
+
+// Replicated runs must also be invariant: substreams derive from
+// (seed, run_id, replicate), never from scheduling order.
+TEST(OrchestratorTest, ReplicatedSweepIsWorkerCountInvariant) {
+  DesignSpace space;
+  std::vector<Value> xs;
+  for (int i = 1; i <= 12; ++i) xs.emplace_back(i);
+  ASSERT_TRUE(space.AddDimension("x", xs).ok());
+  RunFn fn = [](const DesignPoint& p, RngStream& rng) -> Result<MetricMap> {
+    return MetricMap{
+        {"y", p.GetDouble("x", 0) + rng.Uniform(0.0, 1.0)}};
+  };
+  std::vector<RunRecord> baseline;
+  for (int workers : {1, 4}) {
+    SweepOptions opts;
+    opts.num_workers = workers;
+    opts.seed = 7;
+    opts.replications = 3;
+    RunOrchestrator orch(opts);
+    auto records = orch.Sweep(space, fn, {{"y", SlaOp::kAtLeast, 4.0}}, {});
+    ASSERT_TRUE(records.ok());
+    if (workers == 1) {
+      baseline = *records;
+    } else {
+      ExpectRecordsIdentical(baseline, *records);
+    }
+  }
+}
+
+// The wavefront schedule preserves serial pruning power: on the E6 grid the
+// hinted sweep still executes exactly one run per value of the non-hinted
+// dimension (the best configuration), everything else pruned.
+TEST(OrchestratorTest, WavefrontPruningMatchesSerialSemantics) {
+  DesignSpace space;
+  ASSERT_TRUE(space.AddDimension(
+                       "nic_gbps", {Value(1), Value(10), Value(25), Value(40)})
+                  .ok());
+  ASSERT_TRUE(space.AddDimension("disk", {Value("hdd"), Value("ssd")}).ok());
+  RunFn fn = [](const DesignPoint&, RngStream&) -> Result<MetricMap> {
+    return MetricMap{{"latency_ms", 50.0}};
+  };
+  std::vector<SlaConstraint> slas = {
+      {"latency_ms", SlaOp::kAtMost, 1.0}};  // unattainable
+  std::vector<MonotoneHint> hints = {
+      {"nic_gbps", MonotoneDirection::kHigherIsBetter}};
+  for (int workers : {1, 4}) {
+    SweepOptions opts;
+    opts.num_workers = workers;
+    RunOrchestrator orch(opts);
+    auto records = orch.Sweep(space, fn, slas, hints);
+    ASSERT_TRUE(records.ok());
+    EXPECT_EQ(orch.last_stats().executed, 2u) << "workers=" << workers;
+    EXPECT_EQ(orch.last_stats().pruned, 6u) << "workers=" << workers;
+  }
+}
+
 TEST(WindTunnelTest, RunSweepStoresResultTable) {
   WindTunnel tunnel;
   ASSERT_TRUE(tunnel.RegisterSimulation("toy", ToyModel()).ok());
