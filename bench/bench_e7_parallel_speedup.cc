@@ -11,7 +11,10 @@
 #include <chrono>
 #include <thread>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "wt/core/orchestrator.h"
 #include "wt/core/thread_pool.h"
 #include "wt/sim/simulator.h"
@@ -50,6 +53,7 @@ void SweepWallClock() {
                                 : "cores visible");
   std::printf("%-9s %-12s %-9s\n", "workers", "seconds", "speedup");
   double base = 0.0;
+  std::vector<bench::BenchEntry> entries;
   for (int workers : {1, 2, 4, 8}) {
     SweepOptions opts;
     opts.num_workers = workers;
@@ -64,7 +68,14 @@ void SweepWallClock() {
     if (workers == 1) base = seconds;
     std::printf("%-9d %-12.3f %-9.2f\n", workers, seconds,
                 base / seconds);
+    bench::BenchEntry e;
+    e.name = "sweep_16pts_w" + std::to_string(workers);
+    e.wall_seconds = seconds;
+    e.events_per_sec = 16.0 / seconds;  // design points per second
+    entries.push_back(e);
   }
+  std::string path = bench::WriteBenchJson("e7", entries);
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
   std::printf(
       "\nShape (paper §4.2): independent runs parallelize embarrassingly —\n"
       "speedup tracks min(workers, cores). On a single-core host the curve\n"

@@ -8,13 +8,23 @@
 // The paper reports the simulated curves only; the exact column is this
 // repo's validation of them (§4.3).
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "wt/analytics/combinatorics.h"
 #include "wt/soft/availability_static.h"
 
 namespace {
+
+// Total Monte-Carlo trials run by one RunConfig call, for the trajectory
+// JSON (BENCH_fig1.json records trials/second as events_per_sec).
+int64_t TrialsPerConfig(int max_failures) {
+  // placement_samples * trials_per_placement per failure count.
+  return static_cast<int64_t>(max_failures + 1) * 10 * 100;
+}
 
 void RunConfig(const char* placement_name, int n, int num_nodes,
                int max_failures) {
@@ -53,13 +63,25 @@ int main() {
   std::printf(
       "E1 / Figure 1: P(>=1 of 10,000 users unavailable) vs node failures\n"
       "quorum-based protocol (majority of n replicas required)\n\n");
+  auto start = std::chrono::steady_clock::now();
+  int64_t trials = 0;
   for (int num_nodes : {10, 30}) {
     int max_f = num_nodes == 10 ? 8 : 12;
     for (int n : {3, 5}) {
       RunConfig("random", n, num_nodes, max_f);
       RunConfig("round_robin", n, num_nodes, max_f);
+      trials += 2 * TrialsPerConfig(max_f);
     }
   }
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  wt::bench::BenchEntry e;
+  e.name = "fig1_full_sweep";
+  e.wall_seconds = seconds;
+  e.events_per_sec = static_cast<double>(trials) / seconds;
+  std::string path = wt::bench::WriteBenchJson("fig1", {e});
+  if (!path.empty()) std::printf("wrote %s\n\n", path.c_str());
   std::printf(
       "Shape checks (paper): unavailability rises with f; n=5 curves sit\n"
       "below n=3 at the same (N, f); the placement policy separates the\n"

@@ -1,0 +1,93 @@
+// Machine-readable benchmark output: the perf trajectory.
+//
+// Each key bench writes a BENCH_<name>.json next to its stdout report so
+// speedups are *recorded*, not asserted. The schema is deliberately tiny
+// and append-only (new fields may be added; existing ones never change
+// meaning):
+//
+//   {
+//     "bench": "e11",
+//     "commit": "<git short hash or 'unknown'>",
+//     "schema_version": 1,
+//     "entries": [
+//       {"name": "hold_model_16k", "wall_seconds": 1.23,
+//        "events_per_sec": 4.5e6, "speedup_vs_seed": 2.7},
+//       ...
+//     ]
+//   }
+//
+// Committed BENCH_*.json files at the repo root seed the trajectory: every
+// future perf PR re-runs the bench and compares events_per_sec against the
+// checked-in numbers from the previous commit. CI uploads fresh copies as
+// artifacts on every push (see .github/workflows/ci.yml, bench-smoke job).
+//
+// Output directory: $WT_BENCH_JSON_DIR if set, else the current directory.
+// Commit id: $WT_BENCH_COMMIT if set, else `git rev-parse --short HEAD`,
+// else "unknown" (benches must work from an unpacked artifact too).
+
+#ifndef WT_BENCH_BENCH_JSON_H_
+#define WT_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace wt {
+namespace bench {
+
+struct BenchEntry {
+  std::string name;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+  /// Optional: ratio vs the frozen seed implementation measured in the same
+  /// binary on the same machine; <= 0 means "not applicable" and is omitted.
+  double speedup_vs_seed = 0.0;
+};
+
+inline std::string BenchCommit() {
+  if (const char* env = std::getenv("WT_BENCH_COMMIT")) return env;
+  std::string out;
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (fgets(buf, sizeof(buf), p) != nullptr) out = buf;
+    pclose(p);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+/// Writes BENCH_<bench_name>.json; returns the path written (empty on
+/// failure — benches report but never fail on a read-only filesystem).
+inline std::string WriteBenchJson(const std::string& bench_name,
+                                  const std::vector<BenchEntry>& entries) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("WT_BENCH_JSON_DIR")) dir = env;
+  std::string path = dir + "/BENCH_" + bench_name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"commit\": \"%s\",\n",
+               bench_name.c_str(), BenchCommit().c_str());
+  std::fprintf(f, "  \"schema_version\": 1,\n  \"entries\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"events_per_sec\": %.1f",
+                 e.name.c_str(), e.wall_seconds, e.events_per_sec);
+    if (e.speedup_vs_seed > 0.0) {
+      std::fprintf(f, ", \"speedup_vs_seed\": %.3f", e.speedup_vs_seed);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace bench
+}  // namespace wt
+
+#endif  // WT_BENCH_BENCH_JSON_H_

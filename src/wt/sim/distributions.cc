@@ -249,19 +249,49 @@ DistributionPtr EmpiricalDist::Clone() const {
 ZipfGenerator::ZipfGenerator(int64_t n, double s) : n_(n), s_(s) {
   WT_CHECK(n >= 1) << "zipf needs n >= 1";
   WT_CHECK(s >= 0) << "zipf exponent must be non-negative";
-  cdf_.resize(static_cast<size_t>(n));
-  double acc = 0.0;
+  // Walker/Vose alias-table construction, O(n). Buckets whose scaled
+  // probability falls short of 1 borrow the remainder from an oversized
+  // bucket; a draw then needs only one table lookup.
+  const size_t un = static_cast<size_t>(n);
+  std::vector<double> scaled(un);
+  double norm = 0.0;
   for (int64_t k = 0; k < n; ++k) {
-    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
-    cdf_[static_cast<size_t>(k)] = acc;
+    scaled[static_cast<size_t>(k)] =
+        1.0 / std::pow(static_cast<double>(k + 1), s);
+    norm += scaled[static_cast<size_t>(k)];
   }
-  for (auto& v : cdf_) v /= acc;
+  double scale = static_cast<double>(n) / norm;
+  for (double& v : scaled) v *= scale;
+
+  prob_.assign(un, 1.0);
+  alias_.resize(un);
+  for (int64_t k = 0; k < n; ++k) alias_[static_cast<size_t>(k)] = k;
+
+  std::vector<int64_t> small, large;
+  small.reserve(un);
+  large.reserve(un);
+  for (int64_t k = n - 1; k >= 0; --k) {
+    (scaled[static_cast<size_t>(k)] < 1.0 ? small : large).push_back(k);
+  }
+  while (!small.empty() && !large.empty()) {
+    int64_t l = small.back();
+    small.pop_back();
+    int64_t g = large.back();
+    large.pop_back();
+    prob_[static_cast<size_t>(l)] = scaled[static_cast<size_t>(l)];
+    alias_[static_cast<size_t>(l)] = g;
+    scaled[static_cast<size_t>(g)] =
+        (scaled[static_cast<size_t>(g)] + scaled[static_cast<size_t>(l)]) -
+        1.0;
+    (scaled[static_cast<size_t>(g)] < 1.0 ? small : large).push_back(g);
+  }
+  // Leftovers (numerical residue) keep prob 1.0 / self-alias.
 }
 int64_t ZipfGenerator::Sample(RngStream& rng) const {
-  double u = rng.NextDouble();
-  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  if (it == cdf_.end()) return n_ - 1;
-  return static_cast<int64_t>(it - cdf_.begin());
+  int64_t bucket = rng.UniformInt(0, n_ - 1);
+  return rng.NextDouble() < prob_[static_cast<size_t>(bucket)]
+             ? bucket
+             : alias_[static_cast<size_t>(bucket)];
 }
 
 // ---------------------------------------------------------------- Factory

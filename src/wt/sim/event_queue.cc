@@ -6,41 +6,143 @@
 
 namespace wt {
 
+void EventQueue::Reserve(size_t expected_events) {
+  slots_.reserve(expected_events);
+  heap_pos_.reserve(expected_events);
+  tie_.reserve(expected_events);
+  free_.reserve(expected_events);
+  heap_.reserve(expected_events);
+}
+
 EventHandle EventQueue::Push(SimTime t, EventFn fn, int32_t priority) {
-  auto state = std::make_shared<internal::EventState>();
-  EventHandle handle{std::weak_ptr<internal::EventState>(state)};
-  heap_.push(Entry{t, priority, next_seq_++, std::move(state), std::move(fn)});
-  return handle;
+  uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+    heap_pos_.push_back(kNoHeapPos);
+    tie_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  tie_[slot] = TieKey{next_seq_++, priority};
+  uint32_t pos = static_cast<uint32_t>(heap_.size());
+  heap_.emplace_back();  // space for the sifted entry; filled by SiftUp
+  SiftUp(pos, HeapEntry{t.nanos(), slot});
+  return EventHandle(this, slot, s.generation);
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
-}
-
-bool EventQueue::Empty() {
-  SkipCancelled();
-  return heap_.empty();
-}
-
-SimTime EventQueue::PeekTime() {
-  SkipCancelled();
+SimTime EventQueue::PeekTime() const {
   WT_CHECK(!heap_.empty()) << "PeekTime on empty queue";
-  return heap_.top().time;
+  return SimTime::Nanos(heap_[0].time_ns);
 }
 
 EventQueue::Popped EventQueue::Pop() {
-  SkipCancelled();
   WT_CHECK(!heap_.empty()) << "Pop on empty queue";
-  // priority_queue::top() is const; the entry is moved out via const_cast,
-  // which is safe because pop() immediately removes it.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.time, std::move(top.fn)};
-  heap_.pop();
+  uint32_t slot = heap_[0].slot;
+  Popped out{SimTime::Nanos(heap_[0].time_ns), std::move(slots_[slot].fn)};
+  RemoveAt(0);
+  ReleaseSlot(slot);
   return out;
 }
 
 void EventQueue::Clear() {
-  while (!heap_.empty()) heap_.pop();
+  // O(n): no per-entry heap maintenance, just release every live slot.
+  for (const HeapEntry& e : heap_) ReleaseSlot(e.slot);
+  heap_.clear();
+}
+
+void EventQueue::SiftUp(uint32_t pos, HeapEntry moving) {
+  while (pos > 0) {
+    uint32_t parent = (pos - 1) / 4;
+    if (!Before(moving, heap_[parent])) break;
+    Place(pos, heap_[parent]);
+    pos = parent;
+  }
+  Place(pos, moving);
+}
+
+void EventQueue::SiftDown(uint32_t pos, HeapEntry moving) {
+  const uint32_t n = static_cast<uint32_t>(heap_.size());
+  while (true) {
+    uint32_t first_child = 4 * pos + 1;
+    if (first_child >= n) break;
+    uint32_t last_child = first_child + 4 <= n ? first_child + 4 : n;
+    // Overlap the next level's cache miss with this level's comparisons:
+    // the grandchildren of pos span ~256 contiguous bytes starting at the
+    // first child's first child, and one 64-byte stretch of them is read
+    // next iteration.
+    uint32_t grandchild = 4 * first_child + 1;
+    if (grandchild < n) {
+      const char* base = reinterpret_cast<const char*>(&heap_[grandchild]);
+      __builtin_prefetch(base);
+      __builtin_prefetch(base + 64);
+      __builtin_prefetch(base + 128);
+      __builtin_prefetch(base + 192);
+    }
+    uint32_t best;
+    if (last_child == first_child + 4) {
+      // Full group: branchless min tournament. The comparisons are on
+      // effectively random keys, so a compare-and-branch scan mispredicts
+      // about every other compare; ternaries compile to conditional moves
+      // and keep the pipeline clean.
+      uint32_t ab =
+          Before(heap_[first_child + 1], heap_[first_child]) ? first_child + 1
+                                                             : first_child;
+      uint32_t cd = Before(heap_[first_child + 3], heap_[first_child + 2])
+                        ? first_child + 3
+                        : first_child + 2;
+      best = Before(heap_[cd], heap_[ab]) ? cd : ab;
+    } else {
+      best = first_child;
+      for (uint32_t c = first_child + 1; c < last_child; ++c) {
+        if (Before(heap_[c], heap_[best])) best = c;
+      }
+    }
+    if (!Before(heap_[best], moving)) break;
+    Place(pos, heap_[best]);
+    pos = best;
+  }
+  Place(pos, moving);
+}
+
+void EventQueue::RemoveAt(uint32_t pos) {
+  uint32_t last = static_cast<uint32_t>(heap_.size()) - 1;
+  HeapEntry displaced = heap_[last];
+  heap_.pop_back();
+  if (pos > last || heap_.empty()) return;
+  if (pos == last) return;
+  // The displaced entry may need to move either direction relative to pos
+  // (it was a leaf, not a descendant of pos in general). SiftDown settles
+  // it among pos's descendants; if it never moved down, SiftUp from pos.
+  SiftDown(pos, displaced);
+  if (heap_pos_[displaced.slot] == pos) SiftUp(pos, displaced);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;  // drop captured state now, not at slot reuse
+  heap_pos_[slot] = kNoHeapPos;
+  ++s.generation;  // invalidates every outstanding handle to this slot
+  free_.push_back(slot);
+}
+
+void EventQueue::CancelSlot(uint32_t slot, uint32_t generation) {
+  if (slot >= slots_.size()) return;
+  if (slots_[slot].generation != generation ||
+      heap_pos_[slot] == kNoHeapPos) {
+    return;
+  }
+  RemoveAt(heap_pos_[slot]);
+  ReleaseSlot(slot);
+}
+
+bool EventQueue::SlotPending(uint32_t slot, uint32_t generation) const {
+  if (slot >= slots_.size()) return false;
+  return slots_[slot].generation == generation &&
+         heap_pos_[slot] != kNoHeapPos;
 }
 
 }  // namespace wt

@@ -1,68 +1,87 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary min-heap ordered by (time, priority, sequence). The sequence
-// number makes ordering total and deterministic: two events scheduled for
-// the same tick fire in scheduling order. Cancellation is lazy (a cancelled
-// entry is skipped at pop time), which keeps Cancel O(1).
+// Allocation-free in steady state (DESIGN.md §DES-kernel-internals):
+//
+//  * Callbacks are `wt::InlineFn` — 48-byte small-buffer callables, so a
+//    scheduler lambda costs zero heap allocations (std::function spilled
+//    nearly every capture).
+//  * Events live in a generation-counted slot pool. An EventHandle is just
+//    {slot, generation}; cancellation is an O(1) pool lookup that fails
+//    closed when the generation has moved on (fired/cancelled slots are
+//    recycled), so handles are cheap, copyable, and idempotent to cancel.
+//  * The ready order is kept by a 4-ary indexed min-heap whose 24-byte
+//    entries embed the full (time, priority, seq) key — sift comparisons
+//    read contiguous heap memory instead of chasing slot-pool pointers —
+//    and because every slot knows its heap position, Cancel() removes the
+//    entry outright (O(log4 n) sift, no tombstone accumulation: RawSize()
+//    is the live count and Empty()/PeekTime() are logically const).
+//
+// Ordering is the exact total order of the original implementation —
+// (time, priority, sequence) — so replacing the kernel changes no
+// simulation output bit (enforced by sweep_fingerprint_test).
 
 #ifndef WT_SIM_EVENT_QUEUE_H_
 #define WT_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "wt/common/inline_fn.h"
 #include "wt/sim/time.h"
 
 namespace wt {
 
-/// Callback invoked when an event fires.
-using EventFn = std::function<void()>;
+/// Callback invoked when an event fires. Move-only, 48-byte inline storage.
+using EventFn = InlineFn;
 
-namespace internal {
-struct EventState {
-  bool cancelled = false;
-};
-}  // namespace internal
+class EventQueue;
 
-/// Handle to a scheduled event; allows cancellation. Handles are cheap,
-/// copyable, and outlive the event harmlessly.
+/// Handle to a scheduled event; allows cancellation. Handles are cheap and
+/// copyable; once the event fires or is cancelled the slot's generation
+/// advances, so stale handles become inert automatically. A handle must not
+/// be used after its EventQueue is destroyed (every in-tree holder is owned
+/// by the object that owns the Simulator).
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancels the event if it has not fired yet. Idempotent.
-  void Cancel() {
-    if (auto s = state_.lock()) s->cancelled = true;
-  }
+  /// Cancels the event if it has not fired yet: O(1) generation check plus
+  /// an O(log4 n) true removal from the heap. Idempotent.
+  inline void Cancel();
 
   /// True if the handle refers to an event that is still pending.
-  bool pending() const {
-    auto s = state_.lock();
-    return s != nullptr && !s->cancelled;
-  }
+  inline bool pending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<internal::EventState> state)
-      : state_(std::move(state)) {}
-  std::weak_ptr<internal::EventState> state_;
+  EventHandle(EventQueue* queue, uint32_t slot, uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
 };
 
 /// The simulator's pending event set.
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Pre-sizes the slot pool and heap for `expected_events` simultaneously
+  /// pending events, eliminating growth reallocations for the whole run.
+  void Reserve(size_t expected_events);
+
   /// Schedules `fn` at absolute time `t`. Lower `priority` fires first among
   /// same-tick events (before sequence order is consulted).
   EventHandle Push(SimTime t, EventFn fn, int32_t priority = 0);
 
-  /// True if no live (non-cancelled) events remain.
-  bool Empty();
+  /// True if no live events remain.
+  bool Empty() const { return heap_.empty(); }
 
   /// Time of the earliest live event. Requires !Empty().
-  SimTime PeekTime();
+  SimTime PeekTime() const;
 
   /// Removes and returns the earliest live event. Requires !Empty().
   struct Popped {
@@ -71,34 +90,97 @@ class EventQueue {
   };
   Popped Pop();
 
-  /// Number of entries including cancelled ones awaiting lazy removal.
+  /// Number of live (pending, non-cancelled) events. Cancellation removes
+  /// entries outright, so — unlike the old lazy-deletion queue — this is an
+  /// exact live count, not "entries plus tombstones".
   size_t RawSize() const { return heap_.size(); }
 
+  /// Capacity of the slot pool (high-water mark of simultaneous events).
+  size_t SlotCapacity() const { return slots_.size(); }
+
+  /// Drops every pending event in O(n): callbacks are destroyed, slots are
+  /// recycled, and all outstanding handles become inert.
   void Clear();
 
  private:
-  struct Entry {
-    SimTime time;
-    int32_t priority;
-    uint64_t seq;
-    // shared_ptr so EventHandle can observe/cancel.
-    std::shared_ptr<internal::EventState> state;
+  friend class EventHandle;
+
+  static constexpr uint32_t kNoHeapPos = UINT32_MAX;
+
+  /// Slot pool entry: just the callback plus its handle generation. The
+  /// sort key lives in the heap entry and the heap position in heap_pos_
+  /// (a dense parallel array), so sift operations never touch the fat
+  /// callback storage at all.
+  struct Slot {
+    /// Incremented every time the slot is released; pending handles carry
+    /// the generation they were issued under.
+    uint32_t generation = 0;
     EventFn fn;
   };
-  struct EntryGreater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.priority != b.priority) return a.priority > b.priority;
-      return a.seq > b.seq;
-    }
+
+  /// 16-byte heap entry: the primary sort key (time) plus the slot id.
+  /// A 4-child group is 64 bytes — one cache line — so each sift level is
+  /// a single contiguous read. The (priority, seq) tie-break, needed only
+  /// when two events share a timestamp, lives in tie_ (dense, slot-indexed)
+  /// and is consulted on the cold equal-time path.
+  struct HeapEntry {
+    int64_t time_ns;
+    uint32_t slot;
   };
 
-  // Drops cancelled entries from the top of the heap.
-  void SkipCancelled();
+  /// Tie-break key for same-time events, indexed by slot.
+  struct TieKey {
+    uint64_t seq;
+    int32_t priority;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  // (time, priority, seq) total order; strict less-than.
+  bool Before(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+    const TieKey& ka = tie_[a.slot];
+    const TieKey& kb = tie_[b.slot];
+    if (ka.priority != kb.priority) return ka.priority < kb.priority;
+    return ka.seq < kb.seq;
+  }
+
+  // 4-ary heap maintenance over heap_, keeping slot heap_pos in sync.
+  void SiftUp(uint32_t pos, HeapEntry moving);
+  void SiftDown(uint32_t pos, HeapEntry moving);
+  void RemoveAt(uint32_t pos);
+  void Place(uint32_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    heap_pos_[e.slot] = pos;
+  }
+
+  // Returns the slot (fn destroyed, generation bumped) to the free list.
+  void ReleaseSlot(uint32_t slot);
+
+  // EventHandle backends.
+  void CancelSlot(uint32_t slot, uint32_t generation);
+  bool SlotPending(uint32_t slot, uint32_t generation) const;
+
+  std::vector<Slot> slots_;
+  /// heap_pos_[slot]: index into heap_, or kNoHeapPos when the slot is
+  /// free. Kept out of Slot so the per-level position updates during sifts
+  /// write into a dense u32 array (16 slots per cache line, L1-resident for
+  /// tens of thousands of pending events) instead of scattered 64-byte
+  /// slot records.
+  std::vector<uint32_t> heap_pos_;
+  /// tie_[slot]: (seq, priority) of the slot's current event; read only
+  /// when two heap entries collide on time.
+  std::vector<TieKey> tie_;
+  std::vector<uint32_t> free_;   // LIFO recycling keeps the pool cache-hot
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap by Before()
   uint64_t next_seq_ = 0;
 };
+
+inline void EventHandle::Cancel() {
+  if (queue_ != nullptr) queue_->CancelSlot(slot_, generation_);
+}
+
+inline bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->SlotPending(slot_, generation_);
+}
 
 }  // namespace wt
 

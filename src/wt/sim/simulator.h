@@ -26,6 +26,11 @@ class Simulator {
   /// Current simulated time.
   SimTime Now() const { return now_; }
 
+  /// Pre-sizes the pending-event set for `expected_events` simultaneously
+  /// pending events. Run builders call this from their configs so the
+  /// orchestrator's runs never pay queue-growth reallocations mid-sim.
+  void Reserve(size_t expected_events) { queue_.Reserve(expected_events); }
+
   /// Schedules `fn` after `delay` from now. Negative delays are an error.
   /// A delay that lands beyond the clock's ~292-year range means the event
   /// never happens: it is not queued and the returned handle is inert.
@@ -52,7 +57,7 @@ class Simulator {
   int64_t events_processed() const { return events_processed_; }
 
   /// True when no live events remain.
-  bool Idle() { return queue_.Empty(); }
+  bool Idle() const { return queue_.Empty(); }
 
  private:
   EventQueue queue_;

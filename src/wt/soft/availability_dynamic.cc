@@ -95,6 +95,12 @@ Result<AvailabilityMetrics> RunDynamicAvailability(
   }
 
   Simulator sim;
+  // Peak pending events: one failure-or-replacement timer per node, the
+  // network's single completion event, plus repair detection/backoff timers
+  // bounded by the repair parallelism. Reserving up front keeps the run's
+  // event hot path free of pool/heap growth allocations.
+  sim.Reserve(static_cast<size_t>(config.datacenter.num_nodes()) +
+              static_cast<size_t>(config.repair.max_concurrent) + 16);
   Datacenter dc(config.datacenter);
   Network network(&sim, &dc);
   RngStream root(config.seed);

@@ -87,6 +87,14 @@ Result<PerfSimResult> RunPerfSim(const PerfSimConfig& config,
   RunState state;
   state.warmup_s = config.warmup_s;
   state.nic_bytes_per_s = GbpsToBytesPerSec(config.nic_gbps);
+  // Peak pending events: at most one completion per busy server across all
+  // per-node resource queues, one arrival timer per workload source, plus
+  // cluster-event timers. Pre-sizing the event pool once here means the
+  // per-request path never grows it.
+  state.sim.Reserve(static_cast<size_t>(config.num_nodes) *
+                        static_cast<size_t>(config.cores_per_node +
+                                            config.disks_per_node + 1) +
+                    specs.size() + 2 * outages.size() + degrades.size() + 16);
   state.nodes.resize(static_cast<size_t>(config.num_nodes));
   for (int i = 0; i < config.num_nodes; ++i) {
     auto& node = state.nodes[static_cast<size_t>(i)];

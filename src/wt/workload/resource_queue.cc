@@ -18,8 +18,7 @@ void ResourceQueue::RecordState() {
   qlen_stats_.Set(t, static_cast<double>(waiting_.size()));
 }
 
-void ResourceQueue::Submit(double service_seconds,
-                           std::function<void()> on_done) {
+void ResourceQueue::Submit(double service_seconds, InlineFn on_done) {
   WT_CHECK(service_seconds >= 0);
   Job job{service_seconds, std::move(on_done)};
   if (busy_ < servers_) {
@@ -39,7 +38,7 @@ void ResourceQueue::Dispatch(Job job) {
                  });
 }
 
-void ResourceQueue::OnJobDone(std::function<void()> on_done) {
+void ResourceQueue::OnJobDone(InlineFn on_done) {
   --busy_;
   ++completed_;
   if (!waiting_.empty()) {

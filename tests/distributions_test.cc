@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
+#include <vector>
 
 #include "wt/sim/distributions.h"
 
@@ -164,6 +166,90 @@ TEST(ZipfTest, SkewFavorsLowRanks) {
   // P(rank 0) = 1/H_1000 ~ 0.1336.
   EXPECT_NEAR(static_cast<double>(rank0) / kN, 0.1336, 0.01);
   EXPECT_LT(tail, rank0);
+}
+
+// Reference implementation of the pre-alias-table sampler: inverse CDF by
+// binary search (the seed's O(log n) ZipfGenerator::Sample). Kept here so
+// the chi-squared test below can certify the alias table draws from the
+// same distribution.
+class ZipfCdfReference {
+ public:
+  ZipfCdfReference(int64_t n, double s) : n_(n) {
+    cdf_.resize(static_cast<size_t>(n));
+    double acc = 0.0;
+    for (int64_t k = 0; k < n; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[static_cast<size_t>(k)] = acc;
+    }
+    for (auto& v : cdf_) v /= acc;
+  }
+  int64_t Sample(RngStream& rng) const {
+    double u = rng.NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return n_ - 1;
+    return static_cast<int64_t>(it - cdf_.begin());
+  }
+
+ private:
+  int64_t n_;
+  std::vector<double> cdf_;
+};
+
+// Two-sample chi-squared: alias-table draws vs CDF-reference draws must be
+// statistically indistinguishable, rank by rank.
+TEST(ZipfTest, AliasTableMatchesCdfSamplerChiSquared) {
+  for (double s : {0.0, 0.8, 0.99, 1.5}) {
+    const int64_t kRanks = 50;
+    const int kDraws = 200000;
+    ZipfGenerator alias_gen(kRanks, s);
+    ZipfCdfReference cdf_gen(kRanks, s);
+    RngStream rng_a(1234), rng_b(5678);
+    std::vector<double> a(static_cast<size_t>(kRanks), 0.0);
+    std::vector<double> b(static_cast<size_t>(kRanks), 0.0);
+    for (int i = 0; i < kDraws; ++i) {
+      ++a[static_cast<size_t>(alias_gen.Sample(rng_a))];
+      ++b[static_cast<size_t>(cdf_gen.Sample(rng_b))];
+    }
+    double chi2 = 0.0;
+    int dof = -1;  // one constraint: totals are equal by construction
+    for (int64_t k = 0; k < kRanks; ++k) {
+      double ak = a[static_cast<size_t>(k)], bk = b[static_cast<size_t>(k)];
+      if (ak + bk < 10.0) continue;  // merge ultra-rare tail into nothing
+      chi2 += (ak - bk) * (ak - bk) / (ak + bk);
+      ++dof;
+    }
+    ASSERT_GT(dof, 10);
+    // P(chi2 > dof + 4*sqrt(2*dof)) < 1e-3; seeds are fixed so this is a
+    // deterministic regression bound, not a flaky statistical one.
+    double bound = dof + 4.0 * std::sqrt(2.0 * static_cast<double>(dof));
+    EXPECT_LT(chi2, bound) << "s=" << s << " dof=" << dof;
+  }
+}
+
+// The alias table must also match the *exact* pmf, not merely the other
+// sampler (both could share a bug): goodness-of-fit against 1/(k+1)^s / H.
+TEST(ZipfTest, AliasTableMatchesExactPmfChiSquared) {
+  const int64_t kRanks = 20;
+  const double s = 0.99;
+  const int kDraws = 400000;
+  ZipfGenerator gen(kRanks, s);
+  RngStream rng(42);
+  std::vector<double> counts(static_cast<size_t>(kRanks), 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<size_t>(gen.Sample(rng))];
+  }
+  double norm = 0.0;
+  for (int64_t k = 0; k < kRanks; ++k) {
+    norm += 1.0 / std::pow(static_cast<double>(k + 1), s);
+  }
+  double chi2 = 0.0;
+  for (int64_t k = 0; k < kRanks; ++k) {
+    double expected = kDraws / std::pow(static_cast<double>(k + 1), s) / norm;
+    double diff = counts[static_cast<size_t>(k)] - expected;
+    chi2 += diff * diff / expected;
+  }
+  double dof = static_cast<double>(kRanks - 1);
+  EXPECT_LT(chi2, dof + 4.0 * std::sqrt(2.0 * dof));
 }
 
 TEST(ParseDistributionTest, RejectsMalformedSpecs) {

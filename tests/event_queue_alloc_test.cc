@@ -1,0 +1,227 @@
+// Proves the "zero allocations per event in steady state" claim by
+// overriding global operator new/delete in this test binary and counting.
+// After Reserve() (or a warm-up that grows the slot pool to its high-water
+// mark), scheduling, cancelling, and firing events must not touch the heap:
+// callbacks small enough for InlineFn's buffer live in the slot pool, and
+// the 4-ary heap and free list reuse their vectors.
+//
+// tests/CMakeLists.txt builds one binary per test file, so the override is
+// confined to this test.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wt/sim/event_queue.h"
+#include "wt/sim/random.h"
+#include "wt/sim/simulator.h"
+
+// Sanitizers interpose the global allocator themselves; replacing operator
+// new under ASan/TSan would bypass their bookkeeping. The functional parts
+// of these tests still run there — only the counting assertions are
+// skipped (the release CI leg enforces them).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define WT_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define WT_ALLOC_COUNTING 0
+#endif
+#endif
+#ifndef WT_ALLOC_COUNTING
+#define WT_ALLOC_COUNTING 1
+#endif
+
+namespace {
+
+std::atomic<int64_t> g_allocs{0};
+std::atomic<int64_t> g_frees{0};
+
+}  // namespace
+
+#if WT_ALLOC_COUNTING
+// Full replacement set. Each overload counts and calls malloc/free directly
+// (no delegation between overloads: GCC's -Wmismatched-new-delete flags
+// e.g. operator delete[] forwarding to operator delete).
+namespace {
+void* CountedAlloc(std::size_t size) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void CountedFree(void* p) noexcept {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = CountedAlloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+#endif  // WT_ALLOC_COUNTING
+
+namespace wt {
+namespace {
+
+int64_t AllocCount() { return g_allocs.load(std::memory_order_relaxed); }
+
+#if WT_ALLOC_COUNTING
+constexpr bool kCounting = true;
+#else
+constexpr bool kCounting = false;
+#endif
+
+TEST(EventQueueAllocTest, HoldModelSteadyStateIsAllocationFree) {
+  EventQueue q;
+  RngStream rng(3);
+  const int kPending = 512;
+  q.Reserve(kPending);
+
+  int64_t fired = 0;
+  SimTime now = SimTime::Zero();
+  for (int i = 0; i < kPending; ++i) {
+    q.Push(now + SimTime::Nanos(rng.UniformInt(1, 1 << 16)),
+           [&fired] { ++fired; });
+  }
+
+  // Warm-up holds (covers any lazy growth Reserve might have missed).
+  for (int i = 0; i < 1000; ++i) {
+    auto ev = q.Pop();
+    now = ev.time;
+    ev.fn();
+    q.Push(now + SimTime::Nanos(rng.UniformInt(1, 1 << 16)),
+           [&fired] { ++fired; });
+  }
+
+  int64_t before = AllocCount();
+  const int kHolds = 100000;
+  for (int i = 0; i < kHolds; ++i) {
+    auto ev = q.Pop();
+    now = ev.time;
+    ev.fn();
+    q.Push(now + SimTime::Nanos(rng.UniformInt(1, 1 << 16)),
+           [&fired] { ++fired; });
+  }
+  int64_t after = AllocCount();
+
+  EXPECT_EQ(after - before, 0)
+      << "hold model allocated " << (after - before) << " times over "
+      << kHolds << " pop/push cycles";
+  EXPECT_EQ(fired, 1000 + kHolds);
+  q.Clear();
+}
+
+TEST(EventQueueAllocTest, ScheduleCancelSteadyStateIsAllocationFree) {
+  EventQueue q;
+  const int kBatch = 256;
+  q.Reserve(kBatch);
+  std::vector<EventHandle> handles;
+  handles.reserve(kBatch);
+
+  int64_t fired = 0;
+  SimTime now = SimTime::Zero();
+  auto run_batch = [&] {
+    handles.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(
+          q.Push(now + SimTime::Nanos(i + 1), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < kBatch; i += 2) {
+      handles[static_cast<size_t>(i)].Cancel();
+    }
+    while (!q.Empty()) {
+      auto ev = q.Pop();
+      now = ev.time;
+      ev.fn();
+    }
+  };
+
+  run_batch();  // warm-up
+  int64_t before = AllocCount();
+  for (int b = 0; b < 100; ++b) run_batch();
+  int64_t after = AllocCount();
+
+  EXPECT_EQ(after - before, 0)
+      << "schedule/cancel churn allocated " << (after - before) << " times";
+  EXPECT_EQ(fired, 101 * (kBatch / 2));
+}
+
+TEST(EventQueueAllocTest, SimulatorEventChainIsAllocationFree) {
+  Simulator sim;
+  sim.Reserve(16);
+
+  // Self-rescheduling tick, the shape of every periodic model process.
+  // The recursive capture needs a stable this-like anchor; a small struct
+  // keeps the lambda capture well under InlineFn's 48-byte buffer.
+  struct Ticker {
+    Simulator* sim;
+    int64_t remaining;
+    void Tick() {
+      if (--remaining > 0) {
+        sim->Schedule(SimTime::Nanos(10), [this] { Tick(); });
+      }
+    }
+  };
+  Ticker t{&sim, 2000};
+  sim.Schedule(SimTime::Nanos(10), [&t] { t.Tick(); });
+  // Warm-up: first ~1000 ticks may grow pool/heap vectors to steady state.
+  sim.RunUntil(SimTime::Nanos(10 * 1000));
+
+  int64_t before = AllocCount();
+  sim.Run();
+  int64_t after = AllocCount();
+
+  EXPECT_EQ(t.remaining, 0);
+  EXPECT_EQ(after - before, 0)
+      << "Simulator dispatch allocated " << (after - before)
+      << " times across ~1000 events";
+}
+
+TEST(EventQueueAllocTest, OversizedCallbackFallsBackToHeapExactlyOnce) {
+  // Sanity-check the counter itself: a capture larger than the inline
+  // buffer must heap-allocate (exactly once per push), proving the zeros
+  // above are real measurements and not a broken override.
+  if (!kCounting) GTEST_SKIP() << "allocator counting disabled (sanitizer)";
+  EventQueue q;
+  q.Reserve(4);
+  struct Big {
+    char bytes[128];
+  };
+  Big big{};
+  big.bytes[0] = 1;
+  q.Push(SimTime::Nanos(1), [] {});  // warm pool
+  (void)q.Pop();
+
+  int64_t before = AllocCount();
+  q.Push(SimTime::Nanos(2), [big] { (void)big; });
+  int64_t after = AllocCount();
+  EXPECT_EQ(after - before, 1);
+  auto ev = q.Pop();
+  ev.fn();
+}
+
+}  // namespace
+}  // namespace wt

@@ -1,0 +1,257 @@
+// Differential test for the slot-pool/4-ary-heap event queue: drives the
+// real wt::EventQueue and a naive sorted-vector reference model through the
+// same randomized push/cancel/pop interleavings and requires identical
+// observable behavior at every step — pop order (time, priority, seq),
+// Empty()/PeekTime()/RawSize(), handle pending() state, and the effect of
+// Clear(). The reference model is deliberately too slow to ship and too
+// simple to be wrong.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wt/sim/event_queue.h"
+#include "wt/sim/random.h"
+
+namespace wt {
+namespace {
+
+// ------------------------- reference model ------------------------------
+
+/// Sorted-vector priority queue with the same (time, priority, seq) total
+/// order and O(1)-to-reason-about cancellation (erase by id).
+class ReferenceQueue {
+ public:
+  /// Returns an id usable for Cancel/IsPending.
+  uint64_t Push(SimTime t, int32_t priority) {
+    uint64_t id = next_seq_++;
+    events_.push_back(Ev{t, priority, id});
+    return id;
+  }
+
+  bool Cancel(uint64_t id) {
+    auto it = std::find_if(events_.begin(), events_.end(),
+                           [id](const Ev& e) { return e.seq == id; });
+    if (it == events_.end()) return false;
+    events_.erase(it);
+    return true;
+  }
+
+  bool IsPending(uint64_t id) const {
+    return std::any_of(events_.begin(), events_.end(),
+                       [id](const Ev& e) { return e.seq == id; });
+  }
+
+  bool Empty() const { return events_.empty(); }
+  size_t Size() const { return events_.size(); }
+
+  SimTime PeekTime() const { return Min().time; }
+
+  /// Pops the minimum event, returning its identifying seq.
+  uint64_t Pop() {
+    auto it = MinIt();
+    uint64_t id = it->seq;
+    events_.erase(it);
+    return id;
+  }
+
+  void Clear() { events_.clear(); }
+
+ private:
+  struct Ev {
+    SimTime time;
+    int32_t priority;
+    uint64_t seq;
+  };
+  std::vector<Ev>::const_iterator MinIt() const {
+    return std::min_element(events_.begin(), events_.end(),
+                            [](const Ev& a, const Ev& b) {
+                              if (a.time != b.time) return a.time < b.time;
+                              if (a.priority != b.priority) {
+                                return a.priority < b.priority;
+                              }
+                              return a.seq < b.seq;
+                            });
+  }
+  std::vector<Ev>::iterator MinIt() {
+    auto c = static_cast<const ReferenceQueue*>(this)->MinIt();
+    return events_.begin() + (c - events_.cbegin());
+  }
+  const Ev& Min() const { return *MinIt(); }
+
+  std::vector<Ev> events_;
+  uint64_t next_seq_ = 0;
+};
+
+// ------------------------- differential driver --------------------------
+
+struct LiveEvent {
+  EventHandle handle;
+  uint64_t ref_id;
+  uint64_t tag;  // written by the callback when the event fires
+};
+
+TEST(EventQueueModelTest, RandomizedDifferentialAgainstSortedVector) {
+  for (uint64_t trial = 0; trial < 20; ++trial) {
+    RngStream rng(1000 + trial);
+    EventQueue q;
+    ReferenceQueue ref;
+    // Live tracked events (events pushed and not yet popped/cancelled).
+    // Holding pointers stable: deque-free approach, index into vector is
+    // fine because we only append and never erase (slots are marked dead).
+    std::vector<LiveEvent> tracked;
+    std::vector<size_t> live;  // indices into tracked
+    uint64_t fired_tag = 0;    // tag of the most recently fired callback
+
+    const int kSteps = 800;
+    for (int step = 0; step < kSteps; ++step) {
+      // Invariants checked at every step.
+      ASSERT_EQ(q.Empty(), ref.Empty());
+      ASSERT_EQ(q.RawSize(), ref.Size());
+      if (!q.Empty()) {
+        ASSERT_EQ(q.PeekTime().nanos(), ref.PeekTime().nanos());
+      }
+
+      double roll = rng.NextDouble();
+      if (roll < 0.45 || q.Empty()) {
+        // Push. Deliberately generate colliding times and priorities so the
+        // seq tie-break is exercised.
+        SimTime t = SimTime::Nanos(rng.UniformInt(0, 40));
+        int32_t priority = static_cast<int32_t>(rng.UniformInt(-2, 2));
+        size_t idx = tracked.size();
+        tracked.push_back(LiveEvent{});
+        LiveEvent& ev = tracked[idx];
+        ev.tag = trial * 1000000 + static_cast<uint64_t>(idx);
+        uint64_t tag = ev.tag;
+        // The callback writes its tag to fired_tag so the pop comparison
+        // below can identify which logical event the real queue delivered.
+        ev.handle = q.Push(t, [&fired_tag, tag] { fired_tag = tag; }, priority);
+        ev.ref_id = ref.Push(t, priority);
+        live.push_back(idx);
+      } else if (roll < 0.75) {
+        // Pop from both; the same logical event must come out.
+        auto popped = q.Pop();
+        uint64_t ref_id = ref.Pop();
+        fired_tag = UINT64_MAX;
+        popped.fn();
+        // Find the tracked event the reference popped and compare tags.
+        auto it = std::find_if(tracked.begin(), tracked.end(),
+                               [ref_id](const LiveEvent& e) {
+                                 return e.ref_id == ref_id;
+                               });
+        ASSERT_NE(it, tracked.end());
+        ASSERT_EQ(fired_tag, it->tag)
+            << "queue and reference disagree on pop order";
+        ASSERT_FALSE(it->handle.pending())
+            << "handle still pending after its event fired";
+        live.erase(std::remove(live.begin(), live.end(),
+                               static_cast<size_t>(it - tracked.begin())),
+                   live.end());
+      } else if (roll < 0.95 && !live.empty()) {
+        // Cancel a random live event (sometimes twice — idempotence).
+        size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+        LiveEvent& ev = tracked[live[pick]];
+        ASSERT_TRUE(ev.handle.pending());
+        ASSERT_TRUE(ref.IsPending(ev.ref_id));
+        ev.handle.Cancel();
+        ref.Cancel(ev.ref_id);
+        ASSERT_FALSE(ev.handle.pending());
+        if (rng.NextDouble() < 0.5) ev.handle.Cancel();  // idempotent
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {
+        // Rarely: Clear() both queues; every outstanding handle goes inert.
+        q.Clear();
+        ref.Clear();
+        for (size_t idx : live) {
+          ASSERT_FALSE(tracked[idx].handle.pending());
+        }
+        live.clear();
+      }
+    }
+
+    // Drain: remaining events must come out in identical order.
+    while (!ref.Empty()) {
+      ASSERT_FALSE(q.Empty());
+      auto popped = q.Pop();
+      uint64_t ref_id = ref.Pop();
+      fired_tag = UINT64_MAX;
+      popped.fn();
+      auto it = std::find_if(
+          tracked.begin(), tracked.end(),
+          [ref_id](const LiveEvent& e) { return e.ref_id == ref_id; });
+      ASSERT_NE(it, tracked.end());
+      ASSERT_EQ(fired_tag, it->tag);
+    }
+    ASSERT_TRUE(q.Empty());
+  }
+}
+
+TEST(EventQueueModelTest, SlotRecyclingKeepsStaleHandlesInert) {
+  EventQueue q;
+  int fired = 0;
+  // First occupant of slot 0.
+  EventHandle first = q.Push(SimTime::Nanos(5), [&fired] { ++fired; });
+  {
+    auto popped = q.Pop();  // discard without invoking
+    (void)popped;
+  }
+  // Slot 0 is recycled for a new event; the old handle must not be able to
+  // cancel (or observe) the new occupant.
+  EventHandle second = q.Push(SimTime::Nanos(9), [&fired] { fired += 10; });
+  EXPECT_FALSE(first.pending());
+  EXPECT_TRUE(second.pending());
+  first.Cancel();  // stale generation: must be a no-op
+  ASSERT_FALSE(q.Empty());
+  auto ev = q.Pop();
+  ev.fn();
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(second.pending());
+}
+
+TEST(EventQueueModelTest, RawSizeTracksTrueRemovalOnCancel) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(q.Push(SimTime::Nanos(100 - i), [] {}));
+  }
+  EXPECT_EQ(q.RawSize(), 100u);
+  for (int i = 0; i < 100; i += 2) handles[static_cast<size_t>(i)].Cancel();
+  // No tombstones: cancelled events leave the heap immediately.
+  EXPECT_EQ(q.RawSize(), 50u);
+  size_t popped = 0;
+  SimTime last = SimTime::Zero();
+  while (!q.Empty()) {
+    auto ev = q.Pop();
+    EXPECT_GE(ev.time.nanos(), last.nanos());
+    last = ev.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 50u);
+}
+
+TEST(EventQueueModelTest, ClearIsReusableAndRecyclesSlots) {
+  EventQueue q;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 64; ++i) {
+      handles.push_back(q.Push(SimTime::Nanos(i), [] {}));
+    }
+    size_t cap_before = q.SlotCapacity();
+    q.Clear();
+    EXPECT_TRUE(q.Empty());
+    EXPECT_EQ(q.RawSize(), 0u);
+    for (auto& h : handles) EXPECT_FALSE(h.pending());
+    if (round > 0) {
+      // Slots from earlier rounds are reused, not re-allocated.
+      EXPECT_EQ(q.SlotCapacity(), cap_before);
+      EXPECT_LE(q.SlotCapacity(), 64u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wt

@@ -182,5 +182,35 @@ TEST(SimulatorTest, SameTickFiresInScheduleOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST(SimulatorTest, HandleGoesInertAfterFire) {
+  // Slot generations advance on fire, so a kept handle reports not-pending
+  // and cancels as a no-op even after its slot is reused by a later event.
+  Simulator sim;
+  int fired = 0;
+  EventHandle first = sim.Schedule(SimTime::Seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(first.pending());
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(first.pending());
+
+  EventHandle second = sim.Schedule(SimTime::Seconds(1), [&] { fired += 10; });
+  first.Cancel();  // stale: must not cancel the slot's new occupant
+  EXPECT_TRUE(second.pending());
+  sim.Run();
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(SimulatorTest, ReserveDoesNotChangeBehavior) {
+  // Reserve() is purely a capacity hint; scheduling past it still works.
+  Simulator sim;
+  sim.Reserve(4);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.Schedule(SimTime::Seconds(100 - i), [&fired] { ++fired; });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 100);
+}
+
 }  // namespace
 }  // namespace wt
