@@ -17,6 +17,7 @@
 #include "bench_json.h"
 #include "wt/core/orchestrator.h"
 #include "wt/core/thread_pool.h"
+#include "wt/obs/obs.h"
 #include "wt/sim/simulator.h"
 #include "wt/soft/availability_static.h"
 
@@ -172,6 +173,10 @@ BENCHMARK(BM_EventQueueChurn);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // WT_TRACE / WT_METRICS env vars switch on observability; a traced run
+  // shows the orchestrator worker lanes filling as workers increase.
+  wt::obs::EnvObsSession obs_session;
+  wt::obs::SetThisThreadLabel("main");
   SweepWallClock();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

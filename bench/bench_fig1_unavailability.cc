@@ -15,6 +15,7 @@
 
 #include "bench_json.h"
 #include "wt/analytics/combinatorics.h"
+#include "wt/obs/obs.h"
 #include "wt/soft/availability_static.h"
 
 namespace {
@@ -29,6 +30,7 @@ int64_t TrialsPerConfig(int max_failures) {
 void RunConfig(const char* placement_name, int n, int num_nodes,
                int max_failures) {
   using namespace wt;
+  WT_TRACE_SCOPE_ARG("bench", "fig1_config", "num_nodes", num_nodes);
   StaticAvailabilityConfig config;
   config.num_nodes = num_nodes;
   config.num_users = 10000;
@@ -54,12 +56,17 @@ void RunConfig(const char* placement_name, int n, int num_nodes,
                 placement_name, n, num_nodes, f, mc.p_any_unavailable,
                 exact);
   }
+  obs::CountIfEnabled("fig1.mc_trials", TrialsPerConfig(max_failures));
   std::printf("\n");
 }
 
 }  // namespace
 
 int main() {
+  // WT_TRACE=<path> / WT_METRICS=<path> turn on observability for the
+  // whole bench run (CI's obs smoke step relies on this).
+  wt::obs::EnvObsSession obs_session;
+  wt::obs::SetThisThreadLabel("main");
   std::printf(
       "E1 / Figure 1: P(>=1 of 10,000 users unavailable) vs node failures\n"
       "quorum-based protocol (majority of n replicas required)\n\n");

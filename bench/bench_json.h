@@ -9,12 +9,20 @@
 //     "bench": "e11",
 //     "commit": "<git short hash or 'unknown'>",
 //     "schema_version": 1,
+//     "host": {"compiler": "gcc 12.2.0", "build_type": "Release",
+//              "cpu_model": "...", "hardware_threads": 16,
+//              "hostname": "..."},
 //     "entries": [
 //       {"name": "hold_model_16k", "wall_seconds": 1.23,
 //        "events_per_sec": 4.5e6, "speedup_vs_seed": 2.7},
 //       ...
 //     ]
 //   }
+//
+// The "host" block comes from wt::obs::RunManifest (wt/obs/manifest.h), so
+// a trajectory point records the toolchain and machine that produced it —
+// cross-machine comparisons of absolute events/sec are meaningless without
+// it.
 //
 // Committed BENCH_*.json files at the repo root seed the trajectory: every
 // future perf PR re-runs the bench and compares events_per_sec against the
@@ -33,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "wt/obs/manifest.h"
+
 namespace wt {
 namespace bench {
 
@@ -45,19 +55,7 @@ struct BenchEntry {
   double speedup_vs_seed = 0.0;
 };
 
-inline std::string BenchCommit() {
-  if (const char* env = std::getenv("WT_BENCH_COMMIT")) return env;
-  std::string out;
-  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
-    char buf[64];
-    if (fgets(buf, sizeof(buf), p) != nullptr) out = buf;
-    pclose(p);
-  }
-  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-    out.pop_back();
-  }
-  return out.empty() ? "unknown" : out;
-}
+inline std::string BenchCommit() { return obs::GitCommitOrUnknown(); }
 
 /// Writes BENCH_<bench_name>.json; returns the path written (empty on
 /// failure — benches report but never fail on a read-only filesystem).
@@ -70,7 +68,21 @@ inline std::string WriteBenchJson(const std::string& bench_name,
   if (f == nullptr) return "";
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"commit\": \"%s\",\n",
                bench_name.c_str(), BenchCommit().c_str());
-  std::fprintf(f, "  \"schema_version\": 1,\n  \"entries\": [\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  // Host/toolchain provenance: absolute numbers only compare within one
+  // (machine, toolchain) pair. Manifest strings contain no characters that
+  // need JSON escaping beyond what ManifestToJson-style escaping covers;
+  // they come from compiler macros, /proc/cpuinfo and gethostname, so plain
+  // %s is fine for this append-only report.
+  const obs::RunManifest host = obs::CollectRunManifest(0, "");
+  std::fprintf(f,
+               "  \"host\": {\"compiler\": \"%s\", \"build_type\": \"%s\", "
+               "\"cpu_model\": \"%s\", \"hardware_threads\": %d, "
+               "\"hostname\": \"%s\"},\n",
+               host.compiler.c_str(), host.build_type.c_str(),
+               host.cpu_model.c_str(), host.hardware_threads,
+               host.hostname.c_str());
+  std::fprintf(f, "  \"entries\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {
     const BenchEntry& e = entries[i];
     std::fprintf(f,

@@ -12,21 +12,33 @@
 //   wtq> EXPLORE replication IN [3, 5]
 //    ... SIMULATE static_availability WITH nodes = 10, failures = 2;
 //
+// Observability flags (see DESIGN.md § Observability):
+//   --profile        print per-stage timings (parse/plan/sweep/filter/order)
+//                    after each query, EXPLAIN ANALYZE style
+//   --trace <file>   record a Chrome trace of the whole session to <file>;
+//                    open it at https://ui.perfetto.dev or chrome://tracing
+//   --help           this summary
+//
 // Useful meta-commands in interactive mode:
 //   \tables          list stored sweep tables
 //   \dump <table>    print a stored table as CSV
 //   \sims            list registered simulations
+//   \profile         toggle per-query profiling (same as --profile)
 //   \quit
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "wt/common/string_util.h"
+#include "wt/obs/obs.h"
 #include "wt/query/builtin_sims.h"
 #include "wt/query/executor.h"
 
 namespace {
+
+bool g_profile = false;
 
 void RunOne(wt::WindTunnel* tunnel, const std::string& text) {
   auto result = wt::RunQuery(tunnel, text);
@@ -39,6 +51,7 @@ void RunOne(wt::WindTunnel* tunnel, const std::string& text) {
               result->stats.executed, result->stats.pruned,
               result->stats.errors);
   std::printf("%s", result->satisfying.ToCsv().c_str());
+  if (g_profile) std::printf("%s", result->profile.ToText().c_str());
 }
 
 void Meta(wt::WindTunnel* tunnel, const std::string& line) {
@@ -54,6 +67,11 @@ void Meta(wt::WindTunnel* tunnel, const std::string& line) {
     }
     return;
   }
+  if (line == "\\profile") {
+    g_profile = !g_profile;
+    std::printf("profile %s\n", g_profile ? "on" : "off");
+    return;
+  }
   if (wt::StrStartsWith(line, "\\dump ")) {
     auto table = tunnel->store().GetTableConst(
         std::string(wt::StrTrim(line.substr(6))));
@@ -67,22 +85,83 @@ void Meta(wt::WindTunnel* tunnel, const std::string& line) {
   std::printf("unknown meta-command: %s\n", line.c_str());
 }
 
+void PrintHelp() {
+  std::printf(
+      "usage: example_wtq [--profile] [--trace <file>] [--help] [QUERY]\n"
+      "\n"
+      "With a QUERY argument, runs it once and prints the satisfying rows\n"
+      "as CSV. Without one, starts an interactive shell (queries end with\n"
+      "';'; \\sims lists simulations, \\quit exits).\n"
+      "\n"
+      "  --profile        print per-stage timings (parse/plan/sweep/filter/\n"
+      "                   order) after each query\n"
+      "  --trace <file>   record a Chrome trace of the session to <file>\n"
+      "                   (view at https://ui.perfetto.dev)\n"
+      "  --help           show this message\n"
+      "\n"
+      "The WT_TRACE / WT_METRICS environment variables are honored too:\n"
+      "WT_TRACE=t.json is equivalent to --trace t.json, and\n"
+      "WT_METRICS=m.json writes a metrics snapshot at exit.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Env-driven observability (WT_TRACE / WT_METRICS) first, so --trace can
+  // layer on top of — or replace — what the environment asked for.
+  wt::obs::EnvObsSession obs_session;
+  wt::obs::SetThisThreadLabel("main");
+
+  std::string trace_path;
+  std::string query_text;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintHelp();
+      return 0;
+    }
+    if (std::strcmp(arg, "--profile") == 0) {
+      g_profile = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace requires a file argument\n");
+        return 1;
+      }
+      trace_path = argv[++i];
+      continue;
+    }
+    if (wt::StrStartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+      return 1;
+    }
+    if (!query_text.empty()) query_text += " ";
+    query_text += arg;
+  }
+  if (!trace_path.empty()) wt::obs::TraceEmitter::Default().Start();
+
+  // Writes the --trace file after the queries below have quiesced.
+  auto finish_trace = [&trace_path] {
+    if (trace_path.empty()) return;
+    wt::obs::TraceEmitter::Default().Stop();
+    wt::Status s = wt::obs::TraceEmitter::Default().WriteJson(trace_path);
+    if (s.ok()) {
+      std::printf("wrote trace %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+    }
+  };
+
   wt::WindTunnel tunnel;
   if (wt::Status s = wt::RegisterBuiltinSimulations(&tunnel); !s.ok()) {
     std::fprintf(stderr, "init: %s\n", s.ToString().c_str());
     return 1;
   }
 
-  if (argc > 1) {
-    std::string text;
-    for (int i = 1; i < argc; ++i) {
-      if (i > 1) text += " ";
-      text += argv[i];
-    }
-    RunOne(&tunnel, text);
+  if (!query_text.empty()) {
+    RunOne(&tunnel, query_text);
+    finish_trace();
     return 0;
   }
 
@@ -110,5 +189,6 @@ int main(int argc, char** argv) {
     }
     std::fflush(stdout);
   }
+  finish_trace();
   return 0;
 }

@@ -1,11 +1,16 @@
 #include "wt/core/orchestrator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <map>
 #include <memory>
 
 #include "wt/common/macros.h"
 #include "wt/core/thread_pool.h"
+#include "wt/obs/manifest.h"
+#include "wt/obs/metrics.h"
+#include "wt/obs/trace.h"
 #include "wt/stats/welford.h"
 
 namespace wt {
@@ -65,6 +70,25 @@ std::vector<std::vector<size_t>> BuildWavefronts(
   return waves;
 }
 
+// Provenance hash of the sweep configuration: the ordered design points
+// plus the SLA constraints. Deterministic for a given sweep input.
+std::string SweepConfigHash(const std::vector<DesignPoint>& points,
+                            const std::vector<SlaConstraint>& constraints) {
+  std::string buf;
+  for (const DesignPoint& p : points) {
+    buf += p.ToString();
+    buf += '\n';
+  }
+  for (const SlaConstraint& c : constraints) {
+    buf += c.ToString();
+    buf += '\n';
+  }
+  char out[20];
+  std::snprintf(out, sizeof(out), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(buf)));
+  return out;
+}
+
 }  // namespace
 
 Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
@@ -74,6 +98,8 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
   if (space.size() == 0) {
     return Status::InvalidArgument("empty design space");
   }
+  WT_TRACE_SCOPE("orchestrator", "sweep");
+  const auto sweep_wall0 = std::chrono::steady_clock::now();
   DominancePruner pruner(hints);
   std::vector<DesignPoint> points = pruner.OrderBestFirst(space.AllPoints());
   const std::vector<std::vector<size_t>> waves = BuildWavefronts(
@@ -82,10 +108,19 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
   std::vector<RunRecord> records(points.size());
   RngStream root(options_.seed);
 
+  // One provenance manifest per Sweep call, shared by every record. The
+  // manifest is observability-only: it is written once here (and its wall
+  // time patched at the end), never read by the sweep itself.
+  auto manifest = std::make_shared<obs::RunManifest>(obs::CollectRunManifest(
+      options_.seed, SweepConfigHash(points, constraints)));
+  for (RunRecord& rec : records) rec.manifest = manifest;
+
   // Executes one non-pruned point. Touches only records[idx] and derives
   // randomness from (seed, run_id, replicate) — no shared mutable state, no
   // locks, no dependence on scheduling order.
   auto run_one = [&](size_t idx) {
+    WT_TRACE_SCOPE_ARG("orchestrator", "run", "run_id",
+                       static_cast<int64_t>(idx));
     RunRecord& rec = records[idx];
     if (options_.replications == 1) {
       RngStream rng = root.Substream(static_cast<uint64_t>(idx), 0);
@@ -132,7 +167,11 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
     pool = std::make_unique<ThreadPool>(options_.num_workers);
   }
 
+  size_t wave_index = 0;
   for (const std::vector<size_t>& wave : waves) {
+    WT_TRACE_SCOPE_ARG("orchestrator", "wavefront", "index",
+                       static_cast<int64_t>(wave_index));
+    ++wave_index;
     // Epoch barrier, phase 1 (serial, point-index order): pruning decisions
     // against the failure set frozen at this boundary.
     std::vector<size_t> runnable;
@@ -144,6 +183,8 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
       if (options_.enable_pruning && pruner.IsDominated(rec.point)) {
         rec.status = RunStatus::kPruned;
         rec.sla_satisfied = false;
+        WT_TRACE_INSTANT_ARG("orchestrator", "pruned", "run_id",
+                             static_cast<int64_t>(idx));
       } else {
         runnable.push_back(idx);
       }
@@ -187,6 +228,17 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
         break;
     }
   }
+  manifest->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_wall0)
+          .count();
+  obs::CountIfEnabled("sweep.points", static_cast<int64_t>(stats_.total_points));
+  obs::CountIfEnabled("sweep.runs_executed",
+                      static_cast<int64_t>(stats_.executed));
+  obs::CountIfEnabled("sweep.runs_pruned", static_cast<int64_t>(stats_.pruned));
+  obs::CountIfEnabled("sweep.runs_errors", static_cast<int64_t>(stats_.errors));
+  obs::CountIfEnabled("sweep.wavefronts",
+                      static_cast<int64_t>(stats_.wavefronts));
   return records;
 }
 

@@ -20,6 +20,7 @@
 #define WT_CORE_ORCHESTRATOR_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@
 #include "wt/sla/evaluator.h"
 
 namespace wt {
+
+namespace obs {
+struct RunManifest;
+}  // namespace obs
 
 /// Executes one simulation run for a design point. Must be thread-safe
 /// across distinct points (each call gets a private RngStream).
@@ -53,6 +58,11 @@ struct RunRecord {
   std::vector<SlaOutcome> sla_outcomes;
   bool sla_satisfied = false;
   std::string error;
+  /// Provenance of the sweep this run belongs to (seed, config hash, git
+  /// commit, toolchain, host, wall time) — one manifest shared by every
+  /// record of a Sweep call. Persisted by WindTunnel as a
+  /// "<table>__manifest" side table (wt/obs/manifest.h).
+  std::shared_ptr<const obs::RunManifest> manifest;
 };
 
 /// Sweep execution knobs.

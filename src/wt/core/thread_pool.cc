@@ -5,14 +5,35 @@
 #include <utility>
 
 #include "wt/common/macros.h"
+#include "wt/obs/trace.h"
 
 namespace wt {
+
+namespace {
+
+// Immortal labels for trace export (obs::SetThisThreadLabel stores the
+// pointer). Pools larger than the table share the generic tail label.
+const char* WorkerLabel(int i) {
+  static const char* kLabels[] = {
+      "worker-0",  "worker-1",  "worker-2",  "worker-3",
+      "worker-4",  "worker-5",  "worker-6",  "worker-7",
+      "worker-8",  "worker-9",  "worker-10", "worker-11",
+      "worker-12", "worker-13", "worker-14", "worker-15",
+  };
+  constexpr int kN = static_cast<int>(sizeof(kLabels) / sizeof(kLabels[0]));
+  return (i >= 0 && i < kN) ? kLabels[i] : "worker";
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   WT_CHECK(num_threads >= 1);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::SetThisThreadLabel(WorkerLabel(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -70,8 +91,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   for (size_t c = 0; c < num_chunks; ++c) {
     const size_t lo = begin + c * grain;
     const size_t hi = std::min(end, lo + grain);
-    tasks.push_back([&body, lo, hi, latch] {
-      for (size_t i = lo; i < hi; ++i) body(i);
+    tasks.push_back([&body, c, lo, hi, latch] {
+      (void)c;  // only read when tracing is compiled in
+      {
+        // One span per chunk on the executing worker's track — the
+        // "orchestrator worker" lane in a trace.
+        WT_TRACE_SCOPE_ARG("orchestrator", "worker", "chunk", c);
+        for (size_t i = lo; i < hi; ++i) body(i);
+      }
       std::lock_guard<std::mutex> lock(latch->mu);
       if (--latch->remaining == 0) latch->cv.notify_all();
     });

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "wt/common/macros.h"
+#include "wt/obs/manifest.h"
 
 namespace wt {
 
@@ -123,6 +124,15 @@ Status WindTunnel::StoreRecords(const std::string& table_name,
     row.emplace_back(r.sla_satisfied);
     row.emplace_back(std::string(RunStatusToString(r.status)));
     WT_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
+  }
+
+  // Provenance side table: every record of one sweep shares one manifest,
+  // so persisting the first one captures the sweep's provenance. Survives
+  // SaveResultStore/LoadResultStore like any other table.
+  if (!records.empty() && records.front().manifest != nullptr) {
+    WT_RETURN_IF_ERROR(obs::StoreManifest(&store_,
+                                          obs::ManifestTableName(table_name),
+                                          *records.front().manifest));
   }
   return Status::OK();
 }

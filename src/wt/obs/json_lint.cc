@@ -1,0 +1,191 @@
+#include "wt/obs/json_lint.h"
+
+#include <cctype>
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+namespace obs {
+
+namespace {
+
+// Recursive-descent checker over a string_view cursor.
+class Checker {
+ public:
+  explicit Checker(std::string_view text) : text_(text) {}
+
+  Status Run() {
+    SkipWs();
+    WT_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return Status::OK();
+  }
+
+ private:
+  Status Fail(const char* what) const {
+    return Status::ParseError(
+        StrFormat("json: %s at byte %zu", what, pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  Status Expect(char c) {
+    if (!Peek(c)) return Fail("unexpected character");
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Fail("bad literal");
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status String() {
+    WT_RETURN_IF_ERROR(Expect('"'));
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<size_t>(i) >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    text_[pos_ + static_cast<size_t>(i)]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Status Number() {
+    if (Peek('-')) ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("bad number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Peek('.')) {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Peek('e') || Peek('E')) {
+      ++pos_;
+      if (Peek('+') || Peek('-')) ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("truncated value");
+    char c = text_[pos_];
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  Status Object(int depth) {
+    WT_RETURN_IF_ERROR(Expect('{'));
+    SkipWs();
+    if (Peek('}')) {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      WT_RETURN_IF_ERROR(String());
+      SkipWs();
+      WT_RETURN_IF_ERROR(Expect(':'));
+      SkipWs();
+      WT_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  Status Array(int depth) {
+    WT_RETURN_IF_ERROR(Expect('['));
+    SkipWs();
+    if (Peek(']')) {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      WT_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) { return Checker(text).Run(); }
+
+}  // namespace obs
+}  // namespace wt

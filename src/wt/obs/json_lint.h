@@ -1,0 +1,28 @@
+// Minimal strict JSON syntax checker.
+//
+// The observability exporters hand-serialize JSON (no external deps per
+// DESIGN.md); this validator is the in-tree guard that the emitted trace
+// files and metrics snapshots are actually loadable by Perfetto /
+// chrome://tracing / `python3 -m json.tool`. It validates syntax only
+// (RFC 8259 grammar, UTF-8 passthrough) — no DOM is built, so it is cheap
+// enough for tests to run on multi-megabyte traces.
+
+#ifndef WT_OBS_JSON_LINT_H_
+#define WT_OBS_JSON_LINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "wt/common/status.h"
+
+namespace wt {
+namespace obs {
+
+/// OK iff `text` is exactly one valid JSON value (plus whitespace).
+/// Errors carry the byte offset of the first violation.
+Status ValidateJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace wt
+
+#endif  // WT_OBS_JSON_LINT_H_

@@ -1,0 +1,202 @@
+#include "wt/obs/metrics.h"
+
+#include <algorithm>
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+namespace obs {
+
+namespace {
+
+// Minimal JSON string escape for metric names (which are code-chosen
+// identifiers, but fail safe anyway).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"metrics\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const MetricsSnapshotEntry& e = entries[i];
+    out += StrFormat("    {\"name\": \"%s\", \"kind\": \"%s\", \"value\": %lld",
+                     JsonEscape(e.name).c_str(), e.kind.c_str(),
+                     static_cast<long long>(e.value));
+    if (e.kind == "latency") {
+      out += StrFormat(
+          ", \"mean\": %.6g, \"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g, "
+          "\"max\": %.6g",
+          e.mean, e.p50, e.p95, e.p99, e.max);
+    }
+    out += "}";
+    if (i + 1 < entries.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const MetricsSnapshotEntry& e : entries) {
+    if (e.kind == "latency") {
+      out += StrFormat("%-40s latency n=%lld mean=%.4g p50=%.4g p95=%.4g "
+                       "p99=%.4g max=%.4g\n",
+                       e.name.c_str(), static_cast<long long>(e.value), e.mean,
+                       e.p50, e.p95, e.p99, e.max);
+    } else {
+      out += StrFormat("%-40s %-7s %lld\n", e.name.c_str(), e.kind.c_str(),
+                       static_cast<long long>(e.value));
+    }
+  }
+  return out;
+}
+
+const MetricsSnapshotEntry* MetricsSnapshot::Find(
+    const std::string& name) const {
+  for (const MetricsSnapshotEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+void MetricsRegistry::set_enabled(bool on) {
+#if WT_OBS_ENABLED
+  enabled_.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_by_name_.find(name);
+  if (it != counter_by_name_.end()) return it->second;
+  counters_.emplace_back();
+  return counter_by_name_.emplace(name, &counters_.back()).first->second;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_by_name_.find(name);
+  if (it != gauge_by_name_.end()) return it->second;
+  gauges_.emplace_back();
+  return gauge_by_name_.emplace(name, &gauges_.back()).first->second;
+}
+
+LatencyHistogram* MetricsRegistry::GetLatency(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = latency_by_name_.find(name);
+  if (it != latency_by_name_.end()) return it->second;
+  latencies_.emplace_back();
+  return latency_by_name_.emplace(name, &latencies_.back()).first->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.entries.reserve(counter_by_name_.size() + gauge_by_name_.size() +
+                       latency_by_name_.size());
+  // std::map iteration is name-sorted within each kind; a final sort makes
+  // the whole snapshot one name-ordered list.
+  for (const auto& [name, c] : counter_by_name_) {
+    MetricsSnapshotEntry e;
+    e.name = name;
+    e.kind = "counter";
+    e.value = c->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauge_by_name_) {
+    MetricsSnapshotEntry e;
+    e.name = name;
+    e.kind = "gauge";
+    e.value = g->value();
+    snap.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : latency_by_name_) {
+    MetricsSnapshotEntry e;
+    e.name = name;
+    e.kind = "latency";
+    LogHistogram hist = h->SnapshotHistogram();
+    e.value = hist.count();
+    e.mean = hist.mean();
+    e.p50 = hist.P50();
+    e.p95 = hist.P95();
+    e.p99 = hist.P99();
+    e.max = hist.max_value();
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const MetricsSnapshotEntry& a, const MetricsSnapshotEntry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) c.Reset();
+  for (Gauge& g : gauges_) g.Reset();
+  for (LatencyHistogram& h : latencies_) h.Reset();
+}
+
+void CountIfEnabled(const char* name, int64_t delta) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  if (!reg.enabled()) return;
+  reg.GetCounter(name)->Add(delta);
+}
+
+void GaugeSetIfEnabled(const char* name, int64_t value) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  if (!reg.enabled()) return;
+  reg.GetGauge(name)->Set(value);
+}
+
+void GaugeMaxIfEnabled(const char* name, int64_t value) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  if (!reg.enabled()) return;
+  reg.GetGauge(name)->UpdateMax(value);
+}
+
+void LatencyIfEnabled(const char* name, double value) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  if (!reg.enabled()) return;
+  reg.GetLatency(name)->Record(value);
+}
+
+}  // namespace obs
+}  // namespace wt

@@ -1,0 +1,49 @@
+#include "wt/obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wt {
+namespace obs {
+
+EnvObsSession::EnvObsSession() {
+  if (const char* path = std::getenv("WT_TRACE")) {
+    trace_path_ = path;
+    TraceEmitter::Default().Start();
+  }
+  if (const char* path = std::getenv("WT_METRICS")) {
+    metrics_path_ = path;
+    MetricsRegistry::Default().set_enabled(true);
+  }
+}
+
+EnvObsSession::~EnvObsSession() { Finish(); }
+
+void EnvObsSession::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!trace_path_.empty()) {
+    TraceEmitter::Default().Stop();
+    Status s = TraceEmitter::Default().WriteJson(trace_path_);
+    if (!s.ok()) {
+      std::fprintf(stderr, "obs: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("wrote trace %s\n", trace_path_.c_str());
+    }
+  }
+  if (!metrics_path_.empty()) {
+    MetricsRegistry::Default().set_enabled(false);
+    std::string json = MetricsRegistry::Default().Snapshot().ToJson();
+    FILE* f = std::fopen(metrics_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "obs: cannot open %s\n", metrics_path_.c_str());
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote metrics %s\n", metrics_path_.c_str());
+  }
+}
+
+}  // namespace obs
+}  // namespace wt

@@ -1,0 +1,48 @@
+// wt::obs umbrella — one include for instrumented binaries, plus the
+// environment-variable wiring CI and benches use:
+//
+//   WT_TRACE=<path>    record a Chrome trace for the process, write <path>
+//   WT_METRICS=<path>  enable the metrics registry, write a JSON snapshot
+//
+// Drop one EnvObsSession at the top of main(); it enables whatever the
+// environment asks for and writes the files when it goes out of scope (or
+// on an explicit Finish()). With neither variable set it does nothing, so
+// instrumented binaries stay zero-overhead by default.
+
+#ifndef WT_OBS_OBS_H_
+#define WT_OBS_OBS_H_
+
+#include <string>
+
+#include "wt/obs/manifest.h"
+#include "wt/obs/metrics.h"
+#include "wt/obs/trace.h"
+
+namespace wt {
+namespace obs {
+
+/// RAII env-driven observability for a whole process run.
+class EnvObsSession {
+ public:
+  EnvObsSession();
+  ~EnvObsSession();
+  EnvObsSession(const EnvObsSession&) = delete;
+  EnvObsSession& operator=(const EnvObsSession&) = delete;
+
+  /// Stops tracing and writes the requested files (idempotent). Reports to
+  /// stderr on write failure — observability must not fail the run.
+  void Finish();
+
+  bool tracing() const { return !trace_path_.empty(); }
+  bool metrics() const { return !metrics_path_.empty(); }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool finished_ = false;
+};
+
+}  // namespace obs
+}  // namespace wt
+
+#endif  // WT_OBS_OBS_H_

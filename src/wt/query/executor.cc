@@ -1,8 +1,10 @@
 #include "wt/query/executor.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "wt/common/string_util.h"
+#include "wt/obs/trace.h"
 
 namespace wt {
 
@@ -13,31 +15,70 @@ std::string NextTableName() {
   return StrFormat("query_%lld",
                    static_cast<long long>(counter.fetch_add(1) + 1));
 }
+
+using Clock = std::chrono::steady_clock;
+
+int64_t MicrosSince(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0)
+      .count();
+}
 }  // namespace
+
+std::string QueryProfile::ToText() const {
+  const int64_t total = total_us > 0 ? total_us : 1;
+  auto line = [&](const char* stage, int64_t us) {
+    return StrFormat("  %-8s %10lld us  %5.1f%%\n", stage,
+                     static_cast<long long>(us),
+                     100.0 * static_cast<double>(us) /
+                         static_cast<double>(total));
+  };
+  std::string out = "profile:\n";
+  out += line("parse", parse_us);
+  out += line("plan", plan_us);
+  out += line("sweep", sweep_us);
+  out += line("filter", filter_us);
+  out += line("order", order_us);
+  out += line("total", total_us);
+  return out;
+}
 
 Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
                                  const std::string& table_name) {
   if (spec.dimensions.empty()) {
     return Status::InvalidArgument("query explores no dimensions");
   }
+  WT_TRACE_SCOPE("query", "execute");
+  const Clock::time_point t_total = Clock::now();
   WT_ASSIGN_OR_RETURN(RunFn fn, tunnel->GetSimulation(spec.simulation));
+
+  QueryResult result;
 
   // Fixed parameters become single-candidate dimensions so they show up in
   // result tables and reach the RunFn uniformly.
+  Clock::time_point t0 = Clock::now();
   DesignSpace space;
-  for (const Dimension& d : spec.dimensions) {
-    WT_RETURN_IF_ERROR(space.AddDimension(d.name, d.candidates));
+  {
+    WT_TRACE_SCOPE("query", "plan");
+    for (const Dimension& d : spec.dimensions) {
+      WT_RETURN_IF_ERROR(space.AddDimension(d.name, d.candidates));
+    }
+    for (const auto& [name, value] : spec.params) {
+      WT_RETURN_IF_ERROR(space.AddDimension(name, {value}));
+    }
   }
-  for (const auto& [name, value] : spec.params) {
-    WT_RETURN_IF_ERROR(space.AddDimension(name, {value}));
-  }
+  result.profile.plan_us = MicrosSince(t0);
 
   std::string table = table_name.empty() ? NextTableName() : table_name;
-  WT_ASSIGN_OR_RETURN(
-      std::vector<RunRecord> records,
-      tunnel->RunSweepWith(table, space, fn, spec.constraints, spec.hints));
+  t0 = Clock::now();
+  {
+    WT_TRACE_SCOPE("query", "sweep");
+    WT_ASSIGN_OR_RETURN(
+        std::vector<RunRecord> records,
+        tunnel->RunSweepWith(table, space, fn, spec.constraints, spec.hints));
+  }
+  result.profile.sweep_us = MicrosSince(t0);
 
-  QueryResult result;
   result.sweep_table = table;
   result.stats = tunnel->last_sweep_stats();
 
@@ -45,31 +86,50 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
                       tunnel->store().GetTableConst(table));
   // Keep rows that completed and met every constraint; with no WHERE
   // clause, keep all completed rows.
-  Table satisfying = stored->Filter([&](const Table& t, size_t row) {
-    auto status = t.Get(row, "status");
-    if (!status.ok() || status.value().AsString() != "completed") return false;
-    if (spec.constraints.empty()) return true;
-    auto ok = t.Get(row, "sla_ok");
-    return ok.ok() && ok.value().type() == ValueType::kBool &&
-           ok.value().AsBool();
-  });
+  t0 = Clock::now();
+  Table satisfying = [&] {
+    WT_TRACE_SCOPE("query", "filter");
+    return stored->Filter([&](const Table& t, size_t row) {
+      auto status = t.Get(row, "status");
+      if (!status.ok() || status.value().AsString() != "completed") {
+        return false;
+      }
+      if (spec.constraints.empty()) return true;
+      auto ok = t.Get(row, "sla_ok");
+      return ok.ok() && ok.value().type() == ValueType::kBool &&
+             ok.value().AsBool();
+    });
+  }();
+  result.profile.filter_us = MicrosSince(t0);
 
-  if (!spec.order_by.empty()) {
-    WT_ASSIGN_OR_RETURN(satisfying,
-                        satisfying.SortBy(spec.order_by,
-                                          spec.order_ascending));
+  t0 = Clock::now();
+  {
+    WT_TRACE_SCOPE("query", "order");
+    if (!spec.order_by.empty()) {
+      WT_ASSIGN_OR_RETURN(satisfying,
+                          satisfying.SortBy(spec.order_by,
+                                            spec.order_ascending));
+    }
+    if (spec.limit >= 0) {
+      satisfying = satisfying.Head(static_cast<size_t>(spec.limit));
+    }
   }
-  if (spec.limit >= 0) {
-    satisfying = satisfying.Head(static_cast<size_t>(spec.limit));
-  }
+  result.profile.order_us = MicrosSince(t0);
   result.satisfying = std::move(satisfying);
+  result.profile.total_us = MicrosSince(t_total);
   return result;
 }
 
 Result<QueryResult> RunQuery(WindTunnel* tunnel, const std::string& text,
                              const std::string& table_name) {
+  const Clock::time_point t0 = Clock::now();
   WT_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(text));
-  return ExecuteQuery(tunnel, spec, table_name);
+  const int64_t parse_us = MicrosSince(t0);
+  WT_ASSIGN_OR_RETURN(QueryResult result,
+                      ExecuteQuery(tunnel, spec, table_name));
+  result.profile.parse_us = parse_us;
+  result.profile.total_us += parse_us;
+  return result;
 }
 
 }  // namespace wt

@@ -10,6 +10,21 @@
 
 namespace wt {
 
+/// Per-stage wall-clock timings of one query (PROFILE mode). Stages mirror
+/// a database EXPLAIN ANALYZE: parse → plan (design-space construction) →
+/// sweep (the simulations — virtually all of the time) → filter → order.
+/// Always collected: the cost is a handful of clock reads per query.
+struct QueryProfile {
+  int64_t parse_us = 0;   // text -> QuerySpec (0 for pre-parsed specs)
+  int64_t plan_us = 0;    // QuerySpec -> DesignSpace
+  int64_t sweep_us = 0;   // orchestrated runs + result storage
+  int64_t filter_us = 0;  // status/SLA row filter
+  int64_t order_us = 0;   // ORDER BY sort + LIMIT
+  int64_t total_us = 0;
+  /// Human-readable stage table (one line per stage with % of total).
+  std::string ToText() const;
+};
+
 /// Result of executing one query.
 struct QueryResult {
   /// Rows that completed AND satisfied every WHERE constraint, after
@@ -19,6 +34,7 @@ struct QueryResult {
   /// stored in the tunnel's ResultStore under `sweep_table`.
   std::string sweep_table;
   SweepStats stats;
+  QueryProfile profile;
 };
 
 /// Executes `spec` against `tunnel`'s simulation registry. The sweep's raw

@@ -16,6 +16,11 @@
 
 namespace wt {
 
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
 /// A single simulation run's event loop.
 class Simulator {
  public:
@@ -59,11 +64,32 @@ class Simulator {
   /// True when no live events remain.
   bool Idle() const { return queue_.Empty(); }
 
+  /// Binds this run's dispatch loop to the process-wide observability sinks
+  /// (wt::obs) — event count and simulated-vs-wall time counters, a
+  /// queue-depth high-water gauge, and a trace counter track — if metrics
+  /// or tracing are currently enabled; detaches otherwise. Detached (the
+  /// default) the dispatch loop pays one predictable branch per event and
+  /// never allocates; observability reads simulator state only and can
+  /// never perturb event order or RNG streams. Totals flush into the
+  /// registry when Run()/RunUntil() returns, so concurrent runs aggregate
+  /// with commutative adds (deterministic for any worker count).
+  void AttachDefaultObs();
+
  private:
+  // Adds the loop's deltas to the attached sinks (see AttachDefaultObs).
+  void FlushObs(SimTime sim_start, int64_t events_start, int64_t wall_ns);
+
   EventQueue queue_;
   SimTime now_ = SimTime::Zero();
   bool stopped_ = false;
   int64_t events_processed_ = 0;
+  // Observability bindings; obs_attached_ false ⇒ all of this is inert.
+  bool obs_attached_ = false;
+  obs::Counter* obs_events_ = nullptr;
+  obs::Counter* obs_sim_ns_ = nullptr;
+  obs::Counter* obs_wall_ns_ = nullptr;
+  obs::Gauge* obs_depth_hw_ = nullptr;
+  int64_t obs_depth_local_ = 0;  // high-water since attach
 };
 
 }  // namespace wt

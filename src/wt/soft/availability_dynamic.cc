@@ -101,6 +101,7 @@ Result<AvailabilityMetrics> RunDynamicAvailability(
   // event hot path free of pool/heap growth allocations.
   sim.Reserve(static_cast<size_t>(config.datacenter.num_nodes()) +
               static_cast<size_t>(config.repair.max_concurrent) + 16);
+  sim.AttachDefaultObs();
   Datacenter dc(config.datacenter);
   Network network(&sim, &dc);
   RngStream root(config.seed);

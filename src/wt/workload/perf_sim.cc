@@ -9,6 +9,8 @@
 
 #include "wt/common/macros.h"
 #include "wt/common/string_util.h"
+#include "wt/obs/metrics.h"
+#include "wt/obs/trace.h"
 #include "wt/workload/resource_queue.h"
 
 namespace wt {
@@ -84,7 +86,9 @@ Result<PerfSimResult> RunPerfSim(const PerfSimConfig& config,
     }
   }
 
+  WT_TRACE_SCOPE("workload", "perf_sim");
   RunState state;
+  state.sim.AttachDefaultObs();
   state.warmup_s = config.warmup_s;
   state.nic_bytes_per_s = GbpsToBytesPerSec(config.nic_gbps);
   // Peak pending events: at most one completion per busy server across all
@@ -290,6 +294,8 @@ Result<PerfSimResult> RunPerfSim(const PerfSimConfig& config,
     WorkloadResult& res = state.results[w];
     res.throughput_per_s =
         measured_s > 0 ? static_cast<double>(res.completed) / measured_s : 0.0;
+    obs::CountIfEnabled("perf_sim.requests_completed", res.completed);
+    obs::CountIfEnabled("perf_sim.requests_failed", res.failed);
     out.workloads.emplace(specs[w].name, std::move(res));
   }
   for (auto& node : state.nodes) {

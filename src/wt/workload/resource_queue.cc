@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "wt/common/macros.h"
+#include "wt/obs/metrics.h"
 
 namespace wt {
 
@@ -10,6 +11,14 @@ ResourceQueue::ResourceQueue(Simulator* sim, int servers, std::string name)
     : sim_(sim), servers_(servers), name_(std::move(name)) {
   WT_CHECK(servers >= 1);
   RecordState();
+}
+
+ResourceQueue::~ResourceQueue() {
+  // Flush-at-end: service totals are deterministic integers, so concurrent
+  // runs aggregate commutatively into the registry.
+  obs::CountIfEnabled("rq.jobs_completed", completed_);
+  obs::GaugeMaxIfEnabled("rq.queue_len_high_water",
+                         static_cast<int64_t>(waiting_hw_));
 }
 
 void ResourceQueue::RecordState() {
@@ -25,6 +34,7 @@ void ResourceQueue::Submit(double service_seconds, InlineFn on_done) {
     Dispatch(std::move(job));
   } else {
     waiting_.push_back(std::move(job));
+    if (waiting_.size() > waiting_hw_) waiting_hw_ = waiting_.size();
   }
   RecordState();
 }

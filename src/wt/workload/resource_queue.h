@@ -20,6 +20,10 @@ namespace wt {
 class ResourceQueue {
  public:
   ResourceQueue(Simulator* sim, int servers, std::string name);
+  /// Flushes service totals (jobs completed, queue-length high water) into
+  /// the process metrics registry when enabled — a cold-path branch; the
+  /// per-job path is untouched and stays allocation-free.
+  ~ResourceQueue();
   ResourceQueue(const ResourceQueue&) = delete;
   ResourceQueue& operator=(const ResourceQueue&) = delete;
 
@@ -62,6 +66,7 @@ class ResourceQueue {
   int busy_ = 0;
   std::deque<Job> waiting_;
   int64_t completed_ = 0;
+  size_t waiting_hw_ = 0;  // queue-length high water (for obs flush)
   TimeWeightedStats busy_stats_;
   TimeWeightedStats qlen_stats_;
 };

@@ -1,0 +1,176 @@
+// wt::obs metrics registry: instrument semantics, snapshot export, and the
+// determinism contract — a snapshot of deterministic quantities taken after
+// a sweep is identical for any num_workers (DESIGN.md § Observability).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "wt/core/orchestrator.h"
+#include "wt/obs/json_lint.h"
+#include "wt/obs/metrics.h"
+#include "wt/sim/simulator.h"
+
+namespace wt {
+namespace {
+
+// Wall-clock instruments are machine-dependent by convention and excluded
+// from the determinism contract.
+bool IsWallClock(const std::string& name) {
+  return name.ends_with(".wall_ns") || name.ends_with(".wall_us") ||
+         name.ends_with("wall_seconds");
+}
+
+// A DES run per design point: a self-rescheduling ticker whose event count
+// depends only on the point and the (seed, run_id) substream.
+RunFn TickerModel() {
+  return [](const DesignPoint& p, RngStream& rng) -> Result<MetricMap> {
+    Simulator sim;
+    sim.Reserve(8);
+    sim.AttachDefaultObs();
+    struct Ticker {
+      Simulator* sim;
+      int64_t remaining;
+      void Tick() {
+        if (--remaining > 0) sim->Schedule(SimTime::Nanos(7), [this] { Tick(); });
+      }
+    };
+    Ticker t{&sim, 50 + p.GetInt("n", 1) * 10 +
+                       static_cast<int64_t>(rng.UniformInt(0, 9))};
+    const int64_t total = t.remaining;
+    sim.Schedule(SimTime::Nanos(1), [&t] { t.Tick(); });
+    sim.Run();
+    return MetricMap{{"ticks", static_cast<double>(total)}};
+  };
+}
+
+DesignSpace TickerSpace() {
+  DesignSpace space;
+  WT_CHECK(space.AddDimension("n", {Value(1), Value(2), Value(3), Value(4)})
+               .ok());
+  return space;
+}
+
+// (name, kind, value) triples of the deterministic instruments.
+std::string DeterministicSummary(const obs::MetricsSnapshot& snap) {
+  std::string out;
+  for (const obs::MetricsSnapshotEntry& e : snap.entries) {
+    if (IsWallClock(e.name)) continue;
+    out += e.name + "|" + e.kind + "|" + std::to_string(e.value) + "\n";
+  }
+  return out;
+}
+
+TEST(ObsMetricsTest, CounterGaugeLatencyBasics) {
+  obs::Counter c;
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+
+  obs::Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.UpdateMax(3);
+  EXPECT_EQ(g.value(), 7);  // max keeps the high water
+  g.UpdateMax(11);
+  EXPECT_EQ(g.value(), 11);
+
+  obs::LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  LogHistogram snap = h.SnapshotHistogram();
+  EXPECT_EQ(snap.count(), 100);
+  EXPECT_GT(snap.mean(), 0.0);
+}
+
+TEST(ObsMetricsTest, RegistryDisabledIsInert) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.set_enabled(false);
+  EXPECT_FALSE(obs::MetricsEnabled());
+  obs::CountIfEnabled("test.disabled_counter", 5);
+  obs::GaugeMaxIfEnabled("test.disabled_gauge", 5);
+  obs::LatencyIfEnabled("test.disabled_latency", 5.0);
+  // Nothing was registered: the helpers bail before touching the registry.
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Find("test.disabled_counter"), nullptr);
+  EXPECT_EQ(snap.Find("test.disabled_gauge"), nullptr);
+  EXPECT_EQ(snap.Find("test.disabled_latency"), nullptr);
+}
+
+TEST(ObsMetricsTest, InstrumentPointersAreStableAndShared) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.set_enabled(true);
+  obs::Counter* a = reg.GetCounter("test.stable");
+  // Force deque growth; the first pointer must survive.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("test.stable_" + std::to_string(i));
+  }
+  EXPECT_EQ(reg.GetCounter("test.stable"), a);
+  reg.set_enabled(false);
+}
+
+TEST(ObsMetricsTest, SnapshotJsonIsValidAndSorted) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.set_enabled(true);
+  reg.GetCounter("test.json_b")->Add(2);
+  reg.GetGauge("test.json_a")->Set(1);
+  reg.GetLatency("test.json_c")->Record(3.5);
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  reg.set_enabled(false);
+
+  Status valid = obs::ValidateJson(snap.ToJson());
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_FALSE(snap.ToText().empty());
+
+  for (size_t i = 1; i < snap.entries.size(); ++i) {
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+  }
+  const obs::MetricsSnapshotEntry* lat = snap.Find("test.json_c");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->kind, "latency");
+  EXPECT_EQ(lat->value, 1);  // count
+}
+
+TEST(ObsMetricsTest, SweepSnapshotIsIdenticalAcrossWorkerCounts) {
+#if !WT_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (-DWT_OBS=OFF)";
+#endif
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  std::string first;
+  for (int workers : {1, 2, 8}) {
+    reg.ResetValues();
+    reg.set_enabled(true);
+    SweepOptions opts;
+    opts.num_workers = workers;
+    opts.seed = 2014;
+    RunOrchestrator orch(opts);
+    auto records = orch.Sweep(TickerSpace(), TickerModel(),
+                              {{"ticks", SlaOp::kAtLeast, 1.0}}, {});
+    ASSERT_TRUE(records.ok()) << records.status().ToString();
+    obs::MetricsSnapshot snap = reg.Snapshot();
+    reg.set_enabled(false);
+
+    // The instrumented sweep must have reported real numbers.
+    const obs::MetricsSnapshotEntry* events = snap.Find("sim.events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->value, 0);
+    const obs::MetricsSnapshotEntry* executed =
+        snap.Find("sweep.runs_executed");
+    ASSERT_NE(executed, nullptr);
+    EXPECT_EQ(executed->value, 4);
+
+    std::string summary = DeterministicSummary(snap);
+    if (workers == 1) {
+      first = summary;
+    } else {
+      EXPECT_EQ(summary, first)
+          << "metrics snapshot diverged at num_workers=" << workers;
+    }
+  }
+  reg.ResetValues();
+}
+
+}  // namespace
+}  // namespace wt

@@ -189,6 +189,29 @@ TEST(ExecutorTest, SweepTableIsStored) {
   EXPECT_EQ((*tunnel.store().GetTableConst("my_sweep"))->num_rows(), 2u);
 }
 
+TEST(ExecutorTest, ProfileRecordsEveryStage) {
+  WindTunnel tunnel;
+  ASSERT_TRUE(tunnel.RegisterSimulation("toy", ToyModel()).ok());
+  auto result = RunQuery(&tunnel, R"(
+    EXPLORE x IN [1, 2, 3]
+    SIMULATE toy
+    ORDER BY y ASC
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryProfile& prof = result->profile;
+  // Stage timings are non-negative and the total covers the stages.
+  EXPECT_GE(prof.parse_us, 0);
+  EXPECT_GE(prof.plan_us, 0);
+  EXPECT_GE(prof.sweep_us, 0);
+  EXPECT_GE(prof.filter_us, 0);
+  EXPECT_GE(prof.order_us, 0);
+  EXPECT_GE(prof.total_us, prof.parse_us + prof.plan_us + prof.sweep_us +
+                               prof.filter_us + prof.order_us);
+  std::string text = prof.ToText();
+  EXPECT_NE(text.find("sweep"), std::string::npos);
+  EXPECT_NE(text.find("parse"), std::string::npos);
+}
+
 TEST(ExecutorTest, PruningHintsFlowThrough) {
   WindTunnel tunnel;  // single worker: deterministic pruning
   ASSERT_TRUE(tunnel.RegisterSimulation("toy", ToyModel()).ok());
