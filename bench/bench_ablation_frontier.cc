@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "wt/common/macros.h"
 #include "wt/core/frontier.h"
 #include "wt/core/wind_tunnel.h"
 
@@ -33,27 +34,30 @@ int main() {
   Dimension nic{"nic_gbps", {Value(1), Value(2), Value(5), Value(10),
                              Value(25), Value(40), Value(100)}};
   DesignSpace rest;
-  (void)rest.AddDimension("memory_gb",
-                          {Value(16), Value(32), Value(64), Value(128)});
+  WT_CHECK(rest.AddDimension("memory_gb", {Value(16), Value(32), Value(64),
+                                           Value(128)})
+               .ok());
   std::vector<SlaConstraint> sla = {
       {"latency_p95_ms", SlaOp::kAtMost, 15.0}};
 
   // (a) Full grid.
   DesignSpace full = rest;
-  (void)full.AddDimension(nic.name, nic.candidates);
+  WT_CHECK(full.AddDimension(nic.name, nic.candidates).ok());
   SweepOptions opts;
   opts.enable_pruning = false;
   RunOrchestrator grid(opts);
-  (void)grid.Sweep(full, Model(), sla, {});
+  WT_CHECK(grid.Sweep(full, Model(), sla, {}).ok());
   size_t grid_runs = grid.last_stats().executed;
 
   // (b) Dominance pruning (same grid, hints on).
   SweepOptions popts;
   popts.enable_pruning = true;
   RunOrchestrator pruned(popts);
-  (void)pruned.Sweep(full, Model(), sla,
-                     {{"nic_gbps", MonotoneDirection::kHigherIsBetter},
-                      {"memory_gb", MonotoneDirection::kHigherIsBetter}});
+  WT_CHECK(pruned
+               .Sweep(full, Model(), sla,
+                      {{"nic_gbps", MonotoneDirection::kHigherIsBetter},
+                       {"memory_gb", MonotoneDirection::kHigherIsBetter}})
+               .ok());
   size_t pruned_runs = pruned.last_stats().executed;
 
   // (c) Frontier search per memory size.

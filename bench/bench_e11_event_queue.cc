@@ -23,7 +23,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -32,6 +31,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "wt/obs/wallclock.h"
 #include "wt/sim/event_queue.h"
 
 namespace {
@@ -211,11 +211,9 @@ template <typename WorkFn>
 double TimeIt(WorkFn&& work) {
   double best = 0.0;
   for (int rep = 0; rep < 3; ++rep) {
-    auto start = std::chrono::steady_clock::now();
+    const int64_t start = wt::obs::WallNanos();
     work();
-    double s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                             start)
-                   .count();
+    double s = wt::obs::WallSecondsSince(start);
     if (rep == 0 || s < best) best = s;
   }
   return best;

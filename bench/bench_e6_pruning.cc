@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "wt/common/macros.h"
 #include "wt/core/early_abort.h"
 #include "wt/core/wind_tunnel.h"
 #include "wt/query/builtin_sims.h"
@@ -41,11 +42,13 @@ int main() {
 
   std::printf("E6 part 1: dominance pruning on a 4x4x2 design space\n\n");
   DesignSpace space;
-  (void)space.AddDimension("nic_gbps",
-                           {Value(1), Value(10), Value(25), Value(40)});
-  (void)space.AddDimension(
-      "memory_gb", {Value(16), Value(32), Value(64), Value(128)});
-  (void)space.AddDimension("disk", {Value("hdd"), Value("ssd")});
+  WT_CHECK(space.AddDimension("nic_gbps",
+                               {Value(1), Value(10), Value(25), Value(40)})
+               .ok());
+  WT_CHECK(space.AddDimension("memory_gb", {Value(16), Value(32), Value(64),
+                                            Value(128)})
+               .ok());
+  WT_CHECK(space.AddDimension("disk", {Value("hdd"), Value("ssd")}).ok());
 
   std::vector<SlaConstraint> sla = {
       {"latency_p95_ms", SlaOp::kAtMost, 1.0}};  // unattainable
@@ -57,7 +60,7 @@ int main() {
     WindTunnelOptions opts;
     opts.enable_pruning = pruning;
     WindTunnel tunnel(opts);
-    (void)tunnel.RegisterSimulation("latency", LatencyModel());
+    WT_CHECK(tunnel.RegisterSimulation("latency", LatencyModel()).ok());
     auto records =
         tunnel.RunSweep(pruning ? "with" : "without", space, "latency", sla,
                         pruning ? hints : std::vector<MonotoneHint>{});

@@ -8,16 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <thread>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_json.h"
+#include "wt/common/macros.h"
 #include "wt/core/orchestrator.h"
 #include "wt/core/thread_pool.h"
 #include "wt/obs/obs.h"
+#include "wt/obs/wallclock.h"
 #include "wt/sim/simulator.h"
 #include "wt/soft/availability_static.h"
 
@@ -46,7 +47,7 @@ void SweepWallClock() {
   DesignSpace space;
   std::vector<Value> fs;
   for (int f = 1; f <= 16; ++f) fs.emplace_back(f % 8 + 1);
-  (void)space.AddDimension("failures", fs);
+  WT_CHECK(space.AddDimension("failures", fs).ok());
 
   unsigned cores = std::thread::hardware_concurrency();
   std::printf("E7: sweep of 16 Figure-1 points vs worker threads (%u %s)\n\n",
@@ -60,11 +61,9 @@ void SweepWallClock() {
     opts.num_workers = workers;
     opts.enable_pruning = false;
     RunOrchestrator orch(opts);
-    auto start = std::chrono::steady_clock::now();
+    const int64_t start = wt::obs::WallNanos();
     auto records = orch.Sweep(space, ExpensivePoint(), {}, {});
-    auto seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+    const double seconds = wt::obs::WallSecondsSince(start);
     if (!records.ok()) return;
     if (workers == 1) base = seconds;
     std::printf("%-9d %-12.3f %-9.2f\n", workers, seconds,

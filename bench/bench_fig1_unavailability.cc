@@ -8,7 +8,6 @@
 // The paper reports the simulated curves only; the exact column is this
 // repo's validation of them (§4.3).
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,6 +15,7 @@
 #include "bench_json.h"
 #include "wt/analytics/combinatorics.h"
 #include "wt/obs/obs.h"
+#include "wt/obs/wallclock.h"
 #include "wt/soft/availability_static.h"
 
 namespace {
@@ -70,7 +70,7 @@ int main() {
   std::printf(
       "E1 / Figure 1: P(>=1 of 10,000 users unavailable) vs node failures\n"
       "quorum-based protocol (majority of n replicas required)\n\n");
-  auto start = std::chrono::steady_clock::now();
+  const int64_t start = wt::obs::WallNanos();
   int64_t trials = 0;
   for (int num_nodes : {10, 30}) {
     int max_f = num_nodes == 10 ? 8 : 12;
@@ -80,9 +80,7 @@ int main() {
       trials += 2 * TrialsPerConfig(max_f);
     }
   }
-  double seconds = std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - start)
-                       .count();
+  double seconds = wt::obs::WallSecondsSince(start);
   wt::bench::BenchEntry e;
   e.name = "fig1_full_sweep";
   e.wall_seconds = seconds;

@@ -50,7 +50,7 @@ double RandomPlacementAnyUnavailable(int N, int n, int quorum, int f,
 /// Round-robin placement with all N windows occupied (users >= N):
 /// P(some circular window of length n contains >= quorum failures | f).
 /// Exact; requires n <= 25 (transfer-matrix state width) and N <= 1000.
-Result<double> RoundRobinAnyUnavailable(int N, int n, int quorum, int f);
+[[nodiscard]] Result<double> RoundRobinAnyUnavailable(int N, int n, int quorum, int f);
 
 }  // namespace wt
 

@@ -22,16 +22,16 @@
 namespace wt {
 
 /// MLE exponential fit: rate = 1 / sample mean. Requires positive samples.
-Result<ExponentialDist> FitExponential(const std::vector<double>& samples);
+[[nodiscard]] Result<ExponentialDist> FitExponential(const std::vector<double>& samples);
 
 /// MLE lognormal fit: mu/sigma are the mean/sd of log(samples).
-Result<LogNormalDist> FitLogNormal(const std::vector<double>& samples);
+[[nodiscard]] Result<LogNormalDist> FitLogNormal(const std::vector<double>& samples);
 
 /// Method-of-moments Weibull fit: the shape k solves
 ///   CV^2 = Gamma(1 + 2/k) / Gamma(1 + 1/k)^2 - 1
 /// (monotone in k; solved by bisection), then scale = mean / Gamma(1+1/k).
 /// Requires positive samples with non-zero variance.
-Result<WeibullDist> FitWeibull(const std::vector<double>& samples);
+[[nodiscard]] Result<WeibullDist> FitWeibull(const std::vector<double>& samples);
 
 /// Kolmogorov–Smirnov statistic between the sample's empirical CDF and a
 /// model CDF. Lower is better. `cdf(x)` must be the model's CDF.
@@ -57,7 +57,7 @@ struct FitSelection {
 
 /// Fits all three families and returns the one with the smallest KS
 /// distance. Requires >= 10 positive samples.
-Result<FitSelection> SelectBestFit(const std::vector<double>& samples);
+[[nodiscard]] Result<FitSelection> SelectBestFit(const std::vector<double>& samples);
 
 }  // namespace wt
 

@@ -35,7 +35,7 @@ class Matrix {
 
 /// Solves A x = b by Gaussian elimination with partial pivoting.
 /// Fails if A is (numerically) singular.
-Result<std::vector<double>> SolveLinearSystem(Matrix a,
+[[nodiscard]] Result<std::vector<double>> SolveLinearSystem(Matrix a,
                                               std::vector<double> b);
 
 }  // namespace wt

@@ -30,12 +30,12 @@ class Ctmc {
 
   /// Stationary distribution pi with pi Q = 0, sum(pi) = 1. Requires an
   /// irreducible chain.
-  Result<std::vector<double>> StationaryDistribution() const;
+  [[nodiscard]] Result<std::vector<double>> StationaryDistribution() const;
 
   /// Expected time to reach any state in `absorbing`, starting from
   /// `start` (mean first-passage / absorption time). Requires `absorbing`
   /// reachable from start.
-  Result<double> MeanTimeToAbsorption(size_t start,
+  [[nodiscard]] Result<double> MeanTimeToAbsorption(size_t start,
                                       const std::vector<size_t>& absorbing) const;
 
  private:
@@ -59,11 +59,11 @@ struct ReplicaChainParams {
 };
 
 /// Steady-state probability that fewer than `quorum` replicas are live.
-Result<double> ReplicaChainUnavailability(const ReplicaChainParams& params);
+[[nodiscard]] Result<double> ReplicaChainUnavailability(const ReplicaChainParams& params);
 
 /// Mean time (hours) until all replicas are simultaneously dead (data
 /// loss), starting from all-live — the analytic MTTDL.
-Result<double> ReplicaChainMttdl(const ReplicaChainParams& params);
+[[nodiscard]] Result<double> ReplicaChainMttdl(const ReplicaChainParams& params);
 
 /// Builds the generator for the replica chain (states = #live replicas,
 /// 0..n). Exposed for tests.

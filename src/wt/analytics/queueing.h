@@ -20,7 +20,7 @@ struct MM1 {
   double mu = 1.0;
 
   /// Requires lambda < mu (stability).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   double utilization() const { return lambda / mu; }
   /// Mean number in system.
@@ -43,7 +43,7 @@ struct MMc {
   double mu = 1.0;
   int c = 1;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   double utilization() const { return lambda / (c * mu); }
   /// Erlang-C: probability an arrival must wait.
@@ -65,7 +65,7 @@ struct MG1 {
   double service_mean = 1.0;
   double service_variance = 0.0;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   double utilization() const { return lambda * service_mean; }
   double Wq() const;
@@ -82,7 +82,7 @@ struct GG1 {
   double ca2 = 1.0;  // squared CoV of interarrival times
   double cs2 = 1.0;  // squared CoV of service times
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   double utilization() const { return lambda * service_mean; }
   /// Kingman's approximation of the mean wait.

@@ -30,7 +30,7 @@ class Result {
   bool ok() const { return value_.has_value(); }
 
   /// The error status (OK if the result holds a value).
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// The contained value; requires ok().
   const T& value() const& {

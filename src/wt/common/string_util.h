@@ -33,9 +33,9 @@ bool StrStartsWith(std::string_view s, std::string_view prefix);
 bool StrEndsWith(std::string_view s, std::string_view suffix);
 
 /// Strict parses; the whole string must be consumed.
-Result<double> ParseDouble(std::string_view s);
-Result<long long> ParseInt(std::string_view s);
-Result<bool> ParseBool(std::string_view s);
+[[nodiscard]] Result<double> ParseDouble(std::string_view s);
+[[nodiscard]] Result<long long> ParseInt(std::string_view s);
+[[nodiscard]] Result<bool> ParseBool(std::string_view s);
 
 }  // namespace wt
 

@@ -26,7 +26,7 @@ class DesignPoint {
       : values_(std::move(values)) {}
 
   /// Value of a dimension; error if absent.
-  Result<Value> Get(const std::string& dim) const;
+  [[nodiscard]] Result<Value> Get(const std::string& dim) const;
   /// Typed conveniences with defaults.
   double GetDouble(const std::string& dim, double fallback) const;
   int64_t GetInt(const std::string& dim, int64_t fallback) const;
@@ -55,11 +55,11 @@ struct Dimension {
 class DesignSpace {
  public:
   /// Adds a dimension; fails on duplicates or empty candidate lists.
-  Status AddDimension(std::string name, std::vector<Value> candidates);
+  [[nodiscard]] Status AddDimension(std::string name, std::vector<Value> candidates);
 
   size_t num_dimensions() const { return dims_.size(); }
   const std::vector<Dimension>& dimensions() const { return dims_; }
-  Result<const Dimension*> dimension(const std::string& name) const;
+  [[nodiscard]] Result<const Dimension*> dimension(const std::string& name) const;
 
   /// Total number of design points (product of candidate counts).
   size_t size() const;

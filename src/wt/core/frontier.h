@@ -36,7 +36,7 @@ struct FrontierResult {
 /// Binary-searches `dim`'s candidates (monotone per `direction`) over the
 /// fixed assignment `base`, returning the cheapest satisfying value.
 /// Candidate values must be numeric; they are sorted internally.
-Result<FrontierResult> FindMonotoneFrontier(
+[[nodiscard]] Result<FrontierResult> FindMonotoneFrontier(
     const Dimension& dim, MonotoneDirection direction,
     const DesignPoint& base, const RunFn& fn,
     const std::vector<SlaConstraint>& constraints, uint64_t seed);
@@ -51,7 +51,7 @@ struct FrontierPoint {
 /// Maps the SLA frontier of `dim` across the cartesian product of `rest`
 /// dimensions: for every combination, the cheapest satisfying value of
 /// `dim` found by binary search.
-Result<std::vector<FrontierPoint>> FindFrontierSurface(
+[[nodiscard]] Result<std::vector<FrontierPoint>> FindFrontierSurface(
     const Dimension& dim, MonotoneDirection direction,
     const DesignSpace& rest, const RunFn& fn,
     const std::vector<SlaConstraint>& constraints, uint64_t seed);

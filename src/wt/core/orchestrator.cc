@@ -1,7 +1,6 @@
 #include "wt/core/orchestrator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -11,6 +10,7 @@
 #include "wt/obs/manifest.h"
 #include "wt/obs/metrics.h"
 #include "wt/obs/trace.h"
+#include "wt/obs/wallclock.h"
 #include "wt/stats/welford.h"
 
 namespace wt {
@@ -99,7 +99,7 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
     return Status::InvalidArgument("empty design space");
   }
   WT_TRACE_SCOPE("orchestrator", "sweep");
-  const auto sweep_wall0 = std::chrono::steady_clock::now();
+  const int64_t sweep_wall0 = obs::WallNanos();
   DominancePruner pruner(hints);
   std::vector<DesignPoint> points = pruner.OrderBestFirst(space.AllPoints());
   const std::vector<std::vector<size_t>> waves = BuildWavefronts(
@@ -228,10 +228,7 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
         break;
     }
   }
-  manifest->wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    sweep_wall0)
-          .count();
+  manifest->wall_seconds = obs::WallSecondsSince(sweep_wall0);
   obs::CountIfEnabled("sweep.points", static_cast<int64_t>(stats_.total_points));
   obs::CountIfEnabled("sweep.runs_executed",
                       static_cast<int64_t>(stats_.executed));

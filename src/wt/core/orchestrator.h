@@ -99,7 +99,7 @@ class RunOrchestrator {
 
   /// Runs `fn` over every point of `space` (minus pruned ones), evaluates
   /// `constraints` on each result, and returns records in execution order.
-  Result<std::vector<RunRecord>> Sweep(
+  [[nodiscard]] Result<std::vector<RunRecord>> Sweep(
       const DesignSpace& space, const RunFn& fn,
       const std::vector<SlaConstraint>& constraints,
       const std::vector<MonotoneHint>& hints = {});

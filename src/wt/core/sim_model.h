@@ -31,17 +31,17 @@ struct ModelDecl {
 class InteractionGraph {
  public:
   /// Registers a model; fails on duplicate names.
-  Status AddModel(ModelDecl decl);
+  [[nodiscard]] Status AddModel(ModelDecl decl);
 
   size_t num_models() const { return models_.size(); }
   const std::vector<ModelDecl>& models() const { return models_; }
 
   /// Two models conflict when one writes a resource the other reads or
   /// writes. Names must exist.
-  Result<bool> Conflicts(const std::string& a, const std::string& b) const;
+  [[nodiscard]] Result<bool> Conflicts(const std::string& a, const std::string& b) const;
 
   /// True when the models can run without coordination.
-  Result<bool> Independent(const std::string& a, const std::string& b) const {
+  [[nodiscard]] Result<bool> Independent(const std::string& a, const std::string& b) const {
     auto c = Conflicts(a, b);
     if (!c.ok()) return c.status();
     return !c.value();
@@ -52,10 +52,10 @@ class InteractionGraph {
   std::vector<std::vector<std::string>> ConnectedComponents() const;
 
   /// All models that conflict with `name`.
-  Result<std::vector<std::string>> ConflictSet(const std::string& name) const;
+  [[nodiscard]] Result<std::vector<std::string>> ConflictSet(const std::string& name) const;
 
  private:
-  Result<size_t> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<size_t> IndexOf(const std::string& name) const;
   static bool DeclsConflict(const ModelDecl& a, const ModelDecl& b);
 
   std::vector<ModelDecl> models_;

@@ -34,27 +34,27 @@ class WindTunnel {
   explicit WindTunnel(WindTunnelOptions options = {});
 
   /// Declares a model and its resource interactions (§4.1).
-  Status DeclareModel(ModelDecl decl) {
+  [[nodiscard]] Status DeclareModel(ModelDecl decl) {
     return interactions_.AddModel(std::move(decl));
   }
   const InteractionGraph& interactions() const { return interactions_; }
 
   /// Registers a named simulation callable from sweeps and the DSL.
-  Status RegisterSimulation(const std::string& name, RunFn fn);
+  [[nodiscard]] Status RegisterSimulation(const std::string& name, RunFn fn);
   bool HasSimulation(const std::string& name) const;
-  Result<RunFn> GetSimulation(const std::string& name) const;
+  [[nodiscard]] Result<RunFn> GetSimulation(const std::string& name) const;
   std::vector<std::string> SimulationNames() const;
 
   /// Runs `simulation` over `space`, evaluates `constraints`, stores one
   /// row per run in result table `sweep_name`, and returns the records.
-  Result<std::vector<RunRecord>> RunSweep(
+  [[nodiscard]] Result<std::vector<RunRecord>> RunSweep(
       const std::string& sweep_name, const DesignSpace& space,
       const std::string& simulation,
       const std::vector<SlaConstraint>& constraints = {},
       const std::vector<MonotoneHint>& hints = {});
 
   /// As above with an inline RunFn.
-  Result<std::vector<RunRecord>> RunSweepWith(
+  [[nodiscard]] Result<std::vector<RunRecord>> RunSweepWith(
       const std::string& sweep_name, const DesignSpace& space,
       const RunFn& fn, const std::vector<SlaConstraint>& constraints = {},
       const std::vector<MonotoneHint>& hints = {});
@@ -70,7 +70,7 @@ class WindTunnel {
 
  private:
   // Builds the result table (dims + metrics + status) from sweep records.
-  Status StoreRecords(const std::string& table_name, const DesignSpace& space,
+  [[nodiscard]] Status StoreRecords(const std::string& table_name, const DesignSpace& space,
                       const std::vector<RunRecord>& records);
 
   WindTunnelOptions options_;

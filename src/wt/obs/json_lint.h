@@ -20,7 +20,7 @@ namespace obs {
 
 /// OK iff `text` is exactly one valid JSON value (plus whitespace).
 /// Errors carry the byte offset of the first violation.
-Status ValidateJson(std::string_view text);
+[[nodiscard]] Status ValidateJson(std::string_view text);
 
 }  // namespace obs
 }  // namespace wt

@@ -6,10 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <ctime>
 #include <thread>
 
 #include "wt/common/string_util.h"
+#include "wt/obs/wallclock.h"
 
 namespace wt {
 namespace obs {
@@ -76,15 +76,6 @@ std::string DetectHostname() {
   char buf[256] = {0};
   if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
   return "unknown";
-}
-
-std::string UtcNowIso8601() {
-  std::time_t now = std::time(nullptr);
-  std::tm tm_utc{};
-  gmtime_r(&now, &tm_utc);
-  char buf[32];
-  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
-  return buf;
 }
 
 // Host + toolchain facts never change within a process; collect them once.

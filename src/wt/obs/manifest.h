@@ -54,12 +54,12 @@ std::string ManifestToJson(const RunManifest& m, int indent = 0);
 
 /// Persists `m` as a two-column (key:string, value:string) table named
 /// `table` in `store` — the round-trippable wt::store form.
-Status StoreManifest(ResultStore* store, const std::string& table,
+[[nodiscard]] Status StoreManifest(ResultStore* store, const std::string& table,
                      const RunManifest& m);
 
 /// Reads a manifest previously written by StoreManifest (possibly after a
 /// save/load cycle through wt/store/persistence).
-Result<RunManifest> LoadManifest(const ResultStore& store,
+[[nodiscard]] Result<RunManifest> LoadManifest(const ResultStore& store,
                                  const std::string& table);
 
 /// Conventional name of the manifest side table for sweep table `table`.

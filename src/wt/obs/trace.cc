@@ -51,7 +51,7 @@ void TraceEmitter::Start(size_t capacity_per_thread) {
   std::lock_guard<std::mutex> lock(mu_);
   buffers_.clear();
   capacity_per_thread_ = capacity_per_thread;
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_us_ = WallMicros();
   session_.fetch_add(1, std::memory_order_relaxed);
   active_.store(true, std::memory_order_relaxed);
 #else
@@ -61,11 +61,7 @@ void TraceEmitter::Start(size_t capacity_per_thread) {
 
 void TraceEmitter::Stop() { active_.store(false, std::memory_order_relaxed); }
 
-int64_t TraceEmitter::NowMicros() const {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
-}
+int64_t TraceEmitter::NowMicros() const { return WallMicros() - epoch_us_; }
 
 TraceEmitter::ThreadBuffer* TraceEmitter::BufferForThisThread() {
   uint64_t session = session_.load(std::memory_order_relaxed);

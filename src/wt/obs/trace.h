@@ -15,7 +15,7 @@
 //    outlive the emitter session): records store the pointers.
 //  * Tracing observes; it never touches RNG streams or event ordering.
 //
-// Timestamps are wall (steady_clock) microseconds since Start(); the
+// Timestamps are wall microseconds since Start() (obs::WallMicros); the
 // per-thread track id is the registration order, with thread labels from
 // SetThisThreadLabel exported as Chrome thread_name metadata.
 
@@ -23,7 +23,6 @@
 #define WT_OBS_TRACE_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -33,6 +32,7 @@
 #include "wt/common/macros.h"
 #include "wt/common/status.h"
 #include "wt/obs/metrics.h"  // for WT_OBS_ENABLED
+#include "wt/obs/wallclock.h"
 
 namespace wt {
 namespace obs {
@@ -97,7 +97,7 @@ class TraceEmitter {
   std::string ToJson() const;
 
   /// ToJson() to a file. Returns the first write error, if any.
-  Status WriteJson(const std::string& path) const;
+  [[nodiscard]] Status WriteJson(const std::string& path) const;
 
  private:
   struct ThreadBuffer {
@@ -113,7 +113,7 @@ class TraceEmitter {
 
   std::atomic<bool> active_{false};
   std::atomic<uint64_t> session_{0};  // invalidates cached TLS buffers
-  std::chrono::steady_clock::time_point epoch_;
+  int64_t epoch_us_ = 0;  // WallMicros() at Start()
   size_t capacity_per_thread_ = 1 << 16;
   mutable std::mutex mu_;  // guards buffers_ registration and export
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;

@@ -1,0 +1,38 @@
+// The only translation unit in the tree allowed to read host clocks (see
+// wallclock.h for the contract; `wtlint` enforces the allowlist).
+
+#include "wt/obs/wallclock.h"
+
+#include <chrono>
+#include <ctime>
+
+namespace wt {
+namespace obs {
+
+int64_t WallNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double WallSecondsSince(int64_t t0_nanos) {
+  return static_cast<double>(WallNanos() - t0_nanos) * 1e-9;
+}
+
+std::string UtcNowIso8601() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace wt

@@ -1,0 +1,43 @@
+// Wall-clock access for the whole library, in one place.
+//
+// Determinism contract: simulation results must be a pure function of
+// (config, seed) — wall-clock reads are observability-only (trace
+// timestamps, profile stage timings, manifest provenance) and must never
+// feed back into RNG draws, event ordering, or stored results other than
+// explicitly wall-clock-named fields. Concentrating every host-clock read
+// behind this header keeps that auditable: `wtlint`'s determinism rules ban
+// direct `std::chrono::*_clock::now()` / `time()` everywhere except
+// wallclock.cc, so the allowlist is exactly one file.
+//
+// Naming convention (shared with wt::obs::MetricsRegistry): any metric or
+// serialized field derived from these readings carries a "wall" marker in
+// its name (".wall_ns" / ".wall_us" suffix, "wall_seconds" field) so
+// byte-identical-output tests know what to exclude.
+
+#ifndef WT_OBS_WALLCLOCK_H_
+#define WT_OBS_WALLCLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wt {
+namespace obs {
+
+/// Monotonic (steady-clock) nanoseconds since an arbitrary process epoch.
+/// Use for durations: WallNanos() - t0.
+[[nodiscard]] int64_t WallNanos();
+
+/// Monotonic microseconds since the same epoch as WallNanos().
+[[nodiscard]] int64_t WallMicros();
+
+/// Seconds elapsed since `t0_nanos` (a prior WallNanos() reading).
+[[nodiscard]] double WallSecondsSince(int64_t t0_nanos);
+
+/// Current UTC civil time as "YYYY-MM-DDTHH:MM:SSZ" (system clock; the one
+/// non-monotonic reading — provenance stamps only).
+[[nodiscard]] std::string UtcNowIso8601();
+
+}  // namespace obs
+}  // namespace wt
+
+#endif  // WT_OBS_WALLCLOCK_H_

@@ -44,7 +44,7 @@ namespace wt {
 
 /// Registers all built-in simulations plus their model-interaction
 /// declarations on the tunnel. Idempotent per tunnel (second call errors).
-Status RegisterBuiltinSimulations(WindTunnel* tunnel);
+[[nodiscard]] Status RegisterBuiltinSimulations(WindTunnel* tunnel);
 
 /// Individual RunFns (exposed for direct use and tests).
 RunFn MakeAvailabilitySim();

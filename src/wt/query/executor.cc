@@ -1,10 +1,10 @@
 #include "wt/query/executor.h"
 
 #include <atomic>
-#include <chrono>
 
 #include "wt/common/string_util.h"
 #include "wt/obs/trace.h"
+#include "wt/obs/wallclock.h"
 
 namespace wt {
 
@@ -16,13 +16,7 @@ std::string NextTableName() {
                    static_cast<long long>(counter.fetch_add(1) + 1));
 }
 
-using Clock = std::chrono::steady_clock;
-
-int64_t MicrosSince(Clock::time_point t0) {
-  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                               t0)
-      .count();
-}
+int64_t MicrosSince(int64_t t0_us) { return obs::WallMicros() - t0_us; }
 }  // namespace
 
 std::string QueryProfile::ToText() const {
@@ -49,14 +43,14 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
     return Status::InvalidArgument("query explores no dimensions");
   }
   WT_TRACE_SCOPE("query", "execute");
-  const Clock::time_point t_total = Clock::now();
+  const int64_t t_total = obs::WallMicros();
   WT_ASSIGN_OR_RETURN(RunFn fn, tunnel->GetSimulation(spec.simulation));
 
   QueryResult result;
 
   // Fixed parameters become single-candidate dimensions so they show up in
   // result tables and reach the RunFn uniformly.
-  Clock::time_point t0 = Clock::now();
+  int64_t t0 = obs::WallMicros();
   DesignSpace space;
   {
     WT_TRACE_SCOPE("query", "plan");
@@ -70,7 +64,7 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
   result.profile.plan_us = MicrosSince(t0);
 
   std::string table = table_name.empty() ? NextTableName() : table_name;
-  t0 = Clock::now();
+  t0 = obs::WallMicros();
   {
     WT_TRACE_SCOPE("query", "sweep");
     WT_ASSIGN_OR_RETURN(
@@ -86,7 +80,7 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
                       tunnel->store().GetTableConst(table));
   // Keep rows that completed and met every constraint; with no WHERE
   // clause, keep all completed rows.
-  t0 = Clock::now();
+  t0 = obs::WallMicros();
   Table satisfying = [&] {
     WT_TRACE_SCOPE("query", "filter");
     return stored->Filter([&](const Table& t, size_t row) {
@@ -102,7 +96,7 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
   }();
   result.profile.filter_us = MicrosSince(t0);
 
-  t0 = Clock::now();
+  t0 = obs::WallMicros();
   {
     WT_TRACE_SCOPE("query", "order");
     if (!spec.order_by.empty()) {
@@ -122,7 +116,7 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
 
 Result<QueryResult> RunQuery(WindTunnel* tunnel, const std::string& text,
                              const std::string& table_name) {
-  const Clock::time_point t0 = Clock::now();
+  const int64_t t0 = obs::WallMicros();
   WT_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(text));
   const int64_t parse_us = MicrosSince(t0);
   WT_ASSIGN_OR_RETURN(QueryResult result,

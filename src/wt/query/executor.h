@@ -40,11 +40,11 @@ struct QueryResult {
 /// Executes `spec` against `tunnel`'s simulation registry. The sweep's raw
 /// rows are stored in the tunnel's ResultStore under a generated table name
 /// (returned in QueryResult::sweep_table); pass `table_name` to control it.
-Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
+[[nodiscard]] Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
                                  const std::string& table_name = "");
 
 /// Parse + execute in one step.
-Result<QueryResult> RunQuery(WindTunnel* tunnel, const std::string& text,
+[[nodiscard]] Result<QueryResult> RunQuery(WindTunnel* tunnel, const std::string& text,
                              const std::string& table_name = "");
 
 }  // namespace wt

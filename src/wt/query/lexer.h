@@ -40,7 +40,7 @@ struct Token {
 };
 
 /// Tokenizes `source`; the result always ends with a kEnd token.
-Result<std::vector<Token>> Tokenize(const std::string& source);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(const std::string& source);
 
 }  // namespace wt
 

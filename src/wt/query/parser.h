@@ -58,7 +58,7 @@ struct QuerySpec {
 };
 
 /// Parses `source` into a QuerySpec.
-Result<QuerySpec> ParseQuery(const std::string& source);
+[[nodiscard]] Result<QuerySpec> ParseQuery(const std::string& source);
 
 }  // namespace wt
 

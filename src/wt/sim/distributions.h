@@ -227,7 +227,7 @@ class ZipfGenerator {
 ///   deterministic(v) | uniform(lo,hi) | exponential(rate) |
 ///   weibull(shape,scale) | gamma(shape,scale) | normal(mu,sigma) |
 ///   lognormal(mu,sigma) | pareto(xm,alpha) | erlang(k,rate)
-Result<DistributionPtr> ParseDistribution(const std::string& spec);
+[[nodiscard]] Result<DistributionPtr> ParseDistribution(const std::string& spec);
 
 }  // namespace wt
 

@@ -1,23 +1,13 @@
 #include "wt/sim/simulator.h"
 
-#include <chrono>
 #include <utility>
 
 #include "wt/common/macros.h"
 #include "wt/obs/metrics.h"
 #include "wt/obs/trace.h"
+#include "wt/obs/wallclock.h"
 
 namespace wt {
-
-namespace {
-
-int64_t WallNowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 EventHandle Simulator::Schedule(SimTime delay, EventFn fn, int32_t priority) {
   WT_CHECK(delay >= SimTime::Zero()) << "negative delay";
@@ -63,10 +53,10 @@ void Simulator::Run() {
   }
   const SimTime sim0 = now_;
   const int64_t ev0 = events_processed_;
-  const int64_t wall0 = WallNowNs();
+  const int64_t wall0 = obs::WallNanos();
   while (!stopped_ && Step()) {
   }
-  FlushObs(sim0, ev0, WallNowNs() - wall0);
+  FlushObs(sim0, ev0, obs::WallNanos() - wall0);
 }
 
 void Simulator::RunUntil(SimTime t_end) {
@@ -81,12 +71,12 @@ void Simulator::RunUntil(SimTime t_end) {
   }
   const SimTime sim0 = now_;
   const int64_t ev0 = events_processed_;
-  const int64_t wall0 = WallNowNs();
+  const int64_t wall0 = obs::WallNanos();
   while (!stopped_ && !queue_.Empty() && queue_.PeekTime() <= t_end) {
     Step();
   }
   if (now_ < t_end) now_ = t_end;
-  FlushObs(sim0, ev0, WallNowNs() - wall0);
+  FlushObs(sim0, ev0, obs::WallNanos() - wall0);
 }
 
 void Simulator::AttachDefaultObs() {

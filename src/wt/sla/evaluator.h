@@ -16,11 +16,11 @@ namespace wt {
 using MetricMap = std::map<std::string, double>;
 
 /// Evaluates one constraint; error if the metric was not measured.
-Result<SlaOutcome> EvaluateConstraint(const SlaConstraint& constraint,
+[[nodiscard]] Result<SlaOutcome> EvaluateConstraint(const SlaConstraint& constraint,
                                       const MetricMap& metrics);
 
 /// Evaluates all constraints; fails fast on a missing metric.
-Result<std::vector<SlaOutcome>> EvaluateConstraints(
+[[nodiscard]] Result<std::vector<SlaOutcome>> EvaluateConstraints(
     const std::vector<SlaConstraint>& constraints, const MetricMap& metrics);
 
 /// True iff every outcome passed.

@@ -69,7 +69,7 @@ struct AvailabilityMetrics {
 };
 
 /// Runs the scenario to completion and returns its metrics.
-Result<AvailabilityMetrics> RunDynamicAvailability(
+[[nodiscard]] Result<AvailabilityMetrics> RunDynamicAvailability(
     const DynamicAvailabilityConfig& config);
 
 }  // namespace wt

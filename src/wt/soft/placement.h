@@ -41,7 +41,7 @@ class PlacementPolicy {
   virtual std::unique_ptr<PlacementPolicy> Clone() const = 0;
 
   /// Factory by name.
-  static Result<std::unique_ptr<PlacementPolicy>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<PlacementPolicy>> Create(
       const std::string& name);
 };
 

@@ -31,7 +31,7 @@ struct QuorumSpec {
   static QuorumSpec ReadOneWriteAll(int n) { return QuorumSpec{n, 1, n}; }
 
   /// Validates 1 <= R,W <= n and strict intersection R + W > n.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   bool ReadAvailable(int up_replicas) const {
     return up_replicas >= read_quorum;

@@ -50,7 +50,7 @@ class RedundancyScheme {
   virtual std::unique_ptr<RedundancyScheme> Clone() const = 0;
 
   /// Factory: "replication(3)", "rs(10,4)", "lrc(10,4,2)".
-  static Result<std::unique_ptr<RedundancyScheme>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<RedundancyScheme>> Create(
       const std::string& spec);
 };
 

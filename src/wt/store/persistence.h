@@ -19,15 +19,15 @@ namespace wt {
 std::string TableToTypedCsv(const Table& table);
 
 /// Parses the typed CSV form back into a Table.
-Result<Table> TableFromTypedCsv(const std::string& csv);
+[[nodiscard]] Result<Table> TableFromTypedCsv(const std::string& csv);
 
 /// Writes every table of `store` as `<dir>/<table>.wt.csv`. Creates the
 /// directory if needed; existing files are overwritten.
-Status SaveResultStore(const ResultStore& store, const std::string& dir);
+[[nodiscard]] Status SaveResultStore(const ResultStore& store, const std::string& dir);
 
 /// Loads every `*.wt.csv` in `dir` into `store` (table name = file stem).
 /// Fails if a table name already exists in the store.
-Status LoadResultStore(ResultStore* store, const std::string& dir);
+[[nodiscard]] Status LoadResultStore(ResultStore* store, const std::string& dir);
 
 }  // namespace wt
 

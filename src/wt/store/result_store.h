@@ -21,14 +21,14 @@ namespace wt {
 class ResultStore {
  public:
   /// Creates an empty table; fails if the name exists.
-  Status CreateTable(const std::string& name, Schema schema);
+  [[nodiscard]] Status CreateTable(const std::string& name, Schema schema);
 
   /// True if a table with this name exists.
   bool HasTable(const std::string& name) const;
 
   /// Mutable access; fails if absent.
-  Result<Table*> GetTable(const std::string& name);
-  Result<const Table*> GetTableConst(const std::string& name) const;
+  [[nodiscard]] Result<Table*> GetTable(const std::string& name);
+  [[nodiscard]] Result<const Table*> GetTableConst(const std::string& name) const;
 
   /// Registered table names, sorted.
   std::vector<std::string> TableNames() const;
@@ -37,7 +37,7 @@ class ResultStore {
   /// values on `dimensions` are closest to `target` in normalized (z-score
   /// per dimension) Euclidean distance. Non-numeric dimensions match 0/1
   /// (equal / different). Returns row indices, closest first.
-  Result<std::vector<size_t>> FindSimilar(
+  [[nodiscard]] Result<std::vector<size_t>> FindSimilar(
       const std::string& table,
       const std::map<std::string, Value>& target,
       const std::vector<std::string>& dimensions, size_t k) const;

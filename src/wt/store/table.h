@@ -34,7 +34,7 @@ class Schema {
   size_t num_columns() const { return columns_.size(); }
   const ColumnDef& column(size_t i) const { return columns_[i]; }
   /// Index of `name`, or error.
-  Result<size_t> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<size_t> IndexOf(const std::string& name) const;
   bool Has(const std::string& name) const;
 
   std::string ToString() const;
@@ -54,20 +54,20 @@ class Table {
   size_t num_rows() const { return rows_.size(); }
 
   /// Appends a row; must match the schema arity and cell types.
-  Status AppendRow(std::vector<Value> row);
+  [[nodiscard]] Status AppendRow(std::vector<Value> row);
 
   const Value& At(size_t row, size_t col) const;
   /// Cell by column name.
-  Result<Value> Get(size_t row, const std::string& column) const;
+  [[nodiscard]] Result<Value> Get(size_t row, const std::string& column) const;
 
   /// Rows matching a predicate.
   Table Filter(const std::function<bool(const Table&, size_t row)>& pred) const;
 
   /// Subset of columns, in the given order.
-  Result<Table> Project(const std::vector<std::string>& columns) const;
+  [[nodiscard]] Result<Table> Project(const std::vector<std::string>& columns) const;
 
   /// Stable sort by column (ascending or descending). Nulls sort first.
-  Result<Table> SortBy(const std::string& column, bool ascending = true) const;
+  [[nodiscard]] Result<Table> SortBy(const std::string& column, bool ascending = true) const;
 
   /// First `n` rows.
   Table Head(size_t n) const;
@@ -77,11 +77,11 @@ class Table {
     double min = 0, max = 0, sum = 0, mean = 0;
     size_t count = 0;
   };
-  Result<ColumnStats> Aggregate(const std::string& column) const;
+  [[nodiscard]] Result<ColumnStats> Aggregate(const std::string& column) const;
 
   /// Group rows by `key` and compute the mean of `value` per group.
   /// Returns a table (key, mean_<value>, count).
-  Result<Table> GroupByMean(const std::string& key,
+  [[nodiscard]] Result<Table> GroupByMean(const std::string& key,
                             const std::string& value) const;
 
   /// CSV with a header row.

@@ -37,7 +37,7 @@ class Value {
   const std::string& AsString() const;
 
   /// Numeric view: int and double convert, bool -> 0/1; error otherwise.
-  Result<double> ToNumeric() const;
+  [[nodiscard]] Result<double> ToNumeric() const;
 
   /// Renders for CSV / debugging.
   std::string ToString() const;

@@ -100,7 +100,7 @@ struct PerfSimResult {
 };
 
 /// Runs the scenario; deterministic given (config.seed, specs, events).
-Result<PerfSimResult> RunPerfSim(const PerfSimConfig& config,
+[[nodiscard]] Result<PerfSimResult> RunPerfSim(const PerfSimConfig& config,
                                  const std::vector<PerfWorkloadSpec>& specs,
                                  const std::vector<OutageEvent>& outages = {},
                                  const std::vector<DegradeEvent>& degrades = {});

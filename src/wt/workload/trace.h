@@ -31,7 +31,7 @@ struct TraceRecord {
 };
 
 const char* TraceKindToString(TraceRecord::Kind kind);
-Result<TraceRecord::Kind> TraceKindFromString(const std::string& s);
+[[nodiscard]] Result<TraceRecord::Kind> TraceKindFromString(const std::string& s);
 
 /// Generates a failure/repair log for `num_nodes` over `years`:
 /// alternating failure and repair events per node, with times drawn from
@@ -45,15 +45,15 @@ std::vector<TraceRecord> GenerateFailureTrace(int num_nodes, double years,
 std::string TraceToCsv(const std::vector<TraceRecord>& records);
 
 /// Parses the CSV form (with header).
-Result<std::vector<TraceRecord>> TraceFromCsv(const std::string& csv);
+[[nodiscard]] Result<std::vector<TraceRecord>> TraceFromCsv(const std::string& csv);
 
 /// Extracts per-node inter-failure gaps (hours) from a trace and fits an
 /// empirical TTF distribution. Fails if the trace has < 2 failures on
 /// every node.
-Result<EmpiricalDist> FitTimeToFailure(const std::vector<TraceRecord>& trace);
+[[nodiscard]] Result<EmpiricalDist> FitTimeToFailure(const std::vector<TraceRecord>& trace);
 
 /// Fits an empirical repair-duration distribution from kRepair records.
-Result<EmpiricalDist> FitRepairTime(const std::vector<TraceRecord>& trace);
+[[nodiscard]] Result<EmpiricalDist> FitRepairTime(const std::vector<TraceRecord>& trace);
 
 }  // namespace wt
 

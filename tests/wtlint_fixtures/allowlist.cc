@@ -1,0 +1,19 @@
+// Fixture: determinism allowlist. Scanned under the virtual path
+// src/wt/obs/wallclock.cc — the one file allowed to read host clocks — so
+// none of these fire. The std::function below is NOT exempt (the allowlist
+// covers the determinism family only), but obs/ is not a hot path either,
+// so the whole file must come back clean.
+namespace wt {
+
+long AllowedClockReads() {
+  auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return time(nullptr);
+}
+
+void NotAHotFile() {
+  std::function<void()> cb = [] {};
+  cb();
+}
+
+}  // namespace wt

@@ -1,0 +1,23 @@
+// Fixture: determinism family. Presented to the analyzer under a virtual
+// src/ path (see wtlint_test.cc); every banned construct below must fire.
+#include <random>
+
+namespace wt {
+
+void UnseededRandomness() {
+  std::random_device rd;              // determinism/raw-random
+  unsigned x = rd() + rand();         // determinism/raw-random (rand call)
+  srand(x);                           // determinism/raw-random
+}
+
+long WallClockReads() {
+  auto t0 = std::chrono::steady_clock::now();   // determinism/wall-clock
+  (void)t0;
+  return time(nullptr);               // determinism/wall-clock
+}
+
+void HostSleep() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // determinism/sleep
+}
+
+}  // namespace wt

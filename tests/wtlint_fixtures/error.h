@@ -1,0 +1,24 @@
+// Fixture: error-handling family, declaration side. Scanned under the
+// virtual path src/wt/core/fixture_error.h (guard below matches that).
+#ifndef WT_CORE_FIXTURE_ERROR_H_
+#define WT_CORE_FIXTURE_ERROR_H_
+
+namespace wt {
+
+Status MissingNodiscard(int x);                  // error/nodiscard-status
+Result<int> MissingNodiscardResult(double y);    // error/nodiscard-status
+
+[[nodiscard]] Status AlreadyAnnotated();         // clean
+
+template <typename T>
+Result<T> MissingOnTemplate(const T& value);     // error/nodiscard-status
+
+class Widget {
+ public:
+  Status Configure(int knob);                    // error/nodiscard-status
+  [[nodiscard]] static Status Check();           // clean
+};
+
+}  // namespace wt
+
+#endif  // WT_CORE_FIXTURE_ERROR_H_

@@ -1,0 +1,16 @@
+// Fixture: error-handling family, call side. MissingNodiscard and
+// Widget::Configure are declared Status-returning in error.h, so
+// (void)-casting their calls is a silent drop.
+#include "wt/core/fixture_error.h"
+
+namespace wt {
+
+void CallSites(Widget* w) {
+  (void)MissingNodiscard(7);          // error/dropped-status
+  (void)w->Configure(3);              // error/dropped-status
+  (void)w;                            // clean: not a call
+  Status kept = MissingNodiscard(1);  // clean: result is bound
+  (void)kept;
+}
+
+}  // namespace wt

@@ -1,0 +1,21 @@
+// Fixture: hotpath family. Scanned under a virtual src/wt/sim/ path, where
+// every construct below is banned from the event dispatch path.
+#include <iostream>
+
+namespace wt {
+
+struct Base {
+  virtual ~Base() = default;
+};
+struct Derived : Base {};
+
+void HotPathSins(Base* b) {
+  std::function<void()> cb = [] {};   // hotpath/std-function
+  cb();
+  if (dynamic_cast<Derived*>(b) == nullptr) {  // hotpath/dynamic-cast
+    throw 42;                         // hotpath/throw
+  }
+  std::cerr << "event dropped\n";     // hotpath/iostream
+}
+
+}  // namespace wt

@@ -1,0 +1,19 @@
+// Fixture: hygiene family. Scanned under the virtual path
+// src/wt/obs/fixture_hygiene.h — inside the serialization layer, with a
+// guard that does not match the derived WT_OBS_FIXTURE_HYGIENE_H_ name.
+#ifndef WRONG_GUARD_NAME_H          // hygiene/include-guard
+#define WRONG_GUARD_NAME_H
+
+#include <unordered_map>
+
+using namespace std;                // hygiene/using-namespace-header
+
+namespace wt {
+
+struct Exporter {
+  std::unordered_map<int, int> rows;  // hygiene/unordered-serialization
+};
+
+}  // namespace wt
+
+#endif

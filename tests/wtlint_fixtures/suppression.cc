@@ -1,0 +1,25 @@
+// Fixture: suppression mechanics, scanned under a virtual src/wt/sim/ path
+// (hot + determinism rules both apply).
+namespace wt {
+
+void Suppressed() {
+  // Trailing form: governs its own line.
+  srand(1);  // wtlint: allow(determinism/raw-random) -- fixture: seeding a legacy PRNG on purpose
+  // Whole-line form: governs the next code line.
+  // wtlint: allow(hotpath/throw) -- fixture: cold error path, never dispatched
+  throw 7;
+  // Family form: one pattern covers every determinism rule on the line.
+  // wtlint: allow(determinism) -- fixture: wall-clock and sleep in one stroke
+  long t = time(nullptr) + (sleep(1) ? 1 : 0);
+  (void)t;
+}
+
+void NotSuppressed() {
+  rand();  // wtlint: allow(determinism/raw-random)
+  // ^ hygiene/bad-suppression: no reason given; the rand() still fires.
+  // wtlint: allow(hotpath/dynamic-cast) -- fixture: nothing matches, flagged unused
+  int x = 0;
+  (void)x;
+}
+
+}  // namespace wt

@@ -1,0 +1,202 @@
+// wtlint's own regression suite: seeded violation fixtures, one per rule
+// family, plus suppression and allowlist mechanics. Fixtures live in
+// tests/wtlint_fixtures/ and are fed to the analyzer under *virtual* paths
+// (a fixture "is" a hot file because the test says so), which keeps the
+// rule config under test identical to the one the CI gate uses. The full
+// JSON report is diffed against a golden and re-validated with
+// wt::obs::ValidateJson.
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/wtlint/lexer.h"
+#include "tools/wtlint/rules.h"
+#include "wt/obs/json_lint.h"
+
+namespace wt {
+namespace wtlint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(WTLINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Fixture file -> the virtual repo path it is scanned under.
+const std::map<std::string, std::string>& FixtureMap() {
+  static const std::map<std::string, std::string> kMap = {
+      {"determinism.cc", "src/wt/core/fixture_determinism.cc"},
+      {"hotpath.cc", "src/wt/sim/fixture_hotpath.cc"},
+      {"error.h", "src/wt/core/fixture_error.h"},
+      {"error_drop.cc", "src/wt/core/fixture_error_drop.cc"},
+      {"hygiene.h", "src/wt/obs/fixture_hygiene.h"},
+      {"suppression.cc", "src/wt/sim/fixture_suppression.cc"},
+      {"allowlist.cc", "src/wt/obs/wallclock.cc"},
+  };
+  return kMap;
+}
+
+std::vector<FileInput> LoadAllFixtures() {
+  std::vector<FileInput> files;
+  for (const auto& [fixture, virtual_path] : FixtureMap()) {
+    files.push_back({virtual_path, ReadFixture(fixture)});
+  }
+  return files;  // std::map iteration == sorted by fixture name
+}
+
+AnalysisResult AnalyzeAll() { return Analyze(LoadAllFixtures(), Config{}); }
+
+int CountRule(const AnalysisResult& r, const std::string& rule,
+              bool suppressed = false) {
+  int n = 0;
+  for (const Finding& f : r.findings) {
+    if (f.rule == rule && f.suppressed == suppressed) ++n;
+  }
+  return n;
+}
+
+TEST(WtlintLexer, StripsCommentsStringsAndFusesScopes) {
+  LexedFile lexed = Lex(
+      "int a; // rand() in a comment\n"
+      "const char* s = \"srand(1)\";\n"
+      "std::function<void()> f;\n");
+  for (const Token& t : lexed.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "srand");
+  }
+  bool saw_scope = false;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokKind::kPunct && t.text == "::") saw_scope = true;
+  }
+  EXPECT_TRUE(saw_scope);
+}
+
+TEST(WtlintLexer, ParsesSuppressionsWithTargets) {
+  LexedFile lexed = Lex(
+      "int a = rand();  // wtlint: allow(determinism/raw-random) -- tail\n"
+      "// wtlint: allow(hotpath/throw) -- next line\n"
+      "throw 1;\n"
+      "// wtlint: allow(determinism)\n");
+  ASSERT_EQ(lexed.suppressions.size(), 3u);
+  EXPECT_EQ(lexed.suppressions[0].target_line, 1);
+  EXPECT_EQ(lexed.suppressions[0].reason, "tail");
+  EXPECT_EQ(lexed.suppressions[1].target_line, 3);
+  EXPECT_TRUE(lexed.suppressions[2].malformed);  // reason missing
+}
+
+TEST(WtlintRules, DeterminismFamilyFires) {
+  AnalysisResult r = AnalyzeAll();
+  // 3 in determinism.cc plus the reason-less (hence unsuppressed) rand()
+  // in suppression.cc.
+  EXPECT_EQ(CountRule(r, "determinism/raw-random"), 4);
+  EXPECT_EQ(CountRule(r, "determinism/wall-clock"), 2);
+  EXPECT_EQ(CountRule(r, "determinism/sleep"), 1);
+}
+
+TEST(WtlintRules, HotPathFamilyFires) {
+  AnalysisResult r = AnalyzeAll();
+  EXPECT_EQ(CountRule(r, "hotpath/std-function"), 1);
+  EXPECT_EQ(CountRule(r, "hotpath/throw"), 1);
+  EXPECT_EQ(CountRule(r, "hotpath/dynamic-cast"), 1);
+  EXPECT_EQ(CountRule(r, "hotpath/iostream"), 2);  // include + std::cerr
+}
+
+TEST(WtlintRules, ErrorFamilyFires) {
+  AnalysisResult r = AnalyzeAll();
+  EXPECT_EQ(CountRule(r, "error/nodiscard-status"), 4);
+  EXPECT_EQ(CountRule(r, "error/dropped-status"), 2);
+}
+
+TEST(WtlintRules, HygieneFamilyFires) {
+  AnalysisResult r = AnalyzeAll();
+  EXPECT_EQ(CountRule(r, "hygiene/include-guard"), 1);
+  EXPECT_EQ(CountRule(r, "hygiene/using-namespace-header"), 1);
+  EXPECT_EQ(CountRule(r, "hygiene/unordered-serialization"), 1);
+}
+
+TEST(WtlintRules, SuppressionsWork) {
+  AnalysisResult r = AnalyzeAll();
+  // Trailing, whole-line, and family suppressions each hide a finding but
+  // keep it in the report, tagged with its reason.
+  EXPECT_EQ(CountRule(r, "determinism/raw-random", /*suppressed=*/true), 1);
+  EXPECT_EQ(CountRule(r, "hotpath/throw", /*suppressed=*/true), 1);
+  EXPECT_EQ(CountRule(r, "determinism/wall-clock", /*suppressed=*/true), 1);
+  EXPECT_EQ(CountRule(r, "determinism/sleep", /*suppressed=*/true), 1);
+  // A reason-less suppression is itself a finding and hides nothing.
+  EXPECT_EQ(CountRule(r, "hygiene/bad-suppression"), 1);
+  EXPECT_EQ(CountRule(r, "hygiene/unused-suppression"), 1);
+  for (const Finding& f : r.findings) {
+    if (f.suppressed) {
+      EXPECT_FALSE(f.suppress_reason.empty());
+    }
+  }
+}
+
+TEST(WtlintRules, DeterminismAllowlistIsScopedToOneFile) {
+  AnalysisResult r = AnalyzeAll();
+  for (const Finding& f : r.findings) {
+    EXPECT_NE(f.file, "src/wt/obs/wallclock.cc")
+        << "allowlisted file produced: " << f.rule;
+  }
+  // The allowlist must not leak to sibling paths: the hygiene fixture in
+  // src/wt/obs/ still produced findings.
+  EXPECT_GT(CountRule(r, "hygiene/unordered-serialization"), 0);
+}
+
+TEST(WtlintRules, GoldenJsonReport) {
+  AnalysisResult r = AnalyzeAll();
+  const std::string actual = ResultToJson(r);
+  ASSERT_TRUE(obs::ValidateJson(actual).ok())
+      << "report is not strict JSON:\n"
+      << actual;
+  if (std::getenv("WTLINT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(FixturePath("golden.json"), std::ios::binary);
+    out << actual;
+    GTEST_SKIP() << "golden regenerated";
+  }
+  const std::string golden = ReadFixture("golden.json");
+  EXPECT_EQ(actual, golden) << "golden mismatch; actual report:\n" << actual;
+}
+
+TEST(WtlintRules, FixNodiscardRewritesDeclarations) {
+  AnalysisResult r = AnalyzeAll();
+  const std::string fixed = ApplyNodiscardFixes(
+      "src/wt/core/fixture_error.h", ReadFixture("error.h"), r.findings);
+  EXPECT_EQ(fixed, ReadFixture("error_fixed.h"))
+      << "fix output drifted; actual:\n"
+      << fixed;
+
+  // The fixed header must scan clean for the nodiscard rule.
+  AnalysisResult refixed =
+      Analyze({{"src/wt/core/fixture_error.h", fixed}}, Config{});
+  EXPECT_EQ(CountRule(refixed, "error/nodiscard-status"), 0);
+}
+
+TEST(WtlintRules, CleanFileProducesNoFindings) {
+  const char* clean =
+      "#ifndef WT_CORE_CLEAN_H_\n"
+      "#define WT_CORE_CLEAN_H_\n"
+      "namespace wt {\n"
+      "[[nodiscard]] Status AllGood();\n"
+      "}\n"
+      "#endif  // WT_CORE_CLEAN_H_\n";
+  AnalysisResult r = Analyze({{"src/wt/core/clean.h", clean}}, Config{});
+  EXPECT_TRUE(r.findings.empty());
+}
+
+}  // namespace
+}  // namespace wtlint
+}  // namespace wt

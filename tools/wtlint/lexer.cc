@@ -1,0 +1,322 @@
+#include "tools/wtlint/lexer.h"
+
+#include <cctype>
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+namespace wtlint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses "wtlint: allow(rule-a, rule-b) -- reason" from a comment body.
+// Returns false if the comment is not a wtlint directive at all.
+bool ParseSuppression(std::string_view body, Suppression* out) {
+  std::string_view s = StrTrim(body);
+  constexpr std::string_view kPrefix = "wtlint:";
+  if (!StrStartsWith(s, kPrefix)) return false;
+  s = StrTrim(s.substr(kPrefix.size()));
+  constexpr std::string_view kAllow = "allow";
+  if (!StrStartsWith(s, kAllow)) {
+    out->malformed = true;  // "wtlint:" followed by something we don't know
+    return true;
+  }
+  s = StrTrim(s.substr(kAllow.size()));
+  if (s.empty() || s.front() != '(') {
+    out->malformed = true;
+    return true;
+  }
+  size_t close = s.find(')');
+  if (close == std::string_view::npos) {
+    out->malformed = true;
+    return true;
+  }
+  for (const std::string& rule : StrSplit(s.substr(1, close - 1), ',')) {
+    std::string_view r = StrTrim(rule);
+    if (!r.empty()) out->rules.emplace_back(r);
+  }
+  s = StrTrim(s.substr(close + 1));
+  // The reason separator is mandatory; an empty reason is malformed.
+  constexpr std::string_view kSep = "--";
+  if (out->rules.empty() || !StrStartsWith(s, kSep)) {
+    out->malformed = true;
+    return true;
+  }
+  out->reason = std::string(StrTrim(s.substr(kSep.size())));
+  if (out->reason.empty()) out->malformed = true;
+  return true;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedFile Run() {
+    while (pos_ < src_.size()) {
+      Step();
+    }
+    out_.num_lines = line_;
+    ResolveSuppressionTargets();
+    return std::move(out_);
+  }
+
+ private:
+  char Cur() const { return src_[pos_]; }
+  char At(size_t i) const { return i < src_.size() ? src_[i] : '\0'; }
+  bool Has(size_t n) const { return pos_ + n <= src_.size(); }
+
+  void Advance() {
+    if (src_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void Emit(TokKind kind, size_t start, size_t end, int line) {
+    out_.tokens.push_back(
+        {kind, std::string(src_.substr(start, end - start)), line, start});
+    if (kind != TokKind::kPreproc) code_lines_.push_back(line);
+  }
+
+  void Step() {
+    const char c = Cur();
+    if (c == '\\' && At(pos_ + 1) == '\n') {  // line continuation
+      Advance();
+      Advance();
+      return;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') line_start_ = true;
+      Advance();
+      return;
+    }
+    if (c == '/' && At(pos_ + 1) == '/') {
+      LineComment();
+      return;
+    }
+    if (c == '/' && At(pos_ + 1) == '*') {
+      BlockComment();
+      return;
+    }
+    if (c == '#' && line_start_) {
+      Preprocessor();
+      return;
+    }
+    line_start_ = false;
+    if (c == '"') {
+      StringLiteral();
+      return;
+    }
+    if (c == '\'') {
+      CharLiteral();
+      return;
+    }
+    if (IsIdentStart(c)) {
+      // R"( ... )" raw strings masquerade as an identifier prefix.
+      if ((c == 'R' || c == 'L' || c == 'u' || c == 'U') && RawStringAt(pos_)) {
+        RawString();
+        return;
+      }
+      Identifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Number();
+      return;
+    }
+    Punct();
+  }
+
+  void LineComment() {
+    const int line = line_;
+    size_t start = pos_ + 2;
+    while (pos_ < src_.size() && Cur() != '\n') Advance();
+    Suppression sup;
+    if (ParseSuppression(src_.substr(start, pos_ - start), &sup)) {
+      sup.comment_line = line;
+      // Whole-line comments govern the next code line; trailing comments
+      // govern their own line. Resolved in ResolveSuppressionTargets().
+      sup.target_line = LineHasCode(line) ? line : 0;
+      out_.suppressions.push_back(std::move(sup));
+    }
+  }
+
+  void BlockComment() {
+    Advance();  // '/'
+    Advance();  // '*'
+    while (Has(2) && !(Cur() == '*' && At(pos_ + 1) == '/')) Advance();
+    if (Has(2)) {
+      Advance();
+      Advance();
+    } else {
+      pos_ = src_.size();
+    }
+  }
+
+  void Preprocessor() {
+    const int line = line_;
+    const size_t start = pos_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = Cur();
+      if (c == '\\' && At(pos_ + 1) == '\n') {  // continuation: join lines
+        text += ' ';
+        Advance();
+        Advance();
+        continue;
+      }
+      if (c == '/' && At(pos_ + 1) == '/') {
+        while (pos_ < src_.size() && Cur() != '\n') Advance();
+        continue;
+      }
+      if (c == '/' && At(pos_ + 1) == '*') {
+        BlockComment();
+        text += ' ';
+        continue;
+      }
+      if (c == '\n') break;
+      text += c;
+      Advance();
+    }
+    out_.tokens.push_back({TokKind::kPreproc, std::move(text), line, start});
+    line_start_ = true;
+  }
+
+  void StringLiteral() {
+    const int line = line_;
+    const size_t start = pos_;
+    Advance();  // opening quote
+    while (pos_ < src_.size() && Cur() != '"') {
+      if (Cur() == '\\' && Has(2)) Advance();
+      Advance();
+    }
+    if (pos_ < src_.size()) Advance();  // closing quote
+    out_.tokens.push_back({TokKind::kString, "", line, start});
+    code_lines_.push_back(line);
+  }
+
+  void CharLiteral() {
+    const int line = line_;
+    const size_t start = pos_;
+    Advance();
+    while (pos_ < src_.size() && Cur() != '\'') {
+      if (Cur() == '\\' && Has(2)) Advance();
+      Advance();
+    }
+    if (pos_ < src_.size()) Advance();
+    out_.tokens.push_back({TokKind::kChar, "", line, start});
+    code_lines_.push_back(line);
+  }
+
+  // True if an R"..."-style raw string starts at `i` (allowing an encoding
+  // prefix, e.g. u8R"(x)").
+  bool RawStringAt(size_t i) const {
+    size_t j = i;
+    while (j < src_.size() && IsIdentChar(src_[j]) && src_[j] != 'R') ++j;
+    return j < src_.size() && src_[j] == 'R' && j + 1 < src_.size() &&
+           src_[j + 1] == '"' && j - i <= 2;
+  }
+
+  void RawString() {
+    const int line = line_;
+    const size_t start = pos_;
+    while (pos_ < src_.size() && Cur() != '"') Advance();  // prefix + R
+    Advance();                                             // '"'
+    std::string delim;
+    while (pos_ < src_.size() && Cur() != '(') {
+      delim += Cur();
+      Advance();
+    }
+    const std::string close = ")" + delim + "\"";
+    while (pos_ < src_.size() &&
+           src_.compare(pos_, close.size(), close) != 0) {
+      Advance();
+    }
+    for (size_t i = 0; i < close.size() && pos_ < src_.size(); ++i) Advance();
+    out_.tokens.push_back({TokKind::kString, "", line, start});
+    code_lines_.push_back(line);
+  }
+
+  void Identifier() {
+    const int line = line_;
+    const size_t start = pos_;
+    while (pos_ < src_.size() && IsIdentChar(Cur())) Advance();
+    Emit(TokKind::kIdent, start, pos_, line);
+  }
+
+  void Number() {
+    const int line = line_;
+    const size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = Cur();
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        Advance();
+        continue;
+      }
+      // Exponent signs: 1e+5, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          Advance();
+          continue;
+        }
+      }
+      break;
+    }
+    out_.tokens.push_back({TokKind::kNumber, "", line, start});
+    code_lines_.push_back(line);
+  }
+
+  void Punct() {
+    const int line = line_;
+    const size_t start = pos_;
+    if (Cur() == ':' && At(pos_ + 1) == ':') {  // fuse "::" for matching
+      Advance();
+      Advance();
+      Emit(TokKind::kPunct, start, pos_, line);
+      return;
+    }
+    Advance();
+    Emit(TokKind::kPunct, start, pos_, line);
+  }
+
+  bool LineHasCode(int line) const {
+    for (auto it = code_lines_.rbegin(); it != code_lines_.rend(); ++it) {
+      if (*it == line) return true;
+      if (*it < line) break;
+    }
+    return false;
+  }
+
+  // A whole-line suppression (target_line == 0) governs the first code line
+  // after its comment; stacked suppression comments share one target.
+  void ResolveSuppressionTargets() {
+    for (Suppression& sup : out_.suppressions) {
+      if (sup.target_line != 0) continue;
+      int best = 0;
+      for (int line : code_lines_) {
+        if (line > sup.comment_line && (best == 0 || line < best)) best = line;
+      }
+      sup.target_line = best;  // 0 = dangling (end of file); never matches
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool line_start_ = true;
+  LexedFile out_;
+  std::vector<int> code_lines_;  // line numbers of code tokens, in order
+};
+
+}  // namespace
+
+LexedFile Lex(std::string_view src) { return Lexer(src).Run(); }
+
+}  // namespace wtlint
+}  // namespace wt

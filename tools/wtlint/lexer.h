@@ -1,0 +1,60 @@
+// A minimal C++ token scanner for wtlint.
+//
+// This is deliberately not a real C++ front end: wtlint's rules are
+// pattern checks over identifier/punctuation streams ("std :: function",
+// "_clock :: now", declaration shapes), so all the lexer must do is
+// classify tokens, strip comments and literals (their contents can never
+// trigger a rule), keep preprocessor directives inspectable, and record
+// `// wtlint: allow(<rule>) -- <reason>` suppression comments with the
+// line they govern. Raw strings, line continuations, and block comments
+// are handled so that stripping never desynchronizes line numbers.
+
+#ifndef WT_TOOLS_WTLINT_LEXER_H_
+#define WT_TOOLS_WTLINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wt {
+namespace wtlint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (contents irrelevant to rules)
+  kString,   // string literal (contents dropped)
+  kChar,     // char literal (contents dropped)
+  kPunct,    // one punctuation glyph; "::" is fused into a single token
+  kPreproc,  // a whole logical preprocessor line (continuations joined)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  // for kPreproc: the full directive text
+  int line = 0;      // 1-based line of the token's first character
+  size_t offset = 0; // byte offset into the original source
+};
+
+/// One parsed `// wtlint: allow(rule, ...) -- reason` comment.
+struct Suppression {
+  std::vector<std::string> rules;
+  std::string reason;   // text after "--", trimmed; empty = malformed
+  int comment_line = 0; // where the comment physically sits
+  int target_line = 0;  // the code line it suppresses (resolved by lexer)
+  bool malformed = false;  // missing reason or unparsable allow() list
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  int num_lines = 0;
+};
+
+/// Tokenizes `src`. Never fails: unrecognized bytes become kPunct tokens.
+[[nodiscard]] LexedFile Lex(std::string_view src);
+
+}  // namespace wtlint
+}  // namespace wt
+
+#endif  // WT_TOOLS_WTLINT_LEXER_H_

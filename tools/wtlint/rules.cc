@@ -1,0 +1,663 @@
+#include "tools/wtlint/rules.h"
+
+#include <algorithm>
+#include <set>
+#include <string_view>
+
+#include "wt/common/string_util.h"
+#include "tools/wtlint/lexer.h"
+
+namespace wt {
+namespace wtlint {
+
+namespace {
+
+// Rule ids. The family is everything before '/'.
+constexpr const char* kRawRandom = "determinism/raw-random";
+constexpr const char* kWallClock = "determinism/wall-clock";
+constexpr const char* kSleep = "determinism/sleep";
+constexpr const char* kStdFunction = "hotpath/std-function";
+constexpr const char* kThrow = "hotpath/throw";
+constexpr const char* kDynamicCast = "hotpath/dynamic-cast";
+constexpr const char* kIostream = "hotpath/iostream";
+constexpr const char* kNodiscard = "error/nodiscard-status";
+constexpr const char* kDroppedStatus = "error/dropped-status";
+constexpr const char* kUsingNamespace = "hygiene/using-namespace-header";
+constexpr const char* kIncludeGuard = "hygiene/include-guard";
+constexpr const char* kUnorderedSer = "hygiene/unordered-serialization";
+constexpr const char* kBadSuppression = "hygiene/bad-suppression";
+constexpr const char* kUnusedSuppression = "hygiene/unused-suppression";
+
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  return StrEndsWith(path, suffix);
+}
+
+bool PathStartsWithAny(const std::string& path,
+                       const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (StrStartsWith(path, p)) return true;
+  }
+  return false;
+}
+
+bool IsHeader(const std::string& path) { return StrEndsWith(path, ".h"); }
+
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// Shared scan state for one file.
+struct FileCtx {
+  const FileInput* file = nullptr;
+  const LexedFile* lexed = nullptr;
+  bool determinism_exempt = false;
+  bool hot = false;
+  bool serialization = false;
+  std::vector<Finding>* findings = nullptr;
+
+  void Add(const char* rule, int line, std::string message,
+           size_t fix_offset = static_cast<size_t>(-1)) const {
+    Finding f;
+    f.rule = rule;
+    f.file = file->path;
+    f.line = line;
+    f.message = std::move(message);
+    f.fix_offset = fix_offset;
+    findings->push_back(std::move(f));
+  }
+};
+
+// True if tokens[i] names a function being *called*: the next token is '('
+// and the previous token is neither a member access, a non-std qualifier,
+// nor an identifier (which would make this a declaration like
+// `SimTime time(x)`).
+bool IsCallPosition(const std::vector<Token>& toks, size_t i) {
+  if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (IsPunct(prev, ".") ||
+      (prev.kind == TokKind::kPunct && prev.text == ">" && i >= 2 &&
+       IsPunct(toks[i - 2], "-"))) {
+    return false;  // member call on some object: x.time(), x->rand()
+  }
+  if (prev.kind == TokKind::kIdent) {
+    // `return time(0)` is a call; `SimTime time(x)` is a declaration.
+    return prev.text == "return" || prev.text == "co_return";
+  }
+  if (IsPunct(prev, "::")) {
+    // Qualified: banned only when the qualifier is std (or the global
+    // namespace, `::time(...)`).
+    if (i < 2) return true;
+    const Token& qual = toks[i - 2];
+    return IsIdent(qual, "std") || qual.kind != TokKind::kIdent;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+void CheckDeterminism(const FileCtx& ctx) {
+  if (ctx.determinism_exempt) return;
+  const std::vector<Token>& toks = ctx.lexed->tokens;
+  static const std::set<std::string> kRandomIdents = {
+      "random_device", "random_shuffle", "drand48", "lrand48", "mrand48",
+      "getrandom"};
+  static const std::set<std::string> kRandomCalls = {"rand", "srand",
+                                                     "srandom"};
+  static const std::set<std::string> kClockCalls = {
+      "time", "clock", "gettimeofday", "clock_gettime", "localtime",
+      "gmtime", "localtime_r", "gmtime_r", "ftime"};
+  static const std::set<std::string> kSleepIdents = {"sleep_for",
+                                                     "sleep_until"};
+  static const std::set<std::string> kSleepCalls = {"usleep", "nanosleep",
+                                                    "sleep"};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (kRandomIdents.count(t.text) != 0) {
+      ctx.Add(kRawRandom, t.line,
+              t.text + ": all randomness must flow through a named "
+                       "wt::RngStream (seed, run_id, replicate)");
+      continue;
+    }
+    if (kRandomCalls.count(t.text) != 0 && IsCallPosition(toks, i)) {
+      ctx.Add(kRawRandom, t.line,
+              t.text + "(): all randomness must flow through a named "
+                       "wt::RngStream");
+      continue;
+    }
+    if (StrEndsWith(t.text, "_clock") && i + 2 < toks.size() &&
+        IsPunct(toks[i + 1], "::") && IsIdent(toks[i + 2], "now")) {
+      ctx.Add(kWallClock, t.line,
+              t.text + "::now(): read wall time via wt/obs/wallclock.h");
+      continue;
+    }
+    if (kClockCalls.count(t.text) != 0 && IsCallPosition(toks, i)) {
+      ctx.Add(kWallClock, t.line,
+              t.text + "(): read wall time via wt/obs/wallclock.h");
+      continue;
+    }
+    if (kSleepIdents.count(t.text) != 0 ||
+        (kSleepCalls.count(t.text) != 0 && IsCallPosition(toks, i))) {
+      ctx.Add(kSleep, t.line,
+              t.text + ": simulated time never needs host sleeps; use "
+                       "Simulator::Schedule");
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hotpath
+// ---------------------------------------------------------------------------
+
+void CheckHotPath(const FileCtx& ctx) {
+  if (!ctx.hot) return;
+  const std::vector<Token>& toks = ctx.lexed->tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPreproc) {
+      for (const char* banned :
+           {"<iostream>", "<ostream>", "<istream>", "<sstream>", "<fstream>",
+            "<iomanip>"}) {
+        if (t.text.find("include") != std::string::npos &&
+            t.text.find(banned) != std::string::npos) {
+          ctx.Add(kIostream, t.line,
+                  std::string(banned) +
+                      " in a hot file: stream formatting allocates and "
+                      "locks; use logging.h or report via wt::obs");
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "function" && i >= 1 && IsPunct(toks[i - 1], "::") &&
+        i >= 2 && IsIdent(toks[i - 2], "std")) {
+      ctx.Add(kStdFunction, t.line,
+              "std::function in a hot file: event callbacks must use "
+              "wt::InlineFn (allocation-free, see common/inline_fn.h)");
+      continue;
+    }
+    if (t.text == "throw") {
+      ctx.Add(kThrow, t.line,
+              "throw in a hot file: the DES kernel is exception-free; "
+              "return Status/Result instead");
+      continue;
+    }
+    if (t.text == "dynamic_cast") {
+      ctx.Add(kDynamicCast, t.line,
+              "dynamic_cast in a hot file: RTTI dispatch on the event path; "
+              "use an explicit tag or visitor");
+      continue;
+    }
+    if ((t.text == "cout" || t.text == "cerr" || t.text == "clog") && i >= 2 &&
+        IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2], "std")) {
+      ctx.Add(kIostream, t.line,
+              "std::" + t.text + " in a hot file: use logging.h or wt::obs");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// error-handling
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& DeclSpecifiers() {
+  static const std::set<std::string> kSpecs = {
+      "static", "virtual", "inline",  "constexpr", "consteval",
+      "explicit", "friend", "extern", "const",     "mutable"};
+  return kSpecs;
+}
+
+// Skips a balanced <...> group starting at toks[i] == "<". Returns the index
+// one past the closing ">", or `i` if unbalanced.
+size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < toks.size(); ++j) {
+    if (IsPunct(toks[j], "<")) {
+      ++depth;
+    } else if (IsPunct(toks[j], ">")) {
+      if (--depth == 0) return j + 1;
+    } else if (IsPunct(toks[j], ";") || IsPunct(toks[j], "{")) {
+      break;  // never balanced; bail out
+    }
+  }
+  return i;
+}
+
+// Scans one header for Status/Result-returning declarations. Adds
+// error/nodiscard-status findings and collects declared function names into
+// `status_fns`.
+void ScanStatusDecls(const FileCtx& ctx, bool report,
+                     std::set<std::string>* status_fns) {
+  const std::vector<Token>& toks = ctx.lexed->tokens;
+  size_t decl_start = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPreproc || IsPunct(t, ";") || IsPunct(t, "{") ||
+        IsPunct(t, "}")) {
+      decl_start = i + 1;
+      continue;
+    }
+    if (IsPunct(t, ":") && i >= 1 &&
+        (IsIdent(toks[i - 1], "public") || IsIdent(toks[i - 1], "private") ||
+         IsIdent(toks[i - 1], "protected"))) {
+      decl_start = i + 1;
+      continue;
+    }
+    const bool is_status = IsIdent(t, "Status");
+    const bool is_result = IsIdent(t, "Result");
+    if (!is_status && !is_result) continue;
+
+    // Backward validation: decl_start .. i must be only attributes,
+    // decl-specifiers, a template prefix, and a namespace qualification.
+    size_t j = decl_start;
+    bool saw_nodiscard = false;
+    bool ok_prefix = true;
+    // Where --fix-nodiscard inserts: the decl start, or just after a
+    // template<...> clause (an attribute may not precede one).
+    size_t insert_at = toks[decl_start].offset;
+    while (j < i) {
+      if (IsPunct(toks[j], "[") && j + 1 < i && IsPunct(toks[j + 1], "[")) {
+        size_t k = j + 2;
+        int closes = 0;
+        while (k < i && closes < 2) {
+          if (IsIdent(toks[k], "nodiscard")) saw_nodiscard = true;
+          closes = IsPunct(toks[k], "]") ? closes + 1 : 0;
+          ++k;
+        }
+        j = k;
+        continue;
+      }
+      if (toks[j].kind == TokKind::kIdent &&
+          DeclSpecifiers().count(toks[j].text) != 0) {
+        ++j;
+        continue;
+      }
+      if (IsIdent(toks[j], "template") && j + 1 < i &&
+          IsPunct(toks[j + 1], "<")) {
+        const size_t after = SkipAngles(toks, j + 1);
+        if (after == j + 1 || after > i) {
+          ok_prefix = false;
+          break;
+        }
+        j = after;
+        if (j <= i) insert_at = toks[j == i ? i : j].offset;
+        continue;
+      }
+      // Namespace qualification directly before the type: (ident ::)+
+      if (toks[j].kind == TokKind::kIdent && j + 1 < i &&
+          IsPunct(toks[j + 1], "::")) {
+        j += 2;
+        continue;
+      }
+      ok_prefix = false;
+      break;
+    }
+    if (!ok_prefix || j != i) continue;
+
+    // Forward validation: [<...>] [&*const]* name[::name]* '('
+    size_t k = i + 1;
+    if (is_result) {
+      if (k >= toks.size() || !IsPunct(toks[k], "<")) continue;
+      const size_t after = SkipAngles(toks, k);
+      if (after == k) continue;
+      k = after;
+    }
+    while (k < toks.size() &&
+           (IsPunct(toks[k], "&") || IsPunct(toks[k], "*") ||
+            IsIdent(toks[k], "const"))) {
+      ++k;
+    }
+    if (k >= toks.size() || toks[k].kind != TokKind::kIdent) continue;
+    std::string name = toks[k].text;
+    while (k + 2 < toks.size() && IsPunct(toks[k + 1], "::") &&
+           toks[k + 2].kind == TokKind::kIdent) {
+      k += 2;
+      name = toks[k].text;
+    }
+    if (k + 1 >= toks.size() || !IsPunct(toks[k + 1], "(")) continue;
+
+    status_fns->insert(name);
+    if (report && !saw_nodiscard) {
+      ctx.Add(kNodiscard, t.line,
+              name + "() returns " + (is_result ? "Result" : "Status") +
+                  " but is not [[nodiscard]]; a dropped error is a silent "
+                  "one (--fix-nodiscard can insert it)",
+              insert_at);
+    }
+  }
+}
+
+// Flags `(void)Call(...)` drops of known Status/Result-returning functions.
+void CheckDroppedStatus(const FileCtx& ctx,
+                        const std::set<std::string>& status_fns) {
+  const std::vector<Token>& toks = ctx.lexed->tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!(IsPunct(toks[i], "(") && IsIdent(toks[i + 1], "void") &&
+          IsPunct(toks[i + 2], ")"))) {
+      continue;
+    }
+    // Walk the casted expression: identifiers joined by :: . -> up to a '('.
+    size_t k = i + 3;
+    std::string last_ident;
+    while (k < toks.size()) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kIdent) {
+        last_ident = t.text;
+        ++k;
+        continue;
+      }
+      if (IsPunct(t, "::") || IsPunct(t, ".")) {
+        ++k;
+        continue;
+      }
+      if (IsPunct(t, "-") && k + 1 < toks.size() && IsPunct(toks[k + 1], ">")) {
+        k += 2;
+        continue;
+      }
+      break;
+    }
+    if (k >= toks.size() || !IsPunct(toks[k], "(") || last_ident.empty()) {
+      continue;
+    }
+    if (status_fns.count(last_ident) == 0) continue;
+    ctx.Add(kDroppedStatus, toks[i].line,
+            "(void)" + last_ident + "(...) drops a Status/Result; handle "
+            "it, WT_CHECK it, or suppress with a reason");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hygiene
+// ---------------------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string rel = path;
+  if (StrStartsWith(rel, "src/")) rel = rel.substr(4);
+  std::string guard;
+  for (char c : rel) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  if (!StrStartsWith(guard, "WT_")) guard = "WT_" + guard;
+  return guard;
+}
+
+void CheckHygiene(const FileCtx& ctx) {
+  const std::vector<Token>& toks = ctx.lexed->tokens;
+  const bool header = IsHeader(ctx.file->path);
+
+  if (header) {
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (IsIdent(toks[i], "using") && IsIdent(toks[i + 1], "namespace")) {
+        ctx.Add(kUsingNamespace, toks[i].line,
+                "using namespace in a header leaks into every includer");
+      }
+    }
+
+    // Include guard: the first two directives must be the derived
+    // #ifndef/#define pair.
+    const std::string expected = ExpectedGuard(ctx.file->path);
+    std::vector<const Token*> directives;
+    for (const Token& t : toks) {
+      if (t.kind == TokKind::kPreproc) directives.push_back(&t);
+      if (directives.size() >= 2) break;
+    }
+    bool guard_ok = false;
+    if (directives.size() >= 2) {
+      const std::vector<std::string> ifndef =
+          StrSplit(std::string(StrTrim(directives[0]->text)), ' ');
+      const std::vector<std::string> define =
+          StrSplit(std::string(StrTrim(directives[1]->text)), ' ');
+      guard_ok = ifndef.size() >= 2 && define.size() >= 2 &&
+                 StrStartsWith(ifndef[0], "#") &&
+                 ifndef[0].find("ifndef") != std::string::npos &&
+                 define[0].find("define") != std::string::npos &&
+                 ifndef[1] == expected && define[1] == expected;
+      // Tolerate "#ifndef" split as "#" "ifndef" (rare formatting).
+    }
+    if (!guard_ok) {
+      ctx.Add(kIncludeGuard, 1,
+              "header must open with '#ifndef " + expected + "' / '#define " +
+                  expected + "' (guard name is derived from the path)");
+    }
+  }
+
+  if (ctx.serialization) {
+    for (const Token& t : toks) {
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "unordered_map" || t.text == "unordered_set" ||
+           t.text == "unordered_multimap" || t.text == "unordered_multiset")) {
+        ctx.Add(kUnorderedSer, t.line,
+                "std::" + t.text + " in a serialization layer: iteration "
+                "order is nondeterministic; use std::map/set or sort before "
+                "emitting");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// suppression application
+// ---------------------------------------------------------------------------
+
+bool RuleMatches(const std::string& pattern, const std::string& rule) {
+  if (pattern == rule) return true;
+  // Family pattern: "determinism" matches "determinism/x".
+  return rule.size() > pattern.size() && rule[pattern.size()] == '/' &&
+         StrStartsWith(rule, pattern);
+}
+
+bool KnownRuleOrFamily(const std::string& pattern) {
+  static const std::set<std::string> kKnown = {
+      kRawRandom,    kWallClock,      kSleep,          kStdFunction,
+      kThrow,        kDynamicCast,    kIostream,       kNodiscard,
+      kDroppedStatus, kUsingNamespace, kIncludeGuard,  kUnorderedSer,
+      kBadSuppression, kUnusedSuppression, "determinism", "hotpath",
+      "error",       "hygiene"};
+  return kKnown.count(pattern) != 0;
+}
+
+void ApplySuppressions(const FileCtx& ctx, std::vector<Finding>* all,
+                       size_t first_finding) {
+  std::vector<bool> used(ctx.lexed->suppressions.size(), false);
+  for (size_t fi = first_finding; fi < all->size(); ++fi) {
+    Finding& f = (*all)[fi];
+    if (f.file != ctx.file->path) continue;
+    for (size_t si = 0; si < ctx.lexed->suppressions.size(); ++si) {
+      const Suppression& sup = ctx.lexed->suppressions[si];
+      if (sup.malformed || sup.target_line != f.line) continue;
+      for (const std::string& pattern : sup.rules) {
+        if (RuleMatches(pattern, f.rule)) {
+          f.suppressed = true;
+          f.suppress_reason = sup.reason;
+          used[si] = true;
+          break;
+        }
+      }
+      if (f.suppressed) break;
+    }
+  }
+  for (size_t si = 0; si < ctx.lexed->suppressions.size(); ++si) {
+    const Suppression& sup = ctx.lexed->suppressions[si];
+    if (sup.malformed) {
+      ctx.Add(kBadSuppression, sup.comment_line,
+              "wtlint suppression needs 'allow(<rule>) -- <reason>' with a "
+              "non-empty reason");
+      continue;
+    }
+    for (const std::string& pattern : sup.rules) {
+      if (!KnownRuleOrFamily(pattern)) {
+        ctx.Add(kBadSuppression, sup.comment_line,
+                "unknown rule '" + pattern + "' in suppression");
+      }
+    }
+    if (!used[si]) {
+      ctx.Add(kUnusedSuppression, sup.comment_line,
+              "suppression matched no finding; delete it (allow(" +
+                  StrJoin(sup.rules, ", ") + "))");
+    }
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += StrFormat("\\u%04x", c);
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AnalysisResult Analyze(const std::vector<FileInput>& files,
+                       const Config& config) {
+  AnalysisResult result;
+  result.files_scanned = static_cast<int>(files.size());
+
+  std::vector<LexedFile> lexed;
+  lexed.reserve(files.size());
+  for (const FileInput& f : files) lexed.push_back(Lex(f.content));
+
+  auto make_ctx = [&](size_t i) {
+    FileCtx ctx;
+    ctx.file = &files[i];
+    ctx.lexed = &lexed[i];
+    ctx.findings = &result.findings;
+    for (const std::string& suffix : config.determinism_allowlist) {
+      if (PathEndsWith(files[i].path, suffix)) ctx.determinism_exempt = true;
+    }
+    ctx.hot = PathStartsWithAny(files[i].path, config.hot_paths);
+    ctx.serialization =
+        PathStartsWithAny(files[i].path, config.serialization_paths);
+    return ctx;
+  };
+
+  // Pass 1: headers, to learn which function names return Status/Result.
+  std::set<std::string> status_fns;
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (!IsHeader(files[i].path)) continue;
+    FileCtx ctx = make_ctx(i);
+    ScanStatusDecls(ctx, /*report=*/true, &status_fns);
+  }
+
+  // Pass 2: everything else, then per-file suppression resolution.
+  for (size_t i = 0; i < files.size(); ++i) {
+    FileCtx ctx = make_ctx(i);
+    const size_t first = [&] {
+      // Findings for this file may already exist from pass 1; suppressions
+      // must see those too, so start from the earliest.
+      for (size_t fi = 0; fi < result.findings.size(); ++fi) {
+        if (result.findings[fi].file == files[i].path) return fi;
+      }
+      return result.findings.size();
+    }();
+    CheckDeterminism(ctx);
+    CheckHotPath(ctx);
+    CheckDroppedStatus(ctx, status_fns);
+    CheckHygiene(ctx);
+    ApplySuppressions(ctx, &result.findings, first);
+  }
+
+  // Deterministic report order regardless of rule execution order.
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return result;
+}
+
+std::string ResultToJson(const AnalysisResult& result) {
+  int unsuppressed = 0;
+  int suppressed = 0;
+  for (const Finding& f : result.findings) {
+    (f.suppressed ? suppressed : unsuppressed)++;
+  }
+  std::string out = "{\n";
+  out += StrFormat("  \"tool\": \"wtlint\",\n  \"version\": 1,\n");
+  out += StrFormat("  \"files_scanned\": %d,\n", result.files_scanned);
+  out += StrFormat("  \"unsuppressed\": %d,\n", unsuppressed);
+  out += StrFormat("  \"suppressed\": %d,\n", suppressed);
+  out += "  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : result.findings) {
+    if (f.suppressed) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat(
+        "    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, "
+        "\"message\": \"%s\"}",
+        JsonEscape(f.rule).c_str(), JsonEscape(f.file).c_str(), f.line,
+        JsonEscape(f.message).c_str());
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"suppressions\": [";
+  first = true;
+  for (const Finding& f : result.findings) {
+    if (!f.suppressed) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat(
+        "    {\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, "
+        "\"reason\": \"%s\"}",
+        JsonEscape(f.rule).c_str(), JsonEscape(f.file).c_str(), f.line,
+        JsonEscape(f.suppress_reason).c_str());
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ResultToText(const AnalysisResult& result) {
+  std::string out;
+  int unsuppressed = 0;
+  for (const Finding& f : result.findings) {
+    if (f.suppressed) continue;
+    ++unsuppressed;
+    out += StrFormat("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.message.c_str());
+  }
+  out += StrFormat("wtlint: %d file(s), %d finding(s)\n",
+                   result.files_scanned, unsuppressed);
+  return out;
+}
+
+std::string ApplyNodiscardFixes(const std::string& path,
+                                const std::string& content,
+                                const std::vector<Finding>& findings) {
+  std::vector<size_t> offsets;
+  for (const Finding& f : findings) {
+    if (f.file == path && f.rule == kNodiscard && !f.suppressed &&
+        f.fix_offset != static_cast<size_t>(-1)) {
+      offsets.push_back(f.fix_offset);
+    }
+  }
+  std::sort(offsets.rbegin(), offsets.rend());
+  std::string out = content;
+  for (size_t off : offsets) {
+    if (off <= out.size()) out.insert(off, "[[nodiscard]] ");
+  }
+  return out;
+}
+
+}  // namespace wtlint
+}  // namespace wt

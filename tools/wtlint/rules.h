@@ -1,0 +1,94 @@
+// wtlint rule engine: project-invariant checks over lexed token streams.
+//
+// Rule catalog (ids are what `// wtlint: allow(<rule>) -- <reason>` names;
+// `allow(<family>)` suppresses a whole family on that line):
+//
+//   determinism/raw-random     std::random_device, rand(), srand(), ...
+//   determinism/wall-clock     *_clock::now(), time(), gettimeofday(), ...
+//   determinism/sleep          std::this_thread::sleep_*, usleep, nanosleep
+//   hotpath/std-function       std::function in hot files (use wt::InlineFn)
+//   hotpath/throw              throw in hot files (use Status/Result)
+//   hotpath/dynamic-cast       dynamic_cast in hot files
+//   hotpath/iostream           <iostream>/std::cout/std::cerr in hot files
+//   error/nodiscard-status     Status/Result<T>-returning declaration in a
+//                              header without [[nodiscard]]
+//   error/dropped-status       (void)-cast of a call to a function known to
+//                              return Status/Result
+//   hygiene/using-namespace-header   using namespace in a header
+//   hygiene/include-guard      header guard missing or not the WT_<PATH>_H_
+//                              derived name (#pragma once also rejected:
+//                              the tree standardizes on named guards)
+//   hygiene/unordered-serialization  std::unordered_{map,set} inside the
+//                              serialization layers (obs/, store/), where
+//                              iteration order could leak into artifacts
+//   hygiene/bad-suppression    wtlint suppression without a reason
+//   hygiene/unused-suppression suppression that matched no finding
+//
+// Determinism rules are skipped entirely for files on the allowlist
+// (default: exactly src/wt/obs/wallclock.cc — see that header's contract).
+
+#ifndef WT_TOOLS_WTLINT_RULES_H_
+#define WT_TOOLS_WTLINT_RULES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wt {
+namespace wtlint {
+
+struct Finding {
+  std::string rule;
+  std::string file;   // root-relative path
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;
+  // For error/nodiscard-status: byte offset where "[[nodiscard]] " can be
+  // inserted by --fix-nodiscard. SIZE_MAX = not fixable.
+  size_t fix_offset = static_cast<size_t>(-1);
+};
+
+struct Config {
+  // Path suffixes exempt from the determinism family. Keep this list a
+  // single file: every entry is a place nondeterminism can hide.
+  std::vector<std::string> determinism_allowlist = {"src/wt/obs/wallclock.cc"};
+  // Path prefixes (root-relative) where hot-path rules apply.
+  std::vector<std::string> hot_paths = {"src/wt/sim/",
+                                        "src/wt/workload/resource_queue"};
+  // Path prefixes where unordered containers may not feed serialized output.
+  std::vector<std::string> serialization_paths = {"src/wt/obs/",
+                                                  "src/wt/store/"};
+};
+
+struct FileInput {
+  std::string path;     // root-relative, '/'-separated
+  std::string content;
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  // suppressed ones included, marked
+  int files_scanned = 0;
+};
+
+/// Runs every rule over `files`. Two passes: headers are scanned first so
+/// error/dropped-status knows the full set of Status-returning functions.
+[[nodiscard]] AnalysisResult Analyze(const std::vector<FileInput>& files,
+                                     const Config& config);
+
+/// Strict-JSON report (wtlint --json); schema documented in wtlint.cc.
+[[nodiscard]] std::string ResultToJson(const AnalysisResult& result);
+
+/// Human-readable report: one "file:line: [rule] message" per finding.
+[[nodiscard]] std::string ResultToText(const AnalysisResult& result);
+
+/// Returns `content` with "[[nodiscard]] " inserted for every unsuppressed
+/// error/nodiscard-status finding that belongs to `path`.
+[[nodiscard]] std::string ApplyNodiscardFixes(
+    const std::string& path, const std::string& content,
+    const std::vector<Finding>& findings);
+
+}  // namespace wtlint
+}  // namespace wt
+
+#endif  // WT_TOOLS_WTLINT_RULES_H_

@@ -1,0 +1,176 @@
+// wtlint — the wind tunnel's in-tree static analyzer.
+//
+// Scans src/, bench/, examples/, and tools/ for violations of the project
+// invariants that make sweep results reproducible and the DES hot path
+// allocation-free (rule catalog in rules.h; suppression syntax:
+// `// wtlint: allow(<rule>) -- <reason>`). CI runs `wtlint --json` from the
+// repo root and fails on any unsuppressed finding.
+//
+// Usage:
+//   wtlint [--root <dir>] [--json] [--fix-nodiscard] [paths...]
+//
+//   --root <dir>      repo root for path-relative rule config (default: .)
+//   --json            emit the strict-JSON report (self-checked against
+//                     wt::obs::ValidateJson before printing):
+//                       { "tool": "wtlint", "version": 1,
+//                         "files_scanned": N, "unsuppressed": N,
+//                         "suppressed": N,
+//                         "findings": [{rule, file, line, message}...],
+//                         "suppressions": [{rule, file, line, reason}...] }
+//   --fix-nodiscard   rewrite headers in place, inserting [[nodiscard]] on
+//                     every flagged Status/Result-returning declaration
+//   paths...          scan exactly these files (default: the four roots)
+//
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/wtlint/rules.h"
+#include "wt/obs/json_lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+std::string RelPath(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty()) return p.generic_string();
+  return rel.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool fix_nodiscard = false;
+  fs::path root = ".";
+  std::vector<std::string> explicit_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix-nodiscard") {
+      fix_nodiscard = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "wtlint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: wtlint [--root <dir>] [--json] [--fix-nodiscard] "
+          "[paths...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "wtlint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      explicit_paths.push_back(arg);
+    }
+  }
+
+  // Collect the file set, sorted by root-relative path so reports (and the
+  // JSON artifact) are byte-stable across filesystems.
+  std::vector<fs::path> paths;
+  if (!explicit_paths.empty()) {
+    for (const std::string& p : explicit_paths) paths.emplace_back(p);
+  } else {
+    for (const char* dir : {"src", "bench", "examples", "tools"}) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          paths.push_back(entry.path());
+        }
+      }
+    }
+  }
+
+  std::vector<wt::wtlint::FileInput> files;
+  files.reserve(paths.size());
+  std::map<std::string, fs::path> rel_to_disk;
+  for (const fs::path& p : paths) {
+    wt::wtlint::FileInput f;
+    f.path = RelPath(p, root);
+    if (!ReadFile(p, &f.content)) {
+      std::fprintf(stderr, "wtlint: cannot read %s\n", p.string().c_str());
+      return 2;
+    }
+    rel_to_disk[f.path] = p;
+    files.push_back(std::move(f));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const wt::wtlint::FileInput& a,
+               const wt::wtlint::FileInput& b) { return a.path < b.path; });
+
+  const wt::wtlint::Config config;
+  wt::wtlint::AnalysisResult result = wt::wtlint::Analyze(files, config);
+
+  if (fix_nodiscard) {
+    int fixed_files = 0;
+    for (size_t i = 0; i < files.size(); ++i) {
+      const std::string fixed = wt::wtlint::ApplyNodiscardFixes(
+          files[i].path, files[i].content, result.findings);
+      if (fixed == files[i].content) continue;
+      std::ofstream out(rel_to_disk.at(files[i].path),
+                        std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "wtlint: cannot write %s\n",
+                     files[i].path.c_str());
+        return 2;
+      }
+      out << fixed;
+      ++fixed_files;
+    }
+    std::fprintf(stderr, "wtlint: inserted [[nodiscard]] in %d file(s); "
+                         "re-run to verify\n",
+                 fixed_files);
+    return 0;
+  }
+
+  int unsuppressed = 0;
+  for (const auto& f : result.findings) {
+    if (!f.suppressed) ++unsuppressed;
+  }
+
+  if (json) {
+    const std::string report = wt::wtlint::ResultToJson(result);
+    // The report is itself an artifact; hold it to the same bar as the
+    // trace/metrics exporters.
+    const wt::Status valid = wt::obs::ValidateJson(report);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "wtlint: internal error: report is not valid "
+                           "JSON: %s\n",
+                   valid.ToString().c_str());
+      return 2;
+    }
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::fputs(wt::wtlint::ResultToText(result).c_str(), stdout);
+  }
+  return unsuppressed == 0 ? 0 : 1;
+}
