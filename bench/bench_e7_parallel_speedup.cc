@@ -1,38 +1,60 @@
-// E7 — run-level parallelization (§4.2): wall-clock speedup of a
-// design-space sweep as orchestrator workers increase, plus a
-// google-benchmark microbenchmark of the DES engine itself.
+// E7 — run-level parallelization (§4.2): wall-clock speedup of design-space
+// sweeps as orchestrator workers increase, plus google-benchmark
+// microbenchmarks of the pool and the DES engine.
 //
-// Each design point runs an independent Simulator, which is exactly the
-// parallelism the declared model-interaction graph licenses (runs share no
-// mutable state).
+// Three sweep variants chart the scaling fix:
+//  * sweep_16pts_w{N}  — 16 Figure-1 points (closed-form Monte Carlo, no
+//    DES events), the variant whose committed curve once *degraded* with
+//    workers (0.386s @ w1 -> 0.569s @ w8 on a 1-thread host);
+//  * sweep_64pts_w{N}  — 64 smaller points: many sub-10ms runs, the regime
+//    where dispatch overhead dominates if scheduling is careless;
+//  * sweep_8pts_r8_w{N} — 8 DES dynamic-availability points x 8 replicates
+//    = 64 replicate-granularity tasks, the replicate-level parallelism
+//    path; events_per_sec here is real simulated events from the
+//    "sim.events" obs counter.
+//
+// Each (variant, workers) cell reports the minimum of WT_BENCH_REPS runs
+// (default 3) — min-of-N is the standard noise filter for wall-clock
+// benches. Every row's records are byte-identical to the sequential
+// sweep's (wavefront scheduling + per-(seed,run_id,replicate) RNG; see
+// sweep_fingerprint_test), so the only thing varying down a column is
+// scheduling.
 
 #include <benchmark/benchmark.h>
 
-#include <thread>
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_json.h"
 #include "wt/common/macros.h"
+#include "wt/common/result.h"
 #include "wt/core/orchestrator.h"
 #include "wt/core/thread_pool.h"
+#include "wt/hw/failure.h"
+#include "wt/obs/manifest.h"
+#include "wt/obs/metrics.h"
 #include "wt/obs/obs.h"
 #include "wt/obs/wallclock.h"
 #include "wt/sim/simulator.h"
+#include "wt/soft/availability_dynamic.h"
 #include "wt/soft/availability_static.h"
 
 namespace {
 
-// A moderately expensive run: one Figure 1 point.
-wt::RunFn ExpensivePoint() {
-  return [](const wt::DesignPoint& p,
-            wt::RngStream& rng) -> wt::Result<wt::MetricMap> {
+// A moderately expensive run: one Figure 1 point (closed-form Monte Carlo —
+// never enters the DES kernel, so its events_per_sec is honestly 0).
+wt::RunFn Fig1Point(int trials_per_placement) {
+  return [trials_per_placement](
+             const wt::DesignPoint& p,
+             wt::RngStream& rng) -> wt::Result<wt::MetricMap> {
     wt::StaticAvailabilityConfig cfg;
     cfg.num_nodes = 30;
     cfg.num_users = 10000;
     cfg.placement_samples = 4;
-    cfg.trials_per_placement = 50;
+    cfg.trials_per_placement = trials_per_placement;
     cfg.seed = rng.NextU64();
     wt::ReplicationScheme scheme = wt::ReplicationScheme::Majority(3);
     wt::RandomPlacement placement;
@@ -42,51 +64,148 @@ wt::RunFn ExpensivePoint() {
   };
 }
 
+// A DES run: dynamic availability with failures, repair traffic and flow
+// cancellation — the event-queue hot path under a realistic model.
+wt::RunFn DynamicPoint() {
+  return [](const wt::DesignPoint& p,
+            wt::RngStream& rng) -> wt::Result<wt::MetricMap> {
+    wt::DynamicAvailabilityConfig cfg;
+    cfg.datacenter.num_racks = 4;
+    cfg.datacenter.nodes_per_rack = 8;
+    cfg.storage.num_nodes = cfg.datacenter.num_nodes();
+    cfg.storage.num_users = 2000;
+    cfg.storage.object_size_gb = 2.0;
+    cfg.redundancy = "replication(3)";
+    cfg.repair.max_concurrent = static_cast<int>(p.GetInt("repair_par", 1));
+    cfg.node_ttf = wt::MakeTtfFromAfr(0.40, 1.2);
+    cfg.sim_years = 2.0;
+    cfg.seed = rng.NextU64();
+    WT_ASSIGN_OR_RETURN(wt::AvailabilityMetrics m,
+                        wt::RunDynamicAvailability(cfg));
+    return wt::MetricMap{{"unavail_frac", m.mean_unavailable_fraction},
+                         {"repairs", static_cast<double>(m.repairs_completed)}};
+  };
+}
+
+wt::DesignSpace IntSpace(const char* dim, int count, int modulus) {
+  wt::DesignSpace space;
+  std::vector<wt::Value> vs;
+  for (int i = 1; i <= count; ++i) vs.emplace_back(i % modulus + 1);
+  WT_CHECK(space.AddDimension(dim, vs).ok());
+  return space;
+}
+
+int BenchReps() {
+  if (const char* env = std::getenv("WT_BENCH_REPS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 3;
+}
+
+int64_t SimEventsCounterValue() {
+  const wt::obs::MetricsSnapshot snap =
+      wt::obs::MetricsRegistry::Default().Snapshot();
+  const wt::obs::MetricsSnapshotEntry* e = snap.Find("sim.events");
+  return e != nullptr ? e->value : 0;
+}
+
+// Runs one sweep variant across worker counts, appending one BenchEntry
+// per count. Reports min-of-reps wall time; events_per_sec comes from the
+// sim.events counter delta of the fastest rep (deterministic: every rep
+// simulates the identical event sequence).
+void RunSweepVariant(const std::string& base_name, const wt::DesignSpace& space,
+                     const wt::RunFn& fn, int replications,
+                     std::vector<wt::bench::BenchEntry>* entries) {
+  const size_t n_points = space.size();
+  std::printf("%s: %zu points x %d replicate(s)\n", base_name.c_str(),
+              n_points, replications);
+  std::printf("  %-9s %-12s %-9s %-14s\n", "workers", "seconds", "speedup",
+              "events/sec");
+  const int reps = BenchReps();
+  const std::vector<int> worker_counts = {1, 2, 4, 8};
+  // Reps are interleaved across worker counts (round-robin) rather than
+  // run in per-count blocks: ambient load drift then biases every column
+  // equally instead of whichever count happened to run during a spike.
+  std::vector<double> best(worker_counts.size(), 0.0);
+  std::vector<int64_t> events(worker_counts.size(), 0);
+  for (int rep = 0; rep < reps; ++rep) {
+    for (size_t w = 0; w < worker_counts.size(); ++w) {
+      wt::SweepOptions opts;
+      opts.num_workers = worker_counts[w];
+      opts.enable_pruning = false;
+      opts.replications = replications;
+      wt::RunOrchestrator orch(opts);
+      const int64_t events0 = SimEventsCounterValue();
+      const int64_t start = wt::obs::WallNanos();
+      auto records = orch.Sweep(space, fn, {}, {});
+      const double seconds = wt::obs::WallSecondsSince(start);
+      WT_CHECK(records.ok());
+      if (rep == 0 || seconds < best[w]) {
+        best[w] = seconds;
+        events[w] = SimEventsCounterValue() - events0;
+      }
+    }
+  }
+  for (size_t w = 0; w < worker_counts.size(); ++w) {
+    wt::bench::BenchEntry e;
+    e.name = base_name + "_w" + std::to_string(worker_counts[w]);
+    e.wall_seconds = best[w];
+    e.num_workers = worker_counts[w];
+    e.points_per_sec = static_cast<double>(n_points) / best[w];
+    e.events_per_sec = static_cast<double>(events[w]) / best[w];
+    entries->push_back(e);
+    std::printf("  %-9d %-12.3f %-9.2f %-14.3g\n", worker_counts[w], best[w],
+                best[0] / best[w], e.events_per_sec);
+  }
+  std::printf("\n");
+}
+
 void SweepWallClock() {
   using namespace wt;
-  DesignSpace space;
-  std::vector<Value> fs;
-  for (int f = 1; f <= 16; ++f) fs.emplace_back(f % 8 + 1);
-  WT_CHECK(space.AddDimension("failures", fs).ok());
+  // Metrics on: the events_per_sec column needs the sim.events counter.
+  // Counters are write-only sinks — they perturb no RNG or event order.
+  obs::MetricsRegistry::Default().set_enabled(true);
 
-  unsigned cores = std::thread::hardware_concurrency();
-  std::printf("E7: sweep of 16 Figure-1 points vs worker threads (%u %s)\n\n",
-              cores, cores == 1 ? "core visible — expect flat scaling"
-                                : "cores visible");
-  std::printf("%-9s %-12s %-9s\n", "workers", "seconds", "speedup");
-  double base = 0.0;
-  std::vector<bench::BenchEntry> entries;
-  for (int workers : {1, 2, 4, 8}) {
-    SweepOptions opts;
-    opts.num_workers = workers;
-    opts.enable_pruning = false;
-    RunOrchestrator orch(opts);
-    const int64_t start = wt::obs::WallNanos();
-    auto records = orch.Sweep(space, ExpensivePoint(), {}, {});
-    const double seconds = wt::obs::WallSecondsSince(start);
-    if (!records.ok()) return;
-    if (workers == 1) base = seconds;
-    std::printf("%-9d %-12.3f %-9.2f\n", workers, seconds,
-                base / seconds);
-    bench::BenchEntry e;
-    e.name = "sweep_16pts_w" + std::to_string(workers);
-    e.wall_seconds = seconds;
-    e.events_per_sec = 16.0 / seconds;  // design points per second
-    entries.push_back(e);
-  }
-  std::string path = bench::WriteBenchJson("e7", entries);
-  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+  const int hw = obs::DetectedHardwareThreads();
   std::printf(
-      "\nShape (paper §4.2): independent runs parallelize embarrassingly —\n"
-      "speedup tracks min(workers, cores). On a single-core host the curve\n"
-      "is flat by construction; the parallelism is still exercised, and the\n"
-      "wavefront scheduler makes every row's records byte-identical to the\n"
-      "sequential sweep's (see E6 part 1b and orchestrator_test).\n\n");
+      "E7: design-space sweep wall clock vs worker threads "
+      "(%d hardware thread%s detected)\n",
+      hw, hw == 1 ? "" : "s");
+  if (hw > 0 && hw < 8) {
+    std::printf(
+        "NOTE: fewer hardware threads than the largest worker count — the\n"
+        "orchestrator clamps effective parallelism to the machine, so\n"
+        "oversubscribed rows measure scheduling overhead (should be ~flat,\n"
+        "never a slowdown), not speedup.\n");
+  }
+  std::printf("\n");
+
+  std::vector<bench::BenchEntry> entries;
+  // The historical variant: 16 moderately expensive Figure-1 points.
+  RunSweepVariant("sweep_16pts", IntSpace("failures", 16, 8), Fig1Point(50),
+                  /*replications=*/1, &entries);
+  // Many small runs: dispatch overhead would dominate here if unamortized.
+  RunSweepVariant("sweep_64pts", IntSpace("failures", 64, 8), Fig1Point(12),
+                  /*replications=*/1, &entries);
+  // Replicate-heavy DES sweep: 8 points x 8 replicates = 64 independent
+  // (point, replicate) tasks through the event-queue hot path.
+  RunSweepVariant("sweep_8pts_r8", IntSpace("repair_par", 8, 4),
+                  DynamicPoint(), /*replications=*/8, &entries);
+
+  std::string path = bench::WriteBenchJson("e7", entries);
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  std::printf(
+      "\nShape (paper §4.2): independent runs (and replicates) parallelize\n"
+      "embarrassingly — speedup tracks min(workers, cores). Oversubscribed\n"
+      "worker counts clamp to the hardware, so the curve is monotonically\n"
+      "non-increasing on any host; every row's records are byte-identical\n"
+      "to the sequential sweep's (see sweep_fingerprint_test).\n\n");
 }
 
 // Task-submission overhead: per-task Submit vs one SubmitBatch vs chunked
-// ParallelFor, for many tiny tasks (the E7 sweep used to pay the per-Submit
-// lock + wakeup once per design point).
+// work-stealing ParallelFor, for many tiny tasks (the E7 sweep used to pay
+// the per-Submit lock + wakeup once per design point).
 constexpr int kTinyTasks = 1 << 14;
 
 void BM_SubmitPerTask(benchmark::State& state) {
@@ -134,6 +253,29 @@ void BM_ParallelForChunked(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelForChunked)->Arg(4);
 
+// Worst-case imbalance for the stealer: all the work piles into the tail
+// of the range, so every participant but one starts empty and must steal.
+void BM_ParallelForImbalanced(benchmark::State& state) {
+  wt::ThreadPool pool(static_cast<int>(state.range(0)));
+  constexpr int kItems = 1 << 10;
+  for (auto _ : state) {
+    std::atomic<int64_t> acc{0};
+    pool.ParallelFor(
+        0, kItems,
+        [&acc](size_t i) {
+          // Cost ramps with the index: the static partition is maximally
+          // unfair and stealing has to re-balance it.
+          int64_t x = 0;
+          for (size_t k = 0; k < i; ++k) x += static_cast<int64_t>(k);
+          acc.fetch_add(x, std::memory_order_relaxed);
+        },
+        wt::ThreadPool::ForTuning{/*grain=*/1, /*cost_hint_ns=*/0});
+    benchmark::DoNotOptimize(acc.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kItems);
+}
+BENCHMARK(BM_ParallelForImbalanced)->Arg(4);
+
 // DES engine microbenchmark: events/second through the kernel.
 void BM_EventLoopThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -173,7 +315,8 @@ BENCHMARK(BM_EventQueueChurn);
 
 int main(int argc, char** argv) {
   // WT_TRACE / WT_METRICS env vars switch on observability; a traced run
-  // shows the orchestrator worker lanes filling as workers increase.
+  // shows work migrating between orchestrator worker lanes as chunks are
+  // claimed and stolen.
   wt::obs::EnvObsSession obs_session;
   wt::obs::SetThisThreadLabel("main");
   SweepWallClock();

@@ -47,13 +47,19 @@ namespace {
 // i < j scan below sees every edge. O(n^2) dominance checks in the worst
 // case; design grids are small (thousands of points) and each check is a
 // handful of map lookups.
+//
+// Waves never merge beyond this: by construction every point of wave k has
+// a potential pruner in wave k-1, so any two consecutive non-trivial waves
+// carry a real ordering dependency. The one sound collapse is `can_fail ==
+// false` (no SLA constraints): nothing can ever fail, so nothing can ever
+// prune, and the whole sweep is a single wave with zero epoch barriers.
 std::vector<std::vector<size_t>> BuildWavefronts(
     const DominancePruner& pruner, const std::vector<DesignPoint>& points,
-    bool enable_pruning, bool have_hints) {
+    bool enable_pruning, bool have_hints, bool can_fail) {
   const size_t n = points.size();
   std::vector<size_t> level(n, 0);
   size_t num_levels = 1;
-  if (enable_pruning && have_hints) {
+  if (enable_pruning && have_hints && can_fail) {
     for (size_t j = 0; j < n; ++j) {
       for (size_t i = 0; i < j; ++i) {
         // Cheap level test first; the dominance check is the expensive part.
@@ -102,8 +108,9 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
   const int64_t sweep_wall0 = obs::WallNanos();
   DominancePruner pruner(hints);
   std::vector<DesignPoint> points = pruner.OrderBestFirst(space.AllPoints());
-  const std::vector<std::vector<size_t>> waves = BuildWavefronts(
-      pruner, points, options_.enable_pruning, !hints.empty());
+  const std::vector<std::vector<size_t>> waves =
+      BuildWavefronts(pruner, points, options_.enable_pruning, !hints.empty(),
+                      /*can_fail=*/!constraints.empty());
 
   std::vector<RunRecord> records(points.size());
   RngStream root(options_.seed);
@@ -162,10 +169,99 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
     rec.sla_satisfied = AllSatisfied(rec.sla_outcomes);
   };
 
-  std::unique_ptr<ThreadPool> pool;
-  if (options_.num_workers > 1) {
-    pool = std::make_unique<ThreadPool>(options_.num_workers);
+  // Replicate-granularity execution of one wave: each (point, replicate)
+  // pair is an independent task — the unit the pool balances — with its
+  // replicate results parked in a side array. The serial reduce below then
+  // aggregates in (point-index, replicate) order, the exact arithmetic
+  // order of the serial path in run_one, so record bytes are identical for
+  // any worker count and any steal schedule.
+  auto run_wave_replicated = [&](const std::vector<size_t>& runnable,
+                                 const ThreadPool::ForTuning& tuning,
+                                 ThreadPool& wave_pool) {
+    const size_t reps_per_point = static_cast<size_t>(options_.replications);
+    struct RepOutcome {
+      bool ok = false;
+      MetricMap metrics;
+      std::string error;
+    };
+    std::vector<RepOutcome> reps(runnable.size() * reps_per_point);
+    wave_pool.ParallelFor(
+        0, reps.size(),
+        [&](size_t t) {
+          const size_t idx = runnable[t / reps_per_point];
+          const size_t rep = t % reps_per_point;
+          WT_TRACE_SCOPE_ARG("orchestrator", "run", "run_id",
+                             static_cast<int64_t>(idx));
+          RngStream rng = root.Substream(static_cast<uint64_t>(idx),
+                                         static_cast<uint64_t>(rep));
+          Result<MetricMap> metrics = fn(records[idx].point, rng);
+          if (metrics.ok()) {
+            reps[t].ok = true;
+            reps[t].metrics = std::move(metrics).value();
+          } else {
+            reps[t].error = metrics.status().ToString();
+          }
+        },
+        tuning);
+    for (size_t k = 0; k < runnable.size(); ++k) {
+      const size_t idx = runnable[k];
+      RunRecord& rec = records[idx];
+      std::map<std::string, RunningStats> agg;
+      bool failed = false;
+      for (size_t rep = 0; rep < reps_per_point; ++rep) {
+        RepOutcome& out = reps[k * reps_per_point + rep];
+        if (!out.ok) {
+          // First failing replicate wins, as in the serial path (which
+          // never ran the later replicates at all — their results are
+          // discarded here to the same effect).
+          rec.status = RunStatus::kError;
+          rec.error = std::move(out.error);
+          failed = true;
+          break;
+        }
+        for (const auto& [name, value] : out.metrics) agg[name].Add(value);
+      }
+      if (failed) continue;
+      for (const auto& [name, stats] : agg) {
+        rec.metrics[name] = stats.mean();
+        rec.metrics[name + "_se"] = stats.stderr_mean();
+      }
+      rec.status = RunStatus::kCompleted;
+      auto outcomes = EvaluateConstraints(constraints, rec.metrics);
+      if (!outcomes.ok()) {
+        rec.status = RunStatus::kError;
+        rec.error = outcomes.status().ToString();
+        continue;
+      }
+      rec.sla_outcomes = std::move(outcomes).value();
+      rec.sla_satisfied = AllSatisfied(rec.sla_outcomes);
+    }
+  };
+
+  // Effective parallelism. Workers beyond the hardware's thread count can
+  // only time-slice — they add context switches and cache eviction, never
+  // throughput (the measured BENCH_e7 anti-speedup) — so by default the
+  // schedule is capped at the machine. The ThreadPool's ParallelFor has the
+  // calling thread participate, so `effective` ways of parallelism need
+  // only `effective - 1` pool threads.
+  int effective = options_.num_workers;
+  const int hw = obs::DetectedHardwareThreads();
+  if (options_.clamp_workers_to_hardware && hw > 0) {
+    effective = std::min(effective, hw);
   }
+  std::unique_ptr<ThreadPool> pool;
+  if (effective > 1) {
+    pool = std::make_unique<ThreadPool>(effective - 1);
+  }
+
+  // Scheduling cost model, fed back from the wall time of completed waves:
+  // an EWMA estimate of one task's serial cost. Drives ParallelFor's
+  // adaptive chunk sizing and lets sub-dispatch-cost wavefronts run inline
+  // on this thread, so epoch barriers cost nothing when per-run work is
+  // tiny. Wall time steers *scheduling only* — results are a pure function
+  // of (seed, run_id, replicate) regardless of which path executes a task.
+  const int replications = options_.replications;
+  int64_t est_task_ns = 0;
 
   size_t wave_index = 0;
   for (const std::vector<size_t>& wave : waves) {
@@ -189,14 +285,35 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
         runnable.push_back(idx);
       }
     }
-    // Phase 2: fan the epoch's runnable points onto the pool. Chunked
-    // ParallelFor instead of one Submit per point: one lock acquisition per
-    // batch, and tiny runs amortize across a chunk.
-    if (pool && runnable.size() > 1) {
-      pool->ParallelFor(0, runnable.size(),
-                        [&](size_t k) { run_one(runnable[k]); });
+    // Phase 2: fan the epoch's work onto the pool at replicate granularity
+    // — a wave of P points with R replications is P*R independent tasks,
+    // each deriving its randomness from (seed, run_id, replicate). The
+    // work-stealing ParallelFor balances them; the cost hint sizes chunks
+    // and diverts tiny waves to the inline path.
+    const size_t num_tasks = runnable.size() * static_cast<size_t>(replications);
+    const int64_t wave_wall0 = obs::WallNanos();
+    bool pooled = false;
+    if (pool && num_tasks > 1) {
+      ThreadPool::ForTuning tuning;
+      tuning.cost_hint_ns = est_task_ns;
+      pooled = true;
+      if (replications == 1) {
+        pool->ParallelFor(0, runnable.size(),
+                          [&](size_t k) { run_one(runnable[k]); }, tuning);
+      } else {
+        run_wave_replicated(runnable, tuning, *pool);
+      }
     } else {
       for (size_t idx : runnable) run_one(idx);
+    }
+    // Feed the cost model. A pooled wave's wall time under-counts serial
+    // work by up to the parallelism used; scale it back up so the estimate
+    // stays an honest per-task serial cost (upper bound under imbalance).
+    if (num_tasks > 0) {
+      const int64_t wave_ns = obs::WallNanos() - wave_wall0;
+      const int64_t serial_ns = pooled ? wave_ns * effective : wave_ns;
+      const int64_t sample = serial_ns / static_cast<int64_t>(num_tasks);
+      est_task_ns = est_task_ns == 0 ? sample : (est_task_ns + sample) / 2;
     }
     // Phase 3 (serial, point-index order): commit this epoch's SLA failures
     // to the pruner. This is the ONLY place pruner state changes, so the

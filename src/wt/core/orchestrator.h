@@ -70,6 +70,14 @@ struct SweepOptions {
   /// Worker threads. Purely a throughput knob: sweep output (records,
   /// pruning decisions, RNG draws) is independent of num_workers.
   int num_workers = 1;
+  /// Cap effective parallelism at the detected hardware concurrency
+  /// (default on). Oversubscribed workers cannot add throughput — they
+  /// only context-switch and evict each other's caches, which is how the
+  /// original BENCH_e7 curve came to *degrade* with workers on a small
+  /// host. Purely a scheduling decision: output bytes never change.
+  /// Disable to force the full worker count through the pool (tests use
+  /// this to pin byte-identity under genuine oversubscription).
+  bool clamp_workers_to_hardware = true;
   uint64_t seed = 1;
   /// Honor MonotoneHints (disable to measure pruning savings — E6).
   bool enable_pruning = true;

@@ -3,17 +3,37 @@
 #ifndef WT_CORE_THREAD_POOL_H_
 #define WT_CORE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace wt {
 
-/// Simple FIFO thread pool. Tasks are void(); results flow through
-/// caller-owned state (the orchestrator serializes result writes).
+/// Worker pool with two execution paths:
+///  * Submit/SubmitBatch — FIFO tasks through a mutex-guarded queue (cold
+///    path: task granularity is coarse and ordering does not matter);
+///  * ParallelFor — work-stealing index ranges (hot path: the orchestrator
+///    fans a wavefront's runs or replicates out through here).
+///
+/// ParallelFor splits [begin, end) into one contiguous range per
+/// participant (every pool thread plus the calling thread). Each
+/// participant pops grain-sized chunks from the front of its own range;
+/// a participant whose range is exhausted steals the back half of a
+/// victim's range and continues there. Claims are single-CAS operations
+/// on a packed {lo, hi} word, so imbalance migrates at nanosecond cost
+/// and no barrier forms until the final chunk completes. The caller
+/// participates too: a pool starved of CPU (oversubscription) degrades
+/// to the caller executing everything inline — never to a slowdown.
+///
+/// Scheduling is invisible to results by construction: `body` must be a
+/// pure function of its index (plus caller-owned slots indexed by it),
+/// which is exactly the orchestrator's (seed, run_id, replicate) contract.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -29,26 +49,77 @@ class ThreadPool {
   /// mutex + wakeup cost once per batch instead of once per task.
   void SubmitBatch(std::vector<std::function<void()>> tasks);
 
-  /// Runs body(i) for every i in [begin, end), partitioned into contiguous
-  /// chunks of at least `grain` indices (0 = auto: ~4 chunks per worker).
-  /// Blocks until every index of THIS call has finished — independent of
-  /// other concurrently submitted work. `body` must be safe to invoke
-  /// concurrently for distinct indices.
-  void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& body, size_t grain = 0);
+  /// ParallelFor scheduling knobs.
+  struct ForTuning {
+    /// Minimum indices per claim (0 = auto: cost-derived when
+    /// cost_hint_ns is set, else ~8 chunks per participant).
+    size_t grain = 0;
+    /// Estimated serial cost of one index in nanoseconds (0 = unknown).
+    /// Drives adaptive chunk sizing — chunks are sized to ~250us of work
+    /// so claim overhead amortizes — and the inline cutoff: a loop whose
+    /// whole estimated cost is under ~100us runs on the calling thread,
+    /// skipping wakeups entirely (tiny wavefronts must not pay dispatch).
+    int64_t cost_hint_ns = 0;
+  };
 
-  /// Blocks until every submitted task has finished.
+  /// Runs body(i) for every i in [begin, end), exactly once each, via the
+  /// work-stealing scheme above. Blocks until every index of THIS call has
+  /// finished — independent of other concurrently submitted work. `body`
+  /// must be safe to invoke concurrently for distinct indices. Safe to
+  /// call from multiple threads and from inside pool tasks (the caller
+  /// participates, so it never deadlocks waiting on a busy pool).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body,
+                   const ForTuning& tuning);
+
+  /// Legacy fixed-grain form (grain 0 = auto).
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body, size_t grain = 0) {
+    ForTuning tuning;
+    tuning.grain = grain;
+    ParallelFor(begin, end, body, tuning);
+  }
+
+  /// Blocks until every Submit/SubmitBatch task has finished.
   void WaitIdle();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  // One ParallelFor invocation. Participant p owns ranges[p], a packed
+  // (hi << 32 | lo) pair of offsets into [0, total); slot 0 is the caller,
+  // slot w+1 is pool worker w. done counts fully executed indices — the
+  // acq_rel RMW chain on it publishes every body() effect to whichever
+  // participant observes done == total and signals completion.
+  struct PfJob {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t base = 0;   // original `begin`, added back before calling body
+    size_t total = 0;  // indices in the job
+    size_t grain = 1;  // minimum indices per claim
+    std::vector<std::atomic<uint64_t>> ranges;
+    std::atomic<size_t> done{0};
+    std::atomic<int64_t> chunks{0};
+    std::atomic<int64_t> steals{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool finished = false;
+  };
+
+  void WorkerLoop(int worker_index);
+  // Pops/steals and executes chunks until no claimable work remains.
+  void Participate(PfJob& job, size_t slot);
+  // Executes [lo, hi) and returns true when this call completed the job.
+  bool RunChunk(PfJob& job, size_t lo, size_t hi);
 
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
+  // Active ParallelFor jobs; workers grab shared_ptr copies under mu_.
+  std::vector<std::shared_ptr<PfJob>> pf_jobs_;
+  // Bumped when pf_jobs_ grows; lets sleeping workers distinguish "new
+  // job" from "job I already drained" without spinning.
+  uint64_t pf_version_ = 0;
   int in_flight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;

@@ -78,6 +78,20 @@ std::string DetectHostname() {
   return "unknown";
 }
 
+int DetectHardwareThreads() {
+  // hardware_concurrency() is allowed to return 0 ("unknown"), and on some
+  // containerized hosts reports the cgroup limit while sysconf reports the
+  // online CPUs (or vice versa). Take the larger positive answer so the
+  // manifest records the machine, not whichever probe happened to fail —
+  // a wrong 1 here silently poisoned the committed BENCH_e7.json curve.
+  int n = static_cast<int>(std::thread::hardware_concurrency());
+#if defined(_SC_NPROCESSORS_ONLN)
+  const long onln = sysconf(_SC_NPROCESSORS_ONLN);
+  if (onln > 0 && static_cast<int>(onln) > n) n = static_cast<int>(onln);
+#endif
+  return n > 0 ? n : 0;  // 0 = genuinely unknown
+}
+
 // Host + toolchain facts never change within a process; collect them once.
 const RunManifest& HostFacts() {
   static const RunManifest* facts = [] {
@@ -86,8 +100,7 @@ const RunManifest& HostFacts() {
     m->compiler = DetectCompiler();
     m->build_type = DetectBuildType();
     m->cpu_model = DetectCpuModel();
-    m->hardware_threads =
-        static_cast<int>(std::thread::hardware_concurrency());
+    m->hardware_threads = DetectHardwareThreads();
     m->hostname = DetectHostname();
     return m;
   }();
@@ -95,6 +108,8 @@ const RunManifest& HostFacts() {
 }
 
 }  // namespace
+
+int DetectedHardwareThreads() { return HostFacts().hardware_threads; }
 
 const std::string& GitCommitOrUnknown() {
   static const std::string* commit = [] {

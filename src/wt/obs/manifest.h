@@ -45,6 +45,13 @@ struct RunManifest {
 /// --short HEAD`, else "unknown". Cached after the first call.
 const std::string& GitCommitOrUnknown();
 
+/// Hardware threads of this host: the larger positive answer of
+/// std::thread::hardware_concurrency() and sysconf(_SC_NPROCESSORS_ONLN),
+/// or 0 when both are unavailable. Cached in the manifest host facts; also
+/// used by the orchestrator to avoid oversubscribing sweeps and by benches
+/// to flag oversubscribed measurements.
+int DetectedHardwareThreads();
+
 /// Collects a manifest: cached host/toolchain facts plus the given
 /// per-run fields. Cheap after the first call in a process.
 RunManifest CollectRunManifest(uint64_t seed, std::string config_hash);

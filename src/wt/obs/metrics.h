@@ -7,9 +7,13 @@
 //    only expose last-write (single-threaded sites) and monotone-max
 //    (UpdateMax) semantics, so a metrics snapshot of deterministic
 //    quantities — event counts, runs executed, queue-depth high-water —
-//    is identical for any num_workers. Wall-clock metrics (".wall_ns",
-//    ".wall_us" suffixes by convention) are inherently machine-dependent
-//    and excluded from that contract.
+//    is identical for any num_workers. Two families are excluded from that
+//    contract by naming convention: wall-clock metrics (".wall_ns",
+//    ".wall_us" suffixes) are machine-dependent, and "sched."-prefixed
+//    scheduling telemetry (ParallelFor chunk claims, steals, inline
+//    dispatches, queue-depth high-water) legitimately varies with worker
+//    count and OS scheduling. Anything scheduling-dependent MUST live
+//    under "sched."; tests diff everything else across worker counts.
 //  * Never observed, never paid. The registry starts disabled; every
 //    instrumentation site is a relaxed-load branch when disabled, and
 //    instruments are registered (the only allocating operation) on first

@@ -15,11 +15,13 @@
 namespace wt {
 namespace {
 
-// Wall-clock instruments are machine-dependent by convention and excluded
-// from the determinism contract.
-bool IsWallClock(const std::string& name) {
+// Two families are machine-dependent by convention and excluded from the
+// determinism contract (wt/obs/metrics.h): wall-clock instruments and the
+// "sched." scheduling-telemetry prefix (chunk claims, steals, queue depths
+// — legitimately different for every worker count and every OS schedule).
+bool IsSchedulingDependent(const std::string& name) {
   return name.ends_with(".wall_ns") || name.ends_with(".wall_us") ||
-         name.ends_with("wall_seconds");
+         name.ends_with("wall_seconds") || name.starts_with("sched.");
 }
 
 // A DES run per design point: a self-rescheduling ticker whose event count
@@ -56,7 +58,7 @@ DesignSpace TickerSpace() {
 std::string DeterministicSummary(const obs::MetricsSnapshot& snap) {
   std::string out;
   for (const obs::MetricsSnapshotEntry& e : snap.entries) {
-    if (IsWallClock(e.name)) continue;
+    if (IsSchedulingDependent(e.name)) continue;
     out += e.name + "|" + e.kind + "|" + std::to_string(e.value) + "\n";
   }
   return out;

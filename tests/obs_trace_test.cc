@@ -76,6 +76,10 @@ TEST(ObsTraceTest, SweepTraceIsValidChromeJsonWithExpectedTracks) {
 
   SweepOptions opts;
   opts.num_workers = 4;
+  // The assertions below want real pool lanes in the trace; on a host with
+  // fewer than 4 hardware threads the default clamp would run this sweep
+  // serially (correctly — but then there is nothing to assert on).
+  opts.clamp_workers_to_hardware = false;
   opts.seed = 7;
   RunOrchestrator orch(opts);
   auto records = orch.Sweep(TickerSpace(), TickerModel(),

@@ -142,5 +142,59 @@ TEST(SweepFingerprintTest, ByteIdenticalAcrossWorkersAndKernelChanges) {
   }
 }
 
+// Oversubscription must not leak into output bytes: with the hardware
+// clamp disabled, worker counts beyond the machine's threads (16 here)
+// force a real oversubscribed pool, and the records must still match the
+// same goldens. The clamp itself is scheduling-only, so clamped and
+// unclamped runs are byte-identical by construction — this pins it.
+TEST(SweepFingerprintTest, OversubscribedUnclampedWorkersMatchGoldens) {
+  for (int workers : {2, 8, 16}) {
+    SweepOptions opts;
+    opts.num_workers = workers;
+    opts.clamp_workers_to_hardware = false;
+    opts.seed = 1;
+    opts.enable_pruning = false;
+    RunOrchestrator orch(opts);
+    auto records = orch.Sweep(RepairSpace(), DynamicAvailabilityModel(),
+                              {{"unavail_frac", SlaOp::kAtMost, 0.5}}, {});
+    ASSERT_TRUE(records.ok()) << records.status().ToString();
+    EXPECT_EQ(FingerprintRecords(*records), kGoldenSeed1)
+        << "oversubscribed workers=" << workers;
+  }
+}
+
+// Replicate-level parallelism (replications > 1 splits every design point
+// into independent (point, replicate) tasks) must reproduce the serial
+// reduce bit-for-bit: metrics aggregate in replicate order per point, so
+// the mean/_se arithmetic sees the exact same operand sequence no matter
+// which thread ran which replicate.
+constexpr const char* kGoldenSeed5Reps8 = "04a9bb0fb049a789";
+
+TEST(SweepFingerprintTest, ReplicateHeavySweepIsByteIdenticalAcrossWorkers) {
+  std::string first;
+  for (int workers : {1, 2, 8}) {
+    SweepOptions opts;
+    opts.num_workers = workers;
+    // Force the pool path even on small hosts: the point is to race the
+    // replicate tasks for real, not to pass vacuously via the clamp.
+    opts.clamp_workers_to_hardware = false;
+    opts.seed = 5;
+    opts.enable_pruning = false;
+    opts.replications = 8;
+    RunOrchestrator orch(opts);
+    auto records = orch.Sweep(RepairSpace(), DynamicAvailabilityModel(),
+                              {{"unavail_frac", SlaOp::kAtMost, 0.5}}, {});
+    ASSERT_TRUE(records.ok()) << records.status().ToString();
+    std::string fp = FingerprintRecords(*records);
+    if (workers == 1) {
+      first = fp;
+    } else {
+      EXPECT_EQ(fp, first) << "replicated sweep diverged at workers="
+                           << workers;
+    }
+    EXPECT_EQ(fp, kGoldenSeed5Reps8) << "workers=" << workers;
+  }
+}
+
 }  // namespace
 }  // namespace wt

@@ -122,5 +122,105 @@ TEST(ThreadPoolTest, ParallelForAccumulatesViaDisjointSlots) {
   EXPECT_EQ(sum, expect);
 }
 
+// Work-stealing stress: a severely imbalanced cost profile at grain=1
+// maximizes steal traffic (the static partition gives the tail — where all
+// the work lives — to the last slot, so every other participant must
+// steal). Exactly-once coverage plus a value checksum catch both a lost
+// range and a double-claimed one.
+TEST(ThreadPoolTest, WorkStealingImbalancedCostsCoverExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 2000;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    std::atomic<uint64_t> checksum{0};
+    std::atomic<uint64_t> benchmark_sink{0};  // keeps the busy loop alive
+    pool.ParallelFor(
+        0, kN,
+        [&](size_t i) {
+          // Cost ramps ~i: the back of the range is thousands of times
+          // more expensive than the front.
+          uint64_t x = 0;
+          for (size_t k = 0; k < i; ++k) x += k;
+          benchmark_sink.fetch_add(x, std::memory_order_relaxed);
+          checksum.fetch_add(i, std::memory_order_relaxed);
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        ThreadPool::ForTuning{/*grain=*/1, /*cost_hint_ns=*/0});
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round=" << round << " i=" << i;
+    }
+    EXPECT_EQ(checksum.load(), uint64_t{kN} * (kN - 1) / 2);
+  }
+}
+
+// Several threads race their own ParallelFor jobs on one pool while a
+// submitter floods the queue: pool workers multiplex queue tasks and
+// every live job, and each caller must wake only when *its* range is
+// done. The schedule this creates — concurrent jobs, stealing, queue
+// interleave — is the one TSan needs to see to vet the CAS protocol.
+TEST(ThreadPoolTest, ConcurrentParallelForsWithInterleavedSubmits) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr size_t kN = 1500;
+  std::atomic<int> queue_count{0};
+  std::atomic<bool> stop{false};
+  std::thread submitter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      pool.Submit(
+          [&queue_count] { queue_count.fetch_add(1, std::memory_order_relaxed); });
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> callers;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    hits[c] = std::vector<std::atomic<int>>(kN);
+    for (auto& h : hits[c]) h.store(0);
+  }
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      for (int round = 0; round < 3; ++round) {
+        pool.ParallelFor(
+            0, kN,
+            [&hits, c](size_t i) {
+              hits[c][i].fetch_add(1, std::memory_order_relaxed);
+            },
+            ThreadPool::ForTuning{/*grain=*/7, /*cost_hint_ns=*/0});
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  stop.store(true);
+  submitter.join();
+  pool.WaitIdle();
+  for (int c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 3) << "caller=" << c << " i=" << i;
+    }
+  }
+  EXPECT_GT(queue_count.load(), 0);
+}
+
+// A worker thread issuing its own nested ParallelFor (run_wave_replicated
+// does this transitively when models parallelize internally) must not
+// deadlock: the caller participates in its own job, so forward progress
+// never depends on a free pool thread.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    pool.ParallelFor(0, 64, [&inner_total](size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+    done.store(true);
+  });
+  pool.WaitIdle();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
 }  // namespace
 }  // namespace wt
