@@ -34,6 +34,10 @@
 //        auto-emitted when an entry's num_workers exceeds the detected
 //        hardware threads — oversubscribed rows measure scheduling
 //        overhead, not speedup, and must not be read as a scaling curve.
+//   v3 — adds optional per-entry serving fields "p50_us" / "p95_us"
+//        (request-latency quantiles in microseconds) and "qps" (requests
+//        per second), introduced with the E13 serving bench. Entries that
+//        are not request-shaped simply omit them.
 //
 // The "host" block comes from wt::obs::RunManifest (wt/obs/manifest.h), so
 // a trajectory point records the toolchain and machine that produced it —
@@ -79,6 +83,12 @@ struct BenchEntry {
   /// Optional: ratio vs the frozen seed implementation measured in the same
   /// binary on the same machine; <= 0 means "not applicable" and is omitted.
   double speedup_vs_seed = 0.0;
+  /// Request-latency quantiles in microseconds (serving benches);
+  /// <= 0 means "not request-shaped" and is omitted.
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  /// Requests per second over the entry's wall time; <= 0 omitted.
+  double qps = 0.0;
 };
 
 inline std::string BenchCommit() { return obs::GitCommitOrUnknown(); }
@@ -117,7 +127,7 @@ inline std::string WriteBenchJson(const std::string& bench_name,
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"commit\": \"%s\",\n",
                bench_name.c_str(), BenchCommit().c_str());
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f,
                "  \"host\": {\"compiler\": \"%s\", \"build_type\": \"%s\", "
                "\"cpu_model\": \"%s\", \"hardware_threads\": %d, "
@@ -152,6 +162,9 @@ inline std::string WriteBenchJson(const std::string& bench_name,
     if (e.speedup_vs_seed > 0.0) {
       std::fprintf(f, ", \"speedup_vs_seed\": %.3f", e.speedup_vs_seed);
     }
+    if (e.p50_us > 0.0) std::fprintf(f, ", \"p50_us\": %.1f", e.p50_us);
+    if (e.p95_us > 0.0) std::fprintf(f, ", \"p95_us\": %.1f", e.p95_us);
+    if (e.qps > 0.0) std::fprintf(f, ", \"qps\": %.1f", e.qps);
     std::fprintf(f, "}%s\n", i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

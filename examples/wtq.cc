@@ -19,10 +19,19 @@
 //                    open it at https://ui.perfetto.dev or chrome://tracing
 //   --help           this summary
 //
+// Serving mode (DESIGN.md §8):
+//   --serve <socket>    run as a query server on an AF_UNIX socket; repeated
+//                       queries are answered from the sweep cache. Reads
+//                       stdin for \cache / \quit; EOF shuts down.
+//   --connect <socket>  run the shell against a server instead of locally
+//                       (works one-shot with a QUERY argument too)
+//
 // Useful meta-commands in interactive mode:
 //   \tables          list stored sweep tables
 //   \dump <table>    print a stored table as CSV
 //   \sims            list registered simulations
+//   \cache           serve-cache statistics (hit/miss/in-flight; local
+//                    registry in local mode, the server's in --connect)
 //   \profile         toggle per-query profiling (same as --profile)
 //   \quit
 
@@ -32,9 +41,12 @@
 #include <string>
 
 #include "wt/common/string_util.h"
+#include "wt/obs/metrics.h"
 #include "wt/obs/obs.h"
 #include "wt/query/builtin_sims.h"
 #include "wt/query/executor.h"
+#include "wt/serve/client.h"
+#include "wt/serve/server.h"
 
 namespace {
 
@@ -54,7 +66,37 @@ void RunOne(wt::WindTunnel* tunnel, const std::string& text) {
   if (g_profile) std::printf("%s", result->profile.ToText().c_str());
 }
 
+// The local \cache view: serve.* instruments from this process's metrics
+// registry (a Server running under --serve reports into it).
+void PrintLocalCacheStats() {
+  if (!wt::obs::MetricsEnabled()) {
+    std::printf("(metrics registry disabled; serve stats live in the "
+                "server process — use \\cache under --connect)\n");
+    return;
+  }
+  const wt::obs::MetricsSnapshot snap =
+      wt::obs::MetricsRegistry::Default().Snapshot();
+  bool any = false;
+  for (const wt::obs::MetricsSnapshotEntry& e : snap.entries) {
+    if (!e.name.starts_with("serve.")) continue;
+    any = true;
+    if (e.kind == "latency") {
+      std::printf("%-24s n=%lld p50=%.0f p95=%.0f max=%.0f\n",
+                  e.name.c_str(), static_cast<long long>(e.value), e.p50,
+                  e.p95, e.max);
+    } else {
+      std::printf("%-24s %lld\n", e.name.c_str(),
+                  static_cast<long long>(e.value));
+    }
+  }
+  if (!any) std::printf("(no serve.* metrics recorded yet)\n");
+}
+
 void Meta(wt::WindTunnel* tunnel, const std::string& line) {
+  if (line == "\\cache") {
+    PrintLocalCacheStats();
+    return;
+  }
   if (line == "\\tables") {
     for (const std::string& name : tunnel->store().TableNames()) {
       std::printf("%s\n", name.c_str());
@@ -87,7 +129,8 @@ void Meta(wt::WindTunnel* tunnel, const std::string& line) {
 
 void PrintHelp() {
   std::printf(
-      "usage: example_wtq [--profile] [--trace <file>] [--help] [QUERY]\n"
+      "usage: example_wtq [--profile] [--trace <file>] [--serve <socket>]\n"
+      "                   [--connect <socket>] [--help] [QUERY]\n"
       "\n"
       "With a QUERY argument, runs it once and prints the satisfying rows\n"
       "as CSV. Without one, starts an interactive shell (queries end with\n"
@@ -97,11 +140,107 @@ void PrintHelp() {
       "                   order) after each query\n"
       "  --trace <file>   record a Chrome trace of the session to <file>\n"
       "                   (view at https://ui.perfetto.dev)\n"
+      "  --serve <socket> serve queries on an AF_UNIX socket; identical\n"
+      "                   (config, seed) queries are answered from the\n"
+      "                   sweep cache. \\cache on stdin prints statistics;\n"
+      "                   \\quit or EOF shuts down.\n"
+      "  --connect <socket>  run against a --serve process instead of\n"
+      "                   simulating locally (one-shot with QUERY, or the\n"
+      "                   interactive shell; \\cache asks the server)\n"
       "  --help           show this message\n"
       "\n"
       "The WT_TRACE / WT_METRICS environment variables are honored too:\n"
       "WT_TRACE=t.json is equivalent to --trace t.json, and\n"
       "WT_METRICS=m.json writes a metrics snapshot at exit.\n");
+}
+
+int RunServe(const std::string& socket_path) {
+  // Serving is what the serve.* instruments exist for: record always.
+  wt::obs::MetricsRegistry::Default().set_enabled(true);
+  wt::WindTunnel tunnel;
+  if (wt::Status s = wt::RegisterBuiltinSimulations(&tunnel); !s.ok()) {
+    std::fprintf(stderr, "init: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  wt::serve::ServerOptions options;
+  options.num_workers = 2;
+  wt::serve::Server server(&tunnel, options);
+  if (wt::Status s = server.Listen(socket_path); !s.ok()) {
+    std::fprintf(stderr, "serve: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on %s (\\cache for stats, \\quit or EOF to stop)\n",
+              socket_path.c_str());
+  std::fflush(stdout);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string trimmed(wt::StrTrim(line));
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (trimmed == "\\cache") {
+      std::printf("%s", server.CacheStatsText().c_str());
+    } else if (!trimmed.empty()) {
+      std::printf("unknown command: %s (\\cache, \\quit)\n", trimmed.c_str());
+    }
+    std::fflush(stdout);
+  }
+  server.Shutdown();
+  return 0;
+}
+
+int RunConnect(const std::string& socket_path, const std::string& one_shot) {
+  auto client = wt::serve::Client::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto run = [&](const std::string& text) {
+    auto reply = client->Query(text);
+    if (!reply.ok()) {
+      std::printf("error: %s\n", reply.status().ToString().c_str());
+      return false;
+    }
+    // Header carries "ok <hit|miss|join> <rows> <wall_us>" or "err ...".
+    std::printf("# %s\n%s", reply->header.c_str(), reply->payload.c_str());
+    return true;
+  };
+  if (!one_shot.empty()) return run(one_shot) ? 0 : 1;
+
+  std::printf("connected to %s — queries end with ';', \\cache for server "
+              "stats, \\quit exits\n",
+              socket_path.c_str());
+  std::string buffer;
+  std::string line;
+  std::printf("wtq> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    const std::string trimmed(wt::StrTrim(line));
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (trimmed == "\\cache") {
+        auto stats = client->Stats();
+        if (stats.ok()) {
+          std::printf("%s", stats->payload.c_str());
+        } else {
+          std::printf("error: %s\n", stats.status().ToString().c_str());
+        }
+      } else {
+        std::printf("unknown meta-command here: %s\n", trimmed.c_str());
+      }
+      std::printf("wtq> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line + "\n";
+    if (trimmed.ends_with(";")) {
+      if (!run(buffer)) break;
+      buffer.clear();
+      std::printf("wtq> ");
+    } else {
+      std::printf(" ... ");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -114,6 +253,8 @@ int main(int argc, char** argv) {
 
   std::string trace_path;
   std::string query_text;
+  std::string serve_path;
+  std::string connect_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -132,6 +273,22 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
       continue;
     }
+    if (std::strcmp(arg, "--serve") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--serve requires a socket path\n");
+        return 1;
+      }
+      serve_path = argv[++i];
+      continue;
+    }
+    if (std::strcmp(arg, "--connect") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--connect requires a socket path\n");
+        return 1;
+      }
+      connect_path = argv[++i];
+      continue;
+    }
     if (wt::StrStartsWith(arg, "--")) {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 1;
@@ -139,6 +296,12 @@ int main(int argc, char** argv) {
     if (!query_text.empty()) query_text += " ";
     query_text += arg;
   }
+  if (!serve_path.empty() && !connect_path.empty()) {
+    std::fprintf(stderr, "--serve and --connect are mutually exclusive\n");
+    return 1;
+  }
+  if (!serve_path.empty()) return RunServe(serve_path);
+  if (!connect_path.empty()) return RunConnect(connect_path, query_text);
   if (!trace_path.empty()) wt::obs::TraceEmitter::Default().Start();
 
   // Writes the --trace file after the queries below have quiesced.

@@ -76,8 +76,8 @@ std::vector<std::vector<size_t>> BuildWavefronts(
   return waves;
 }
 
-// Provenance hash of the sweep configuration: the ordered design points
-// plus the SLA constraints. Deterministic for a given sweep input.
+}  // namespace
+
 std::string SweepConfigHash(const std::vector<DesignPoint>& points,
                             const std::vector<SlaConstraint>& constraints) {
   std::string buf;
@@ -94,8 +94,6 @@ std::string SweepConfigHash(const std::vector<DesignPoint>& points,
                 static_cast<unsigned long long>(Fnv1a64(buf)));
   return out;
 }
-
-}  // namespace
 
 Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
     const DesignSpace& space, const RunFn& fn,

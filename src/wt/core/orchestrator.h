@@ -89,6 +89,14 @@ struct SweepOptions {
   int replications = 1;
 };
 
+/// Provenance hash of a sweep configuration: FNV-1a over the ordered design
+/// points plus the SLA constraints, rendered as 16 hex digits. This is the
+/// `config_hash` recorded in every RunManifest, and — combined with the
+/// seed — the identity the serve-layer SweepCache keys on: two sweeps with
+/// equal hashes and seeds produce byte-identical records.
+std::string SweepConfigHash(const std::vector<DesignPoint>& points,
+                            const std::vector<SlaConstraint>& constraints);
+
 /// Aggregate sweep statistics.
 struct SweepStats {
   size_t total_points = 0;

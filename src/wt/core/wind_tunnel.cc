@@ -67,9 +67,8 @@ Result<std::vector<RunRecord>> WindTunnel::RunSweepWith(
   return records;
 }
 
-Status WindTunnel::StoreRecords(const std::string& table_name,
-                                const DesignSpace& space,
-                                const std::vector<RunRecord>& records) {
+Result<Table> BuildRunRecordTable(const DesignSpace& space,
+                                  const std::vector<RunRecord>& records) {
   // Columns: run_id, dims (typed from candidates), union of metric names
   // (double), sla_ok, status.
   std::vector<ColumnDef> defs;
@@ -95,9 +94,7 @@ Status WindTunnel::StoreRecords(const std::string& table_name,
   defs.push_back({"sla_ok", ValueType::kBool});
   defs.push_back({"status", ValueType::kString});
 
-  WT_RETURN_IF_ERROR(store_.CreateTable(table_name, Schema(defs)));
-  WT_ASSIGN_OR_RETURN(Table * table, store_.GetTable(table_name));
-
+  Table table{Schema(defs)};
   for (const RunRecord& r : records) {
     std::vector<Value> row;
     row.reserve(defs.size());
@@ -123,8 +120,18 @@ Status WindTunnel::StoreRecords(const std::string& table_name,
     }
     row.emplace_back(r.sla_satisfied);
     row.emplace_back(std::string(RunStatusToString(r.status)));
-    WT_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
+    WT_RETURN_IF_ERROR(table.AppendRow(std::move(row)));
   }
+  return table;
+}
+
+Status WindTunnel::StoreRecords(const std::string& table_name,
+                                const DesignSpace& space,
+                                const std::vector<RunRecord>& records) {
+  // Build privately, publish atomically: concurrent store readers (the
+  // serve layer) never observe a partially-filled sweep table.
+  WT_ASSIGN_OR_RETURN(Table table, BuildRunRecordTable(space, records));
+  WT_RETURN_IF_ERROR(store_.PublishTable(table_name, std::move(table)));
 
   // Provenance side table: every record of one sweep shares one manifest,
   // so persisting the first one captures the sweep's provenance. Survives

@@ -28,6 +28,15 @@ struct WindTunnelOptions {
   int replications = 1;
 };
 
+/// Builds the result table of a sweep — columns run_id, the space's
+/// dimensions (typed from their candidates), the union of metric names
+/// (double; name-collisions with dimensions get a "measured_" prefix),
+/// sla_ok, and status; one row per record. Shared by WindTunnel's
+/// StoreRecords and the wt::serve cold path, so a served sweep's table is
+/// byte-identical to the one a direct query stores.
+[[nodiscard]] Result<Table> BuildRunRecordTable(
+    const DesignSpace& space, const std::vector<RunRecord>& records);
+
 /// The wind tunnel: simulation registry + orchestrator + result store.
 class WindTunnel {
  public:

@@ -166,8 +166,9 @@ std::string ManifestToJson(const RunManifest& m, int indent) {
 Status StoreManifest(ResultStore* store, const std::string& table,
                      const RunManifest& m) {
   Schema schema({{"key", ValueType::kString}, {"value", ValueType::kString}});
-  WT_RETURN_IF_ERROR(store->CreateTable(table, schema));
-  WT_ASSIGN_OR_RETURN(Table * t, store->GetTable(table));
+  // Build privately, publish complete (store copy-on-publish discipline).
+  Table built(schema);
+  Table* t = &built;
   auto put = [&](const char* key, std::string value) {
     return t->AppendRow({Value(std::string(key)), Value(std::move(value))});
   };
@@ -181,7 +182,7 @@ Status StoreManifest(ResultStore* store, const std::string& table,
   WT_RETURN_IF_ERROR(put("hostname", m.hostname));
   WT_RETURN_IF_ERROR(put("created_at_utc", m.created_at_utc));
   WT_RETURN_IF_ERROR(put("wall_seconds", StrFormat("%.6f", m.wall_seconds)));
-  return Status::OK();
+  return store->PublishTable(table, std::move(built));
 }
 
 Result<RunManifest> LoadManifest(const ResultStore& store,

@@ -126,44 +126,92 @@ LatencyHistogram* MetricsRegistry::GetLatency(const std::string& name) {
   return latency_by_name_.emplace(name, &latencies_.back()).first->second;
 }
 
+namespace {
+
+MetricsSnapshotEntry ScalarEntry(const std::string& name, const char* kind,
+                                 int64_t value) {
+  MetricsSnapshotEntry e;
+  e.name = name;
+  e.kind = kind;
+  e.value = value;
+  return e;
+}
+
+MetricsSnapshotEntry LatencyEntry(const std::string& name,
+                                  const LogHistogram& hist) {
+  MetricsSnapshotEntry e;
+  e.name = name;
+  e.kind = "latency";
+  e.value = hist.count();
+  e.mean = hist.mean();
+  e.p50 = hist.P50();
+  e.p95 = hist.P95();
+  e.p99 = hist.P99();
+  e.max = hist.max_value();
+  return e;
+}
+
+void SortByName(MetricsSnapshot* snap) {
+  std::sort(snap->entries.begin(), snap->entries.end(),
+            [](const MetricsSnapshotEntry& a, const MetricsSnapshotEntry& b) {
+              return a.name < b.name;
+            });
+}
+
+}  // namespace
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
   snap.entries.reserve(counter_by_name_.size() + gauge_by_name_.size() +
                        latency_by_name_.size());
-  // std::map iteration is name-sorted within each kind; a final sort makes
-  // the whole snapshot one name-ordered list.
   for (const auto& [name, c] : counter_by_name_) {
-    MetricsSnapshotEntry e;
-    e.name = name;
-    e.kind = "counter";
-    e.value = c->value();
-    snap.entries.push_back(std::move(e));
+    snap.entries.push_back(ScalarEntry(name, "counter", c->value()));
   }
   for (const auto& [name, g] : gauge_by_name_) {
-    MetricsSnapshotEntry e;
-    e.name = name;
-    e.kind = "gauge";
-    e.value = g->value();
-    snap.entries.push_back(std::move(e));
+    snap.entries.push_back(ScalarEntry(name, "gauge", g->value()));
   }
   for (const auto& [name, h] : latency_by_name_) {
-    MetricsSnapshotEntry e;
-    e.name = name;
-    e.kind = "latency";
-    LogHistogram hist = h->SnapshotHistogram();
-    e.value = hist.count();
-    e.mean = hist.mean();
-    e.p50 = hist.P50();
-    e.p95 = hist.P95();
-    e.p99 = hist.P99();
-    e.max = hist.max_value();
-    snap.entries.push_back(std::move(e));
+    snap.entries.push_back(LatencyEntry(name, h->SnapshotHistogram()));
   }
-  std::sort(snap.entries.begin(), snap.entries.end(),
-            [](const MetricsSnapshotEntry& a, const MetricsSnapshotEntry& b) {
-              return a.name < b.name;
-            });
+  SortByName(&snap);
+  return snap;
+}
+
+MetricsBaseline MetricsRegistry::CaptureBaseline() const {
+  MetricsBaseline base;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counter_by_name_) {
+    base.counters.emplace(name, c->value());
+  }
+  for (const auto& [name, h] : latency_by_name_) {
+    base.latencies.emplace(name, h->SnapshotHistogram());
+  }
+  return base;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotDelta(
+    const MetricsBaseline& base) const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.entries.reserve(counter_by_name_.size() + gauge_by_name_.size() +
+                       latency_by_name_.size());
+  for (const auto& [name, c] : counter_by_name_) {
+    auto it = base.counters.find(name);
+    const int64_t before = it != base.counters.end() ? it->second : 0;
+    snap.entries.push_back(ScalarEntry(name, "counter", c->value() - before));
+  }
+  // Gauges are levels, not totals: the current value IS the answer.
+  for (const auto& [name, g] : gauge_by_name_) {
+    snap.entries.push_back(ScalarEntry(name, "gauge", g->value()));
+  }
+  for (const auto& [name, h] : latency_by_name_) {
+    LogHistogram hist = h->SnapshotHistogram();
+    auto it = base.latencies.find(name);
+    if (it != base.latencies.end()) hist = hist.DiffSince(it->second);
+    snap.entries.push_back(LatencyEntry(name, hist));
+  }
+  SortByName(&snap);
   return snap;
 }
 
@@ -196,6 +244,12 @@ void LatencyIfEnabled(const char* name, double value) {
   MetricsRegistry& reg = MetricsRegistry::Default();
   if (!reg.enabled()) return;
   reg.GetLatency(name)->Record(value);
+}
+
+void LatencyMergeIfEnabled(const char* name, const LogHistogram& h) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  if (!reg.enabled() || h.count() == 0) return;
+  reg.GetLatency(name)->MergeFrom(h);
 }
 
 }  // namespace obs

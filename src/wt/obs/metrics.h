@@ -14,6 +14,12 @@
 //    dispatches, queue-depth high-water) legitimately varies with worker
 //    count and OS scheduling. Anything scheduling-dependent MUST live
 //    under "sched."; tests diff everything else across worker counts.
+//    "serve."-prefixed request-serving telemetry sits in between: totals
+//    (requests, sweeps executed) are deterministic for a fixed query
+//    sequence, but the cache hit/miss/in-flight-join split of CONCURRENT
+//    identical queries depends on client arrival order and is only
+//    constrained in aggregate (hit + miss + join == requests; sweeps ==
+//    distinct configs).
 //  * Never observed, never paid. The registry starts disabled; every
 //    instrumentation site is a relaxed-load branch when disabled, and
 //    instruments are registered (the only allocating operation) on first
@@ -92,6 +98,14 @@ class LatencyHistogram {
     std::lock_guard<std::mutex> lock(mu_);
     return hist_;
   }
+  /// Merges a locally accumulated histogram in one locked operation —
+  /// cheaper than per-value Record() from a loop, and the idiom for sites
+  /// (ResourceQueue) that aggregate privately and flush once at the end.
+  /// `other` must use the default sub-bucket resolution (32).
+  void MergeFrom(const LogHistogram& other) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Merge(other);
+  }
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     hist_.Clear();
@@ -125,6 +139,17 @@ struct MetricsSnapshot {
   const MetricsSnapshotEntry* Find(const std::string& name) const;
 };
 
+/// Point-in-time copy of every instrument's accumulated state, captured by
+/// MetricsRegistry::CaptureBaseline(). Diff a later state against it with
+/// SnapshotDelta() to isolate one operation's metrics from everything the
+/// process did before — the serve layer reports per-query cache stats this
+/// way instead of process-lifetime aggregates. Gauges are levels, not
+/// totals, so baselines don't copy them.
+struct MetricsBaseline {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, LogHistogram> latencies;
+};
+
 /// Registry of named instruments. Registration is mutex-guarded and
 /// allocates; returned pointers are stable until the registry dies, so
 /// call sites register once and update lock-free afterwards.
@@ -150,6 +175,18 @@ class MetricsRegistry {
 
   /// Exports every instrument, sorted by name.
   MetricsSnapshot Snapshot() const;
+
+  /// Copies every counter value and latency histogram for a later
+  /// SnapshotDelta(). Cheap relative to a query: one map copy under the
+  /// registration lock.
+  MetricsBaseline CaptureBaseline() const;
+
+  /// Snapshot of activity since `base`: counters report value − baseline
+  /// and latency entries summarize only values recorded since the baseline
+  /// (LogHistogram::DiffSince). Gauges report their current level
+  /// unchanged. Instruments registered after the baseline diff against
+  /// zero/empty. Undefined if ResetValues() ran between capture and diff.
+  MetricsSnapshot SnapshotDelta(const MetricsBaseline& base) const;
 
   /// Zeroes every instrument (registration survives). For tests comparing
   /// runs back-to-back.
@@ -178,6 +215,9 @@ void CountIfEnabled(const char* name, int64_t delta);
 void GaugeSetIfEnabled(const char* name, int64_t value);
 void GaugeMaxIfEnabled(const char* name, int64_t value);
 void LatencyIfEnabled(const char* name, double value);
+/// Merges a locally accumulated histogram into latency instrument `name`.
+/// No-op when disabled or when `h` is empty.
+void LatencyMergeIfEnabled(const char* name, const LogHistogram& h);
 
 }  // namespace obs
 }  // namespace wt

@@ -37,29 +37,71 @@ std::string QueryProfile::ToText() const {
   return out;
 }
 
-Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
-                                 const std::string& table_name) {
+Result<DesignSpace> BuildQuerySpace(const QuerySpec& spec) {
   if (spec.dimensions.empty()) {
     return Status::InvalidArgument("query explores no dimensions");
   }
+  // Fixed parameters become single-candidate dimensions so they show up in
+  // result tables and reach the RunFn uniformly.
+  DesignSpace space;
+  for (const Dimension& d : spec.dimensions) {
+    WT_RETURN_IF_ERROR(space.AddDimension(d.name, d.candidates));
+  }
+  for (const auto& [name, value] : spec.params) {
+    WT_RETURN_IF_ERROR(space.AddDimension(name, {value}));
+  }
+  return space;
+}
+
+Result<Table> PostprocessSweepTable(const Table& stored, const QuerySpec& spec,
+                                    QueryProfile* profile) {
+  // Keep rows that completed and met every constraint; with no WHERE
+  // clause, keep all completed rows.
+  int64_t t0 = obs::WallMicros();
+  Table satisfying = [&] {
+    WT_TRACE_SCOPE("query", "filter");
+    return stored.Filter([&](const Table& t, size_t row) {
+      auto status = t.Get(row, "status");
+      if (!status.ok() || status.value().AsString() != "completed") {
+        return false;
+      }
+      if (spec.constraints.empty()) return true;
+      auto ok = t.Get(row, "sla_ok");
+      return ok.ok() && ok.value().type() == ValueType::kBool &&
+             ok.value().AsBool();
+    });
+  }();
+  if (profile != nullptr) profile->filter_us = MicrosSince(t0);
+
+  t0 = obs::WallMicros();
+  {
+    WT_TRACE_SCOPE("query", "order");
+    if (!spec.order_by.empty()) {
+      WT_ASSIGN_OR_RETURN(satisfying,
+                          satisfying.SortBy(spec.order_by,
+                                            spec.order_ascending));
+    }
+    if (spec.limit >= 0) {
+      satisfying = satisfying.Head(static_cast<size_t>(spec.limit));
+    }
+  }
+  if (profile != nullptr) profile->order_us = MicrosSince(t0);
+  return satisfying;
+}
+
+Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
+                                 const std::string& table_name) {
   WT_TRACE_SCOPE("query", "execute");
   const int64_t t_total = obs::WallMicros();
   WT_ASSIGN_OR_RETURN(RunFn fn, tunnel->GetSimulation(spec.simulation));
 
   QueryResult result;
 
-  // Fixed parameters become single-candidate dimensions so they show up in
-  // result tables and reach the RunFn uniformly.
   int64_t t0 = obs::WallMicros();
   DesignSpace space;
   {
     WT_TRACE_SCOPE("query", "plan");
-    for (const Dimension& d : spec.dimensions) {
-      WT_RETURN_IF_ERROR(space.AddDimension(d.name, d.candidates));
-    }
-    for (const auto& [name, value] : spec.params) {
-      WT_RETURN_IF_ERROR(space.AddDimension(name, {value}));
-    }
+    WT_ASSIGN_OR_RETURN(space, BuildQuerySpace(spec));
   }
   result.profile.plan_us = MicrosSince(t0);
 
@@ -78,37 +120,9 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
 
   WT_ASSIGN_OR_RETURN(const Table* stored,
                       tunnel->store().GetTableConst(table));
-  // Keep rows that completed and met every constraint; with no WHERE
-  // clause, keep all completed rows.
-  t0 = obs::WallMicros();
-  Table satisfying = [&] {
-    WT_TRACE_SCOPE("query", "filter");
-    return stored->Filter([&](const Table& t, size_t row) {
-      auto status = t.Get(row, "status");
-      if (!status.ok() || status.value().AsString() != "completed") {
-        return false;
-      }
-      if (spec.constraints.empty()) return true;
-      auto ok = t.Get(row, "sla_ok");
-      return ok.ok() && ok.value().type() == ValueType::kBool &&
-             ok.value().AsBool();
-    });
-  }();
-  result.profile.filter_us = MicrosSince(t0);
-
-  t0 = obs::WallMicros();
-  {
-    WT_TRACE_SCOPE("query", "order");
-    if (!spec.order_by.empty()) {
-      WT_ASSIGN_OR_RETURN(satisfying,
-                          satisfying.SortBy(spec.order_by,
-                                            spec.order_ascending));
-    }
-    if (spec.limit >= 0) {
-      satisfying = satisfying.Head(static_cast<size_t>(spec.limit));
-    }
-  }
-  result.profile.order_us = MicrosSince(t0);
+  WT_ASSIGN_OR_RETURN(
+      Table satisfying,
+      PostprocessSweepTable(*stored, spec, &result.profile));
   result.satisfying = std::move(satisfying);
   result.profile.total_us = MicrosSince(t_total);
   return result;

@@ -37,6 +37,21 @@ struct QueryResult {
   QueryProfile profile;
 };
 
+/// Builds the design space a query sweeps: the explored dimensions plus
+/// every fixed parameter as a single-candidate dimension, so fixed values
+/// show up in result tables and reach the RunFn uniformly.
+[[nodiscard]] Result<DesignSpace> BuildQuerySpace(const QuerySpec& spec);
+
+/// Applies the post-sweep stages of `spec` — the completed/SLA row filter,
+/// ORDER BY, LIMIT — to a stored sweep table. A pure function of
+/// (stored, spec): the serve-layer cache-hit path and the cold path both
+/// call this, which is what makes a cached answer byte-identical to a
+/// freshly simulated one. Stage timings are added to `profile` when
+/// non-null.
+[[nodiscard]] Result<Table> PostprocessSweepTable(const Table& stored,
+                                                  const QuerySpec& spec,
+                                                  QueryProfile* profile);
+
 /// Executes `spec` against `tunnel`'s simulation registry. The sweep's raw
 /// rows are stored in the tunnel's ResultStore under a generated table name
 /// (returned in QueryResult::sweep_table); pass `table_name` to control it.

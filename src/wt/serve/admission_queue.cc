@@ -1,0 +1,67 @@
+#include "wt/serve/admission_queue.h"
+
+#include <utility>
+
+#include "wt/common/macros.h"
+
+namespace wt {
+namespace serve {
+
+AdmissionQueue::AdmissionQueue(int max_inflight)
+    : max_inflight_(max_inflight) {
+  WT_CHECK(max_inflight >= 1);
+}
+
+AdmissionQueue::Outcome AdmissionQueue::RunOrJoin(
+    const std::string& key, const std::function<Status()>& compute) {
+  std::shared_ptr<Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      // Follower: share the leader's flight. No admission slot needed.
+      flight = it->second;
+      flight->cv.wait(lock, [&] { return flight->done; });
+      return Outcome{flight->status, /*joined=*/true};
+    }
+    // Leader: register the flight first (so duplicates arriving while we
+    // queue for a slot coalesce onto it), then wait for admission. Tickets
+    // are admitted strictly in arrival order, up to max_inflight_ at once.
+    flight = std::make_shared<Flight>();
+    flights_.emplace(key, flight);
+    const uint64_t ticket = next_ticket_++;
+    slot_cv_.wait(lock, [&] {
+      return serving_ == ticket && inflight_ < max_inflight_;
+    });
+    ++serving_;
+    ++inflight_;
+    // Advancing serving_ may make the NEXT ticket's predicate true while
+    // capacity remains; it is blocked on slot_cv_, so wake it here — the
+    // completion-time notify alone would stall a second leader until the
+    // first finished even with free slots.
+    slot_cv_.notify_all();
+  }
+  // Compute outside the lock: followers for OTHER keys keep joining, and
+  // up to max_inflight_-1 other leaders keep computing.
+  Status status = compute();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flight->status = status;
+    flight->done = true;
+    flights_.erase(key);
+    --inflight_;
+  }
+  // notify_all: every follower of this flight wakes; the slot notify wakes
+  // the next queued ticket (its predicate re-checks order and capacity).
+  flight->cv.notify_all();
+  slot_cv_.notify_all();
+  return Outcome{std::move(status), /*joined=*/false};
+}
+
+int AdmissionQueue::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace serve
+}  // namespace wt

@@ -1,0 +1,81 @@
+// AdmissionQueue: bounds concurrent sweep work and coalesces duplicate
+// requests (DESIGN.md §8).
+//
+// Two policies in one gate:
+//  * single-flight — concurrent callers with the same key run the compute
+//    callback exactly once; the winner ("leader") executes it, everyone
+//    else ("followers") blocks on the leader's flight and shares its
+//    Status. This is what turns N identical concurrent EXPLORE queries
+//    into one sweep.
+//  * bounded FIFO admission — at most `max_inflight` leaders compute at
+//    once; further leaders queue on a ticket and are admitted strictly in
+//    arrival order (no barging), so a burst of distinct queries degrades
+//    to an orderly queue instead of oversubscribing the host. Followers
+//    never take a slot: joining an existing flight is free.
+//
+// The queue knows nothing about sweeps or caches; the serve layer passes a
+// callback that re-checks the SweepCache and runs the sweep on miss.
+
+#ifndef WT_SERVE_ADMISSION_QUEUE_H_
+#define WT_SERVE_ADMISSION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "wt/common/status.h"
+
+namespace wt {
+namespace serve {
+
+/// See the file comment. One instance per Server.
+class AdmissionQueue {
+ public:
+  /// `max_inflight` >= 1: concurrent compute callbacks allowed.
+  explicit AdmissionQueue(int max_inflight);
+
+  /// How a RunOrJoin call was satisfied.
+  struct Outcome {
+    /// The compute callback's result (shared by leader and followers).
+    Status status;
+    /// True when this caller joined another caller's in-flight compute
+    /// instead of running its own.
+    bool joined = false;
+  };
+
+  /// Runs `compute` for `key`, deduplicating against concurrent callers
+  /// with the same key. Blocks until a result is available: leaders wait
+  /// for an admission slot then compute; followers wait for the leader.
+  /// Callers that arrive after a flight completed start a new one — the
+  /// serve layer's compute callback re-checks its cache, so a late flight
+  /// costs a lookup, not a sweep.
+  Outcome RunOrJoin(const std::string& key,
+                    const std::function<Status()>& compute);
+
+  /// Leaders currently computing (for stats text; racy by nature).
+  int inflight() const;
+
+ private:
+  struct Flight {
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;
+  const int max_inflight_;
+  int inflight_ = 0;
+  uint64_t next_ticket_ = 0;  // next ticket to hand out
+  uint64_t serving_ = 0;      // lowest not-yet-admitted ticket
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace serve
+}  // namespace wt
+
+#endif  // WT_SERVE_ADMISSION_QUEUE_H_

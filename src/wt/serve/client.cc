@@ -1,0 +1,60 @@
+#include "wt/serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "wt/common/string_util.h"
+
+namespace wt {
+namespace serve {
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(StrFormat("connect %s: %s", socket_path.c_str(),
+                                      std::strerror(err)));
+  }
+  return Client(fd);
+}
+
+Result<Client::Reply> Client::RoundTrip(const Frame& request) {
+  if (stream_ == nullptr) {
+    return Status::FailedPrecondition("client is closed");
+  }
+  WT_RETURN_IF_ERROR(WriteFrame(stream_.get(), request));
+  WT_ASSIGN_OR_RETURN(Frame frame, ReadFrame(stream_.get()));
+  return Reply{std::move(frame.header), std::move(frame.payload)};
+}
+
+Result<Client::Reply> Client::Query(const std::string& text) {
+  return RoundTrip(Frame{"query", text});
+}
+
+Result<Client::Reply> Client::Stats() {
+  return RoundTrip(Frame{"stats", ""});
+}
+
+void Client::Close() {
+  if (stream_ == nullptr) return;
+  ::close(stream_->fd());
+  stream_.reset();
+}
+
+}  // namespace serve
+}  // namespace wt

@@ -1,0 +1,59 @@
+// Client for the serve wire protocol: connect to a Server's AF_UNIX
+// socket, send query/stats frames, read reply frames. Blocking,
+// single-connection; used by wtq --connect and the serve benchmarks.
+
+#ifndef WT_SERVE_CLIENT_H_
+#define WT_SERVE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "wt/common/result.h"
+#include "wt/serve/wire.h"
+
+namespace wt {
+namespace serve {
+
+/// One connected client. Movable; the connection closes when the last
+/// owner dies.
+class Client {
+ public:
+  /// Connects to the server socket at `socket_path`.
+  [[nodiscard]] static Result<Client> Connect(const std::string& socket_path);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+  ~Client() { Close(); }
+
+  /// A parsed server response: the header line ("ok ..." or "err ...")
+  /// and the payload (CSV rows / stats text).
+  struct Reply {
+    std::string header;
+    std::string payload;
+    /// True when the server answered "ok ...".
+    bool ok() const { return header.rfind("ok", 0) == 0; }
+  };
+
+  /// Sends `text` as a "query" frame and reads the reply. A Reply with an
+  /// "err" header is still a successful round trip — the error is the
+  /// server's, carried in the header.
+  [[nodiscard]] Result<Reply> Query(const std::string& text);
+
+  /// Requests the server's cache statistics.
+  [[nodiscard]] Result<Reply> Stats();
+
+  /// Closes the connection (idempotent).
+  void Close();
+
+ private:
+  explicit Client(int fd) : stream_(std::make_unique<FdStream>(fd)) {}
+
+  [[nodiscard]] Result<Reply> RoundTrip(const Frame& request);
+
+  std::unique_ptr<FdStream> stream_;
+};
+
+}  // namespace serve
+}  // namespace wt
+
+#endif  // WT_SERVE_CLIENT_H_

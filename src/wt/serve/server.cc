@@ -1,0 +1,305 @@
+#include "wt/serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "wt/common/string_util.h"
+#include "wt/obs/manifest.h"
+#include "wt/obs/metrics.h"
+#include "wt/obs/wallclock.h"
+#include "wt/query/parser.h"
+#include "wt/sim/random.h"
+
+namespace wt {
+namespace serve {
+
+namespace {
+
+// One-line rendering for wire error headers (headers are a single line).
+std::string Flatten(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* CacheOutcomeToString(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kJoin:
+      return "join";
+  }
+  return "unknown";
+}
+
+Server::Server(WindTunnel* tunnel, ServerOptions options)
+    : tunnel_(tunnel),
+      options_(options),
+      admission_(options.max_inflight_sweeps) {}
+
+Server::~Server() { Shutdown(); }
+
+std::string Server::CacheKeyFor(const QuerySpec& spec,
+                                const DesignSpace& space,
+                                std::string* config_hash) const {
+  *config_hash = SweepConfigHash(space.AllPoints(), spec.constraints);
+  // Everything that can change a byte of the stored sweep table goes into
+  // the identity string; post-processing (ORDER BY / LIMIT) does not.
+  std::string id = *config_hash;
+  id += StrFormat("\nseed=%llu",
+                  static_cast<unsigned long long>(options_.seed));
+  id += "\nsim=" + spec.simulation;
+  for (const MonotoneHint& h : spec.hints) {
+    id += "\nhint=" + h.dimension;
+    id += h.direction == MonotoneDirection::kHigherIsBetter ? "+" : "-";
+  }
+  id += StrFormat("\nreplications=%d", options_.replications);
+  id += StrFormat("\npruning=%d", options_.enable_pruning ? 1 : 0);
+  return StrFormat("%016llx",
+                   static_cast<unsigned long long>(Fnv1a64(id)));
+}
+
+Status Server::ColdSweep(const std::string& key,
+                         const std::string& config_hash,
+                         const DesignSpace& space, const RunFn& fn,
+                         const QuerySpec& spec) {
+  SweepOptions opts;
+  opts.num_workers = options_.num_workers;
+  opts.seed = options_.seed;
+  opts.enable_pruning = options_.enable_pruning;
+  opts.replications = options_.replications;
+  // Private orchestrator: concurrent cold sweeps never share engine state
+  // (the tunnel's own orchestrator keeps per-sweep stats).
+  RunOrchestrator orch(opts);
+  WT_ASSIGN_OR_RETURN(std::vector<RunRecord> records,
+                      orch.Sweep(space, fn, spec.constraints, spec.hints));
+  obs::CountIfEnabled("serve.sweeps", 1);
+
+  const std::string table = "serve_" + key;
+  if (!tunnel_->store().HasTable(table)) {
+    WT_ASSIGN_OR_RETURN(Table built, BuildRunRecordTable(space, records));
+    WT_RETURN_IF_ERROR(tunnel_->store().PublishTable(table,
+                                                     std::move(built)));
+    if (!records.empty() && records.front().manifest != nullptr) {
+      WT_RETURN_IF_ERROR(
+          obs::StoreManifest(&tunnel_->store(), obs::ManifestTableName(table),
+                             *records.front().manifest));
+    }
+  }
+  cache_.Insert(key, CachedSweep{table, config_hash, orch.last_stats()});
+  return Status::OK();
+}
+
+Result<ServeReply> Server::ServeSpec(const QuerySpec& spec) {
+  const int64_t t0 = obs::WallMicros();
+  obs::CountIfEnabled("serve.requests", 1);
+  WT_ASSIGN_OR_RETURN(RunFn fn, tunnel_->GetSimulation(spec.simulation));
+  WT_ASSIGN_OR_RETURN(DesignSpace space, BuildQuerySpace(spec));
+  std::string config_hash;
+  const std::string key = CacheKeyFor(spec, space, &config_hash);
+
+  CacheOutcome outcome = CacheOutcome::kHit;
+  const CachedSweep* entry = cache_.Lookup(key);
+  if (entry == nullptr) {
+    AdmissionQueue::Outcome adm =
+        admission_.RunOrJoin(key, [&]() -> Status {
+          // Double-check under single-flight: a flight that queued behind
+          // an identical one finds the entry and costs only this lookup.
+          if (cache_.Lookup(key) != nullptr) return Status::OK();
+          return ColdSweep(key, config_hash, space, fn, spec);
+        });
+    WT_RETURN_IF_ERROR(adm.status);
+    outcome = adm.joined ? CacheOutcome::kJoin : CacheOutcome::kMiss;
+    entry = cache_.Lookup(key);
+    if (entry == nullptr) {
+      return Status::Internal("sweep completed but cache entry is missing");
+    }
+  }
+
+  // Shared post-processing over the immutable stored table — the step that
+  // makes every outcome byte-identical to a cold ExecuteQuery.
+  WT_ASSIGN_OR_RETURN(const Table* stored,
+                      tunnel_->store().GetTableConst(entry->table));
+  WT_ASSIGN_OR_RETURN(Table satisfying,
+                      PostprocessSweepTable(*stored, spec, nullptr));
+
+  ServeReply reply;
+  reply.csv = satisfying.ToCsv();
+  reply.rows = satisfying.num_rows();
+  reply.sweep_table = entry->table;
+  reply.stats = entry->stats;
+  reply.cache = outcome;
+  reply.wall_us = obs::WallMicros() - t0;
+  switch (outcome) {
+    case CacheOutcome::kHit:
+      obs::CountIfEnabled("serve.cache.hit", 1);
+      obs::LatencyIfEnabled("serve.hit.wall_us",
+                            static_cast<double>(reply.wall_us));
+      break;
+    case CacheOutcome::kMiss:
+      obs::CountIfEnabled("serve.cache.miss", 1);
+      obs::LatencyIfEnabled("serve.miss.wall_us",
+                            static_cast<double>(reply.wall_us));
+      break;
+    case CacheOutcome::kJoin:
+      obs::CountIfEnabled("serve.cache.inflight_join", 1);
+      obs::LatencyIfEnabled("serve.join.wall_us",
+                            static_cast<double>(reply.wall_us));
+      break;
+  }
+  obs::LatencyIfEnabled("serve.request.wall_us",
+                        static_cast<double>(reply.wall_us));
+  return reply;
+}
+
+Result<ServeReply> Server::Serve(const std::string& query_text) {
+  WT_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(query_text));
+  return ServeSpec(spec);
+}
+
+Frame Server::HandleFrame(const Frame& request) {
+  const std::string_view header = StrTrim(request.header);
+  if (header == "query") {
+    Result<ServeReply> reply = Serve(request.payload);
+    if (!reply.ok()) {
+      return Frame{"err " + Flatten(reply.status().ToString()), ""};
+    }
+    return Frame{StrFormat("ok %s %zu %lld",
+                           CacheOutcomeToString(reply->cache), reply->rows,
+                           static_cast<long long>(reply->wall_us)),
+                 reply->csv};
+  }
+  if (header == "stats") {
+    return Frame{"ok stats", CacheStatsText()};
+  }
+  return Frame{"err unknown request '" + Flatten(request.header) + "'", ""};
+}
+
+std::string Server::CacheStatsText() const {
+  std::string out = StrFormat("cache entries        %zu\n", cache_.size());
+  out += StrFormat("in-flight sweeps     %d\n", admission_.inflight());
+  if (!obs::MetricsEnabled()) {
+    out += "(enable the metrics registry for serve.* counters)\n";
+    return out;
+  }
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Default().Snapshot();
+  for (const obs::MetricsSnapshotEntry& e : snap.entries) {
+    if (!e.name.starts_with("serve.")) continue;
+    if (e.kind == "latency") {
+      out += StrFormat("%-20s n=%lld p50=%.0f p95=%.0f max=%.0f\n",
+                       e.name.c_str(), static_cast<long long>(e.value),
+                       e.p50, e.p95, e.max);
+    } else {
+      out += StrFormat("%-20s %lld\n", e.name.c_str(),
+                       static_cast<long long>(e.value));
+    }
+  }
+  return out;
+}
+
+Status Server::Listen(const std::string& socket_path) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server is already listening");
+  }
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  ::unlink(socket_path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(StrFormat("bind %s: %s", socket_path.c_str(),
+                                      std::strerror(err)));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal(std::string("listen: ") + std::strerror(err));
+  }
+  listen_fd_ = fd;
+  socket_path_ = socket_path;
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR && !shutting_down_.load()) continue;
+      return;  // shutdown(listen_fd_) or a fatal error: stop accepting
+    }
+    if (shutting_down_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back(&Server::ConnectionLoop, this, fd);
+  }
+}
+
+void Server::ConnectionLoop(int fd) {
+  FdStream stream(fd);
+  for (;;) {
+    Result<Frame> request = ReadFrame(&stream);
+    if (!request.ok()) break;  // EOF or I/O error: client is done
+    const Frame reply = HandleFrame(*request);
+    if (!WriteFrame(&stream, reply).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void Server::Shutdown() {
+  if (shutting_down_.exchange(true)) {
+    // Second caller (e.g. the destructor after an explicit Shutdown):
+    // everything below already ran.
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Wakes the blocked accept() with an error; the loop then exits.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers.swap(conn_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+}
+
+}  // namespace serve
+}  // namespace wt

@@ -1,0 +1,32 @@
+#include "wt/serve/sweep_cache.h"
+
+#include <mutex>
+#include <utility>
+
+namespace wt {
+namespace serve {
+
+const CachedSweep* SweepCache::Lookup(const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CachedSweep* SweepCache::Insert(const std::string& key,
+                                      CachedSweep value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // emplace keeps an existing entry: concurrent duplicate inserts (which
+  // single-flight admission already prevents) would both name the same
+  // deterministic sweep anyway.
+  auto [it, inserted] = entries_.emplace(key, std::move(value));
+  (void)inserted;
+  return &it->second;
+}
+
+size_t SweepCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace serve
+}  // namespace wt

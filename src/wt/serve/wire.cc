@@ -1,0 +1,92 @@
+#include "wt/serve/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wt {
+namespace serve {
+
+namespace {
+constexpr size_t kReadChunk = 4096;
+}  // namespace
+
+Result<std::string> FdStream::ReadLine() {
+  for (;;) {
+    const size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      // Compact occasionally so a long-lived connection doesn't grow the
+      // buffer without bound.
+      if (pos_ > kReadChunk) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[kReadChunk];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Aborted("connection closed");
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+Status FdStream::WriteAll(const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(std::string("write: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out = frame.header;
+  out += '\n';
+  size_t start = 0;
+  while (start < frame.payload.size()) {
+    size_t end = frame.payload.find('\n', start);
+    if (end == std::string::npos) end = frame.payload.size();
+    if (frame.payload[start] == '.') out += '.';  // dot-stuffing
+    out.append(frame.payload, start, end - start);
+    out += '\n';
+    start = end + 1;
+  }
+  out += ".\n";
+  return out;
+}
+
+Status WriteFrame(FdStream* stream, const Frame& frame) {
+  return stream->WriteAll(EncodeFrame(frame));
+}
+
+Result<Frame> ReadFrame(FdStream* stream) {
+  Frame frame;
+  WT_ASSIGN_OR_RETURN(frame.header, stream->ReadLine());
+  for (;;) {
+    // Spelled out (no WT_ASSIGN_OR_RETURN): the macro's moved-from string
+    // trips GCC 12's -Werror=maybe-uninitialized here.
+    Result<std::string> line = stream->ReadLine();
+    if (!line.ok()) return line.status();
+    if (*line == ".") return frame;
+    const bool stuffed = !line->empty() && (*line)[0] == '.';
+    frame.payload.append(*line, stuffed ? 1 : 0, std::string::npos);
+    frame.payload += '\n';
+  }
+}
+
+}  // namespace serve
+}  // namespace wt

@@ -1,0 +1,77 @@
+// Wire protocol of the serve layer: line-delimited frames over a local
+// stream socket (DESIGN.md §8).
+//
+// A frame is one header line followed by a dot-stuffed payload and a lone
+// "." terminator line (the SMTP convention: payload lines beginning with
+// '.' are sent with an extra '.' prepended, so the terminator can never be
+// forged by data):
+//
+//   <header>\n
+//   <payload line 1, '.'-stuffed>\n
+//   ...
+//   .\n
+//
+// Requests:  header "query" with the query text as payload, or "stats"
+//            with an empty payload.
+// Responses: header "ok <cache> <rows> <wall_us>" with the satisfying rows
+//            as CSV payload (cache is hit|miss|join), "ok stats" with the
+//            cache statistics as payload, or "err <message>" with an empty
+//            payload.
+//
+// Everything is blocking POSIX I/O: the server runs one thread per
+// connection, and queries are latency-bound on simulation work, not on
+// connection counts.
+
+#ifndef WT_SERVE_WIRE_H_
+#define WT_SERVE_WIRE_H_
+
+#include <string>
+
+#include "wt/common/result.h"
+
+namespace wt {
+namespace serve {
+
+/// One protocol frame: a header line plus a line-oriented payload.
+/// Payloads are canonically newline-terminated; a missing final newline is
+/// added on decode (the payload is a sequence of lines, not raw bytes).
+struct Frame {
+  std::string header;
+  std::string payload;
+};
+
+/// Buffered line I/O over a connected socket (or pipe) fd. Does not own
+/// the fd: the creator closes it after the stream dies.
+class FdStream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+
+  /// Next line, without its trailing newline (a trailing '\r' is stripped
+  /// too). Aborted on EOF, Internal on I/O errors.
+  [[nodiscard]] Result<std::string> ReadLine();
+
+  /// Writes all of `data`, looping over partial writes.
+  [[nodiscard]] Status WriteAll(const std::string& data);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+/// Renders `frame` as protocol bytes (header, stuffed payload, ".").
+std::string EncodeFrame(const Frame& frame);
+
+/// Encodes and writes `frame` in one WriteAll.
+[[nodiscard]] Status WriteFrame(FdStream* stream, const Frame& frame);
+
+/// Reads one frame: header line, payload lines until the "." terminator.
+/// Aborted when the peer closed before a complete frame arrived.
+[[nodiscard]] Result<Frame> ReadFrame(FdStream* stream);
+
+}  // namespace serve
+}  // namespace wt
+
+#endif  // WT_SERVE_WIRE_H_

@@ -75,6 +75,32 @@ void LogHistogram::Merge(const LogHistogram& other) {
   sum_ += other.sum_;
 }
 
+LogHistogram LogHistogram::DiffSince(const LogHistogram& base) const {
+  WT_CHECK(sub_buckets_ == base.sub_buckets_)
+      << "diffing histograms with different resolutions";
+  WT_CHECK(count_ >= base.count_) << "base is not a prefix of this histogram";
+  LogHistogram out(sub_buckets_);
+  if (count_ == base.count_) return out;
+  int first = -1;
+  int last = -1;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const int64_t d = buckets_[i] - base.buckets_[i];
+    WT_CHECK(d >= 0) << "base is not a prefix of this histogram";
+    out.buckets_[i] = d;
+    if (d > 0) {
+      if (first < 0) first = static_cast<int>(i);
+      last = static_cast<int>(i);
+    }
+  }
+  out.count_ = count_ - base.count_;
+  out.sum_ = std::max(0.0, sum_ - base.sum_);
+  // Bucket-resolution extremes, clamped to the parent's observed range so
+  // they never exceed anything actually recorded.
+  out.min_ = std::clamp(out.BucketMid(first), min_, max_);
+  out.max_ = std::clamp(out.BucketMid(last), min_, max_);
+  return out;
+}
+
 double LogHistogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -30,6 +30,14 @@ class LogHistogram {
   /// Merges another histogram with the same sub-bucket count.
   void Merge(const LogHistogram& other);
 
+  /// Bucket-wise difference `this - base`, where `base` is an earlier copy
+  /// of this histogram (same sub-bucket count, no Clear() between the copy
+  /// and now): the histogram of values added since `base` was captured.
+  /// Count/sum/quantiles of the delta are exact; min/max are
+  /// bucket-resolution approximations (the exact extremes of just the new
+  /// values are not recoverable from bucket counts).
+  LogHistogram DiffSince(const LogHistogram& base) const;
+
   int64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }

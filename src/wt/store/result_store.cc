@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "wt/common/macros.h"
 
 namespace wt {
 
 Status ResultStore::CreateTable(const std::string& name, Schema schema) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table exists: '" + name + "'");
   }
@@ -15,11 +17,27 @@ Status ResultStore::CreateTable(const std::string& name, Schema schema) {
   return Status::OK();
 }
 
+Status ResultStore::PublishTable(const std::string& name, Table table) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: '" + name + "'");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+const Table* ResultStore::FindTableLocked(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
 bool ResultStore::HasTable(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return tables_.count(name) > 0;
 }
 
 Result<Table*> ResultStore::GetTable(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no such table: '" + name + "'");
@@ -29,14 +47,16 @@ Result<Table*> ResultStore::GetTable(const std::string& name) {
 
 Result<const Table*> ResultStore::GetTableConst(
     const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Table* t = FindTableLocked(name);
+  if (t == nullptr) {
     return Status::NotFound("no such table: '" + name + "'");
   }
-  return &it->second;
+  return t;
 }
 
 std::vector<std::string> ResultStore::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -46,7 +66,14 @@ std::vector<std::string> ResultStore::TableNames() const {
 Result<std::vector<size_t>> ResultStore::FindSimilar(
     const std::string& table, const std::map<std::string, Value>& target,
     const std::vector<std::string>& dimensions, size_t k) const {
-  WT_ASSIGN_OR_RETURN(const Table* t, GetTableConst(table));
+  // One shared-lock hold for the whole scan: the table pointer must stay
+  // valid across it, and std::shared_mutex is not recursive, so the lookup
+  // goes through FindTableLocked rather than GetTableConst.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Table* t = FindTableLocked(table);
+  if (t == nullptr) {
+    return Status::NotFound("no such table: '" + table + "'");
+  }
 
   // Per-dimension normalization stats (for numeric dimensions).
   struct DimInfo {

@@ -5,11 +5,27 @@
 // the two exploratory questions the paper calls out: "have we already
 // explored a configuration similar to X?" (similarity search over numeric
 // dimensions) and aggregate pattern queries (via Table's operators).
+//
+// Concurrency (DESIGN.md §8 "Serving architecture"): the store is the one
+// structure shared between concurrent serve requests, so it follows a
+// copy-on-publish discipline —
+//  * tables are built privately and inserted complete via PublishTable()
+//    under the exclusive lock; readers never observe a half-filled table;
+//  * published tables are immutable: nothing in the library mutates a table
+//    after publication, so handing out raw `const Table*` under a shared
+//    lock is safe (std::map nodes give the pointers stable addresses);
+//  * GetTable() (mutable access) exists for single-threaded construction
+//    paths — persistence loading, tests — and must not be used while other
+//    threads read the store.
+// All read entry points (HasTable, GetTableConst, TableNames, FindSimilar)
+// take the shared lock, so any number of serve requests read concurrently
+// with at most one publisher blocked behind them.
 
 #ifndef WT_STORE_RESULT_STORE_H_
 #define WT_STORE_RESULT_STORE_H_
 
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -17,16 +33,23 @@
 
 namespace wt {
 
-/// A named collection of result tables.
+/// A named collection of result tables. Reads are thread-safe (shared
+/// lock); publication is atomic (exclusive lock).
 class ResultStore {
  public:
   /// Creates an empty table; fails if the name exists.
   [[nodiscard]] Status CreateTable(const std::string& name, Schema schema);
 
+  /// Atomically inserts a fully-built table; fails if the name exists.
+  /// This is the copy-on-publish point: build privately, publish once,
+  /// complete. Concurrent readers see either no table or the whole table.
+  [[nodiscard]] Status PublishTable(const std::string& name, Table table);
+
   /// True if a table with this name exists.
   bool HasTable(const std::string& name) const;
 
-  /// Mutable access; fails if absent.
+  /// Mutable access; fails if absent. Single-threaded phases only (see the
+  /// concurrency rules above) — serve paths use PublishTable + GetTableConst.
   [[nodiscard]] Result<Table*> GetTable(const std::string& name);
   [[nodiscard]] Result<const Table*> GetTableConst(const std::string& name) const;
 
@@ -43,6 +66,10 @@ class ResultStore {
       const std::vector<std::string>& dimensions, size_t k) const;
 
  private:
+  // Lookup without locking; callers hold mu_ in at least shared mode.
+  const Table* FindTableLocked(const std::string& name) const;
+
+  mutable std::shared_mutex mu_;
   std::map<std::string, Table> tables_;
 };
 

@@ -19,6 +19,7 @@ ResourceQueue::~ResourceQueue() {
   obs::CountIfEnabled("rq.jobs_completed", completed_);
   obs::GaugeMaxIfEnabled("rq.queue_len_high_water",
                          static_cast<int64_t>(waiting_hw_));
+  obs::LatencyMergeIfEnabled("rq.wait_ms", wait_hist_);
 }
 
 void ResourceQueue::RecordState() {
@@ -29,7 +30,7 @@ void ResourceQueue::RecordState() {
 
 void ResourceQueue::Submit(double service_seconds, InlineFn on_done) {
   WT_CHECK(service_seconds >= 0);
-  Job job{service_seconds, std::move(on_done)};
+  Job job{service_seconds, std::move(on_done), sim_->Now().seconds()};
   if (busy_ < servers_) {
     Dispatch(std::move(job));
   } else {
@@ -41,6 +42,11 @@ void ResourceQueue::Submit(double service_seconds, InlineFn on_done) {
 
 void ResourceQueue::Dispatch(Job job) {
   ++busy_;
+  if (obs::MetricsEnabled()) {
+    // Simulated-time wait, aggregated locally and merged at destruction:
+    // the registry mutex is never taken on the per-job path.
+    wait_hist_.Add((sim_->Now().seconds() - job.enqueue_seconds) * 1e3);
+  }
   double effective = job.service_seconds / perf_factor_;
   sim_->Schedule(SimTime::Seconds(effective),
                  [this, done = std::move(job.on_done)]() mutable {

@@ -10,6 +10,7 @@
 
 #include "wt/common/inline_fn.h"
 #include "wt/sim/simulator.h"
+#include "wt/stats/histogram.h"
 #include "wt/stats/time_weighted.h"
 
 namespace wt {
@@ -20,9 +21,11 @@ namespace wt {
 class ResourceQueue {
  public:
   ResourceQueue(Simulator* sim, int servers, std::string name);
-  /// Flushes service totals (jobs completed, queue-length high water) into
-  /// the process metrics registry when enabled — a cold-path branch; the
-  /// per-job path is untouched and stays allocation-free.
+  /// Flushes service totals (jobs completed, queue-length high water) and
+  /// the per-job wait-time histogram ("rq.wait_ms", simulated milliseconds
+  /// from Submit to dispatch — deterministic, unlike wall-clock latencies)
+  /// into the process metrics registry when enabled — a cold-path branch;
+  /// the per-job path stays allocation-free.
   ~ResourceQueue();
   ResourceQueue(const ResourceQueue&) = delete;
   ResourceQueue& operator=(const ResourceQueue&) = delete;
@@ -53,6 +56,7 @@ class ResourceQueue {
   struct Job {
     double service_seconds;
     InlineFn on_done;
+    double enqueue_seconds;  // Submit() time, for the wait histogram
   };
 
   void Dispatch(Job job);
@@ -67,6 +71,7 @@ class ResourceQueue {
   std::deque<Job> waiting_;
   int64_t completed_ = 0;
   size_t waiting_hw_ = 0;  // queue-length high water (for obs flush)
+  LogHistogram wait_hist_;  // per-job wait in simulated ms (for obs flush)
   TimeWeightedStats busy_stats_;
   TimeWeightedStats qlen_stats_;
 };

@@ -174,5 +174,68 @@ TEST(ObsMetricsTest, SweepSnapshotIsIdenticalAcrossWorkerCounts) {
   reg.ResetValues();
 }
 
+TEST(ObsMetricsTest, SnapshotDeltaIsolatesActivitySinceBaseline) {
+#if !WT_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (-DWT_OBS=OFF)";
+#endif
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.ResetValues();
+  reg.set_enabled(true);
+
+  reg.GetCounter("delta.count")->Add(5);
+  reg.GetGauge("delta.level")->Set(9);
+  reg.GetLatency("delta.lat")->Record(100.0);
+  reg.GetLatency("delta.lat")->Record(200.0);
+
+  const obs::MetricsBaseline base = reg.CaptureBaseline();
+  reg.GetCounter("delta.count")->Add(3);
+  reg.GetGauge("delta.level")->Set(4);
+  reg.GetLatency("delta.lat")->Record(4000.0);
+  reg.GetCounter("delta.fresh")->Add(7);  // registered after the baseline
+
+  const obs::MetricsSnapshot delta = reg.SnapshotDelta(base);
+  reg.set_enabled(false);
+
+  // Counters diff against the baseline; later instruments diff against 0.
+  ASSERT_NE(delta.Find("delta.count"), nullptr);
+  EXPECT_EQ(delta.Find("delta.count")->value, 3);
+  ASSERT_NE(delta.Find("delta.fresh"), nullptr);
+  EXPECT_EQ(delta.Find("delta.fresh")->value, 7);
+  // Gauges are levels, not totals: the current value, not a difference.
+  ASSERT_NE(delta.Find("delta.level"), nullptr);
+  EXPECT_EQ(delta.Find("delta.level")->value, 4);
+  // Latency entries summarize only post-baseline recordings.
+  const obs::MetricsSnapshotEntry* lat = delta.Find("delta.lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->value, 1);
+  EXPECT_NEAR(lat->p50, 4000.0, 4000.0 * 0.04);  // bucket resolution
+  reg.ResetValues();
+}
+
+TEST(ObsMetricsTest, LatencyMergeFromAggregatesLocalHistogram) {
+#if !WT_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (-DWT_OBS=OFF)";
+#endif
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.ResetValues();
+  reg.set_enabled(true);
+
+  LogHistogram local;  // default 32 sub-buckets, as MergeFrom requires
+  local.Add(10.0);
+  local.Add(20.0);
+  obs::LatencyMergeIfEnabled("merge.lat", local);
+  obs::LatencyMergeIfEnabled("merge.empty", LogHistogram());  // no-op
+
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  reg.set_enabled(false);
+  const obs::MetricsSnapshotEntry* merged = snap.Find("merge.lat");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->value, 2);
+  EXPECT_NEAR(merged->mean, 15.0, 15.0 * 0.04);
+  // An empty histogram registers nothing (never observed, never paid).
+  EXPECT_EQ(snap.Find("merge.empty"), nullptr);
+  reg.ResetValues();
+}
+
 }  // namespace
 }  // namespace wt

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "wt/obs/metrics.h"
 #include "wt/workload/resource_queue.h"
 
 namespace wt {
@@ -103,6 +104,51 @@ TEST(ResourceQueueTest, ZeroServiceCompletesImmediately) {
   sim.Run();
   EXPECT_EQ(completed, 100);
   EXPECT_DOUBLE_EQ(sim.Now().seconds(), 0.0);
+}
+
+TEST(ResourceQueueTest, WaitTimesFlushToMetricsOnDestruction) {
+#if !WT_OBS_ENABLED
+  GTEST_SKIP() << "observability compiled out (-DWT_OBS=OFF)";
+#endif
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.ResetValues();
+  reg.set_enabled(true);
+  {
+    Simulator sim;
+    ResourceQueue q(&sim, 1, "disk");
+    // Three 1 s jobs on one server: waits of 0, 1, and 2 simulated seconds.
+    for (int i = 0; i < 3; ++i) q.Submit(1.0, [] {});
+    sim.Run();
+  }  // dtor merges the local histogram into "rq.wait_ms"
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  reg.set_enabled(false);
+
+  const obs::MetricsSnapshotEntry* wait = snap.Find("rq.wait_ms");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->value, 3);
+  // Simulated milliseconds: mean of {0, 1000, 2000} at bucket resolution.
+  EXPECT_NEAR(wait->mean, 1000.0, 1000.0 * 0.04);
+  EXPECT_NEAR(wait->max, 2000.0, 2000.0 * 0.04);
+  reg.ResetValues();
+}
+
+TEST(ResourceQueueTest, WaitHistogramUntouchedWhenMetricsDisabled) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.ResetValues();
+  {
+    Simulator sim;
+    ResourceQueue q(&sim, 1, "disk");
+    for (int i = 0; i < 3; ++i) q.Submit(1.0, [] {});
+    sim.Run();
+  }
+  reg.set_enabled(true);
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  reg.set_enabled(false);
+  const obs::MetricsSnapshotEntry* wait = snap.Find("rq.wait_ms");
+  // Never observed, never paid: nothing recorded while disabled.
+  if (wait != nullptr) {
+    EXPECT_EQ(wait->value, 0);
+  }
 }
 
 }  // namespace

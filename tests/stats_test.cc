@@ -111,6 +111,33 @@ TEST(LogHistogramTest, MergePreservesTotals) {
   EXPECT_GE(a.max_value(), 200.0);
 }
 
+TEST(LogHistogramTest, DiffSinceIsolatesNewValues) {
+  LogHistogram h(32);
+  RngStream rng(7);
+  for (int i = 0; i < 400; ++i) h.Add(rng.Uniform(1, 50));
+  const LogHistogram base = h;  // earlier copy, per the DiffSince contract
+  ExactQuantiles fresh;
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.Uniform(1000, 2000);
+    h.Add(v);
+    fresh.Add(v);
+  }
+
+  const LogHistogram delta = h.DiffSince(base);
+  EXPECT_EQ(delta.count(), 200);
+  EXPECT_NEAR(delta.sum(), fresh.Mean() * 200, 1e-6);
+  // Quantiles of the delta track the fresh values at bucket resolution,
+  // untouched by the 400 earlier small values.
+  EXPECT_NEAR(delta.Quantile(0.5), fresh.Quantile(0.5),
+              fresh.Quantile(0.5) * 0.05);
+  EXPECT_GE(delta.min_value(), 900.0);  // bucket-resolution approximation
+
+  // Nothing new: an empty delta.
+  const LogHistogram none = h.DiffSince(h);
+  EXPECT_EQ(none.count(), 0);
+  EXPECT_DOUBLE_EQ(none.Quantile(0.99), 0.0);
+}
+
 TEST(LogHistogramTest, ClearResets) {
   LogHistogram h;
   h.Add(5.0);

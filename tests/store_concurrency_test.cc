@@ -1,0 +1,120 @@
+// ResultStore concurrency: many readers against one publisher, exercising
+// the copy-on-publish discipline the serve layer depends on (DESIGN.md §8).
+// Run under TSan this is the store's data-race regression test; under any
+// build it checks the invariants readers may assume — a table is either
+// absent or complete, and published pointers stay valid and immutable.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wt/store/result_store.h"
+
+namespace wt {
+namespace {
+
+Schema PointSchema() {
+  return Schema({{"x", ValueType::kDouble},
+                 {"y", ValueType::kDouble},
+                 {"label", ValueType::kString}});
+}
+
+// A complete table: every published table has exactly kRowsPerTable rows,
+// so a reader observing any other count caught a half-published table.
+constexpr size_t kRowsPerTable = 16;
+
+// snprintf instead of operator+: GCC 12's -Werror=restrict false-fires on
+// `"t" + std::to_string(id)` under heavy inlining.
+std::string TableName(int id) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "t%d", id);
+  return buf;
+}
+
+Table MakeTable(int id) {
+  Table t{PointSchema()};
+  for (size_t r = 0; r < kRowsPerTable; ++r) {
+    WT_CHECK(t.AppendRow({Value(static_cast<double>(id)),
+                          Value(static_cast<double>(r)),
+                          Value(TableName(id))})
+                 .ok());
+  }
+  return t;
+}
+
+TEST(StoreConcurrencyTest, ManyReadersOnePublisher) {
+  ResultStore store;
+  ASSERT_TRUE(store.PublishTable("t0", MakeTable(0)).ok());
+  const Table* t0 = *store.GetTableConst("t0");
+
+  constexpr int kTables = 48;
+  constexpr int kReaders = 4;
+  std::atomic<int> published{1};
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  std::thread writer([&] {
+    for (int i = 1; i < kTables; ++i) {
+      Status s = store.PublishTable(TableName(i), MakeTable(i));
+      if (!s.ok()) violations.fetch_add(1);
+      published.store(i + 1, std::memory_order_release);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::map<std::string, Value> target;
+      target["x"] = Value(static_cast<double>(r));
+      target["y"] = Value(3.0);
+      while (!stop.load(std::memory_order_acquire)) {
+        // Everything published before this point must be visible, whole,
+        // and unchanged.
+        const int seen = published.load(std::memory_order_acquire);
+        const std::vector<std::string> names = store.TableNames();
+        if (static_cast<int>(names.size()) < seen) violations.fetch_add(1);
+        for (const std::string& name : names) {
+          if (!store.HasTable(name)) {
+            violations.fetch_add(1);
+            continue;
+          }
+          Result<const Table*> table = store.GetTableConst(name);
+          if (!table.ok() || (*table)->num_rows() != kRowsPerTable) {
+            violations.fetch_add(1);
+          }
+        }
+        Result<std::vector<size_t>> similar =
+            store.FindSimilar("t0", target, {"x", "y"}, 3);
+        if (!similar.ok() || similar->size() != 3) violations.fetch_add(1);
+      }
+    });
+  }
+
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(store.TableNames().size(), static_cast<size_t>(kTables));
+  // Published pointers survived the churn (map node stability).
+  EXPECT_EQ(*store.GetTableConst("t0"), t0);
+  EXPECT_EQ(t0->num_rows(), kRowsPerTable);
+}
+
+TEST(StoreConcurrencyTest, DuplicatePublishFailsWithoutClobbering) {
+  ResultStore store;
+  ASSERT_TRUE(store.PublishTable("t", MakeTable(1)).ok());
+  const Table* before = *store.GetTableConst("t");
+  EXPECT_FALSE(store.PublishTable("t", MakeTable(2)).ok());
+  EXPECT_EQ(*store.GetTableConst("t"), before);
+  EXPECT_DOUBLE_EQ(before->At(0, 0).AsDouble(), 1.0);
+}
+
+}  // namespace
+}  // namespace wt
