@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -126,6 +127,14 @@ Result<ServeReply> Server::ServeSpec(const QuerySpec& spec) {
       return Status::Internal("sweep completed but cache entry is missing");
     }
   }
+  if (entry->config_hash != config_hash) {
+    // The 64-bit serve key collided across two distinct sweep configs.
+    // Refuse rather than silently serve another config's rows; the inner
+    // manifest hash is computed over different input, so a double
+    // collision is what it would take to get past this check.
+    obs::CountIfEnabled("serve.cache.key_collision", 1);
+    return Status::Internal("sweep cache key collision on " + key);
+  }
 
   // Shared post-processing over the immutable stored table — the step that
   // makes every outcome byte-identical to a cold ExecuteQuery.
@@ -189,6 +198,12 @@ Frame Server::HandleFrame(const Frame& request) {
 std::string Server::CacheStatsText() const {
   std::string out = StrFormat("cache entries        %zu\n", cache_.size());
   out += StrFormat("in-flight sweeps     %d\n", admission_.inflight());
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!accept_error_.empty()) {
+      out += "accept error         " + accept_error_ + "\n";
+    }
+  }
   if (!obs::MetricsEnabled()) {
     out += "(enable the metrics registry for serve.* counters)\n";
     return out;
@@ -246,16 +261,32 @@ void Server::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR && !shutting_down_.load()) continue;
-      return;  // shutdown(listen_fd_) or a fatal error: stop accepting
+      const int err = errno;
+      if (shutting_down_.load()) return;  // shutdown(listen_fd_) woke us
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE) {
+        // Descriptor exhaustion is transient (a connection closing frees
+        // one): back off and retry instead of killing the listener.
+        obs::CountIfEnabled("serve.accept.backoff", 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));  // wtlint: allow(determinism/sleep) -- host fd-exhaustion backoff in the accept loop, not simulated time
+        continue;
+      }
+      // Genuinely fatal (EBADF, EINVAL, ...): record why the listener
+      // died so `stats` surfaces it instead of failing silently.
+      obs::CountIfEnabled("serve.accept.fatal", 1);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      accept_error_ =
+          StrFormat("accept: %s (listener stopped)", std::strerror(err));
+      return;
     }
     if (shutting_down_.load()) {
       ::close(fd);
       return;
     }
+    ReapFinishedConnections();
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back(&Server::ConnectionLoop, this, fd);
+    conn_threads_.emplace(fd,
+                          std::thread(&Server::ConnectionLoop, this, fd));
   }
 }
 
@@ -268,10 +299,34 @@ void Server::ConnectionLoop(int fd) {
     if (!WriteFrame(&stream, reply).ok()) break;
   }
   {
+    // Park our own handle for joining (a thread cannot join itself) and
+    // leave the live map BEFORE closing the fd, so an accept() reusing
+    // this fd number can never race a stale map entry.
     std::lock_guard<std::mutex> lock(conn_mu_);
-    conn_fds_.erase(fd);
+    auto it = conn_threads_.find(fd);
+    if (it != conn_threads_.end()) {
+      reaped_threads_.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
   }
   ::close(fd);
+}
+
+void Server::ReapFinishedConnections() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    done.swap(reaped_threads_);
+  }
+  // These loops have exited (or are returning); joins complete promptly.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t Server::live_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return conn_threads_.size();
 }
 
 void Server::Shutdown() {
@@ -288,8 +343,13 @@ void Server::Shutdown() {
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-    workers.swap(conn_threads_);
+    for (auto& [fd, thread] : conn_threads_) {
+      ::shutdown(fd, SHUT_RDWR);
+      workers.push_back(std::move(thread));
+    }
+    conn_threads_.clear();
+    for (std::thread& t : reaped_threads_) workers.push_back(std::move(t));
+    reaped_threads_.clear();
   }
   for (std::thread& t : workers) {
     if (t.joinable()) t.join();

@@ -25,9 +25,10 @@
 #define WT_SERVE_SERVER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -112,6 +113,9 @@ class Server {
   const std::string& socket_path() const { return socket_path_; }
   const SweepCache& cache() const { return cache_; }
 
+  /// Connections whose serving loop is still running (wire front end).
+  size_t live_connections() const;
+
  private:
   /// Cache identity of `spec`'s sweep: hex FNV-1a over the manifest config
   /// hash (points + constraints) plus seed, simulation name, hints,
@@ -133,6 +137,12 @@ class Server {
   void AcceptLoop();
   void ConnectionLoop(int fd);
 
+  /// Joins connection threads whose loops have exited (they parked their
+  /// own handles on reaped_threads_), so a long-lived server handling many
+  /// short connections does not accumulate joinable handles. Called by
+  /// AcceptLoop between accepts and by Shutdown.
+  void ReapFinishedConnections();
+
   WindTunnel* tunnel_;
   ServerOptions options_;
   SweepCache cache_;
@@ -144,8 +154,12 @@ class Server {
   std::string socket_path_;
   std::thread accept_thread_;
   mutable std::mutex conn_mu_;
-  std::set<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  /// Live connections by fd; a loop erases its own entry (moving the
+  /// handle to reaped_threads_) before closing its fd.
+  std::map<int, std::thread> conn_threads_;
+  std::vector<std::thread> reaped_threads_;
+  /// Why AcceptLoop stopped, if it hit a fatal error (shown in stats).
+  std::string accept_error_;
 };
 
 }  // namespace serve

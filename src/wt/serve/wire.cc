@@ -1,5 +1,6 @@
 #include "wt/serve/wire.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -27,6 +28,11 @@ Result<std::string> FdStream::ReadLine() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    if (buf_.size() - pos_ > max_line_bytes_) {
+      return Status::InvalidArgument(
+          "protocol line exceeds " + std::to_string(max_line_bytes_) +
+          " bytes");
+    }
     char chunk[kReadChunk];
     const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n > 0) {
@@ -42,12 +48,27 @@ Result<std::string> FdStream::ReadLine() {
 Status FdStream::WriteAll(const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+    // MSG_NOSIGNAL: a peer that vanished mid-reply (client killed during
+    // a long sweep, Shutdown racing an in-flight write) must surface as
+    // EPIPE, not as a SIGPIPE that kills the whole server.
+    ssize_t n;
+    if (use_send_) {
+      n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        use_send_ = false;
+        continue;
+      }
+    } else {
+      n = ::write(fd_, data.data() + off, data.size() - off);
+    }
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Aborted("connection closed");
+    }
     return Status::Internal(std::string("write: ") + std::strerror(errno));
   }
   return Status::OK();

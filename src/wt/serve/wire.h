@@ -25,12 +25,19 @@
 #ifndef WT_SERVE_WIRE_H_
 #define WT_SERVE_WIRE_H_
 
+#include <cstddef>
 #include <string>
 
 #include "wt/common/result.h"
 
 namespace wt {
 namespace serve {
+
+/// Hard cap on one protocol line (a frame header or one payload line).
+/// A peer that streams bytes without ever sending a newline is cut off at
+/// this bound instead of growing the per-connection buffer without limit.
+/// Generous: the longest real lines are CSV rows, a few hundred bytes.
+constexpr size_t kMaxLineBytes = 8u * 1024 * 1024;
 
 /// One protocol frame: a header line plus a line-oriented payload.
 /// Payloads are canonically newline-terminated; a missing final newline is
@@ -44,19 +51,30 @@ struct Frame {
 /// the fd: the creator closes it after the stream dies.
 class FdStream {
  public:
-  explicit FdStream(int fd) : fd_(fd) {}
+  /// `max_line_bytes` bounds ReadLine (tests shrink it; the protocol
+  /// default is kMaxLineBytes).
+  explicit FdStream(int fd, size_t max_line_bytes = kMaxLineBytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
 
   /// Next line, without its trailing newline (a trailing '\r' is stripped
-  /// too). Aborted on EOF, Internal on I/O errors.
+  /// too). Aborted on EOF, InvalidArgument when a line exceeds the
+  /// max-line bound, Internal on I/O errors.
   [[nodiscard]] Result<std::string> ReadLine();
 
-  /// Writes all of `data`, looping over partial writes.
+  /// Writes all of `data`, looping over partial writes. A peer that closed
+  /// the connection surfaces as Aborted (EPIPE/ECONNRESET), never as a
+  /// process-killing SIGPIPE: socket writes go through
+  /// send(MSG_NOSIGNAL).
   [[nodiscard]] Status WriteAll(const std::string& data);
 
   int fd() const { return fd_; }
 
  private:
   int fd_;
+  size_t max_line_bytes_;
+  /// Cleared on ENOTSOCK: non-socket fds (tests frame over pipes) cannot
+  /// use send() and fall back to write().
+  bool use_send_ = true;
   std::string buf_;
   size_t pos_ = 0;
 };

@@ -3,6 +3,7 @@
 // path for the same (query, seed) (DESIGN.md §8).
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -200,6 +201,35 @@ TEST(WireTest, FrameRoundTripsThroughDotStuffing) {
   // Payloads are line-oriented: a missing trailing newline is added.
   EXPECT_EQ(out->payload, in.payload + "\n");
   close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(WireTest, OversizedLineIsRejectedNotBuffered) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  FdStream writer(fds[1]);
+  // 256 newline-free bytes against a 64-byte line bound.
+  ASSERT_TRUE(writer.WriteAll(std::string(256, 'x')).ok());
+  FdStream reader(fds[0], /*max_line_bytes=*/64);
+  Result<std::string> line = reader.ReadLine();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kInvalidArgument)
+      << line.status().ToString();
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// Regression: a peer that disappears before reading the reply must surface
+// as a Status, not as a SIGPIPE that kills the process (which would kill
+// this test binary).
+TEST(WireTest, WriteToClosedPeerIsAStatusNotASignal) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  close(fds[0]);  // the "client" vanishes
+  FdStream writer(fds[1]);
+  const Status status = writer.WriteAll("reply nobody will read\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kAborted) << status.ToString();
   close(fds[1]);
 }
 
@@ -417,6 +447,29 @@ TEST(ServeTest, SocketEndToEnd) {
   client2->Close();
   server.Shutdown();
   EXPECT_NE(access(socket_path.c_str(), F_OK), 0);  // socket file removed
+}
+
+// Regression: finished connection loops must leave the live set (their
+// thread handles are parked for AcceptLoop/Shutdown to join) instead of
+// accumulating for the server's lifetime.
+TEST(ServeTest, ClosedConnectionsLeaveTheLiveSet) {
+  auto tunnel = ToyTunnel(13, 1);
+  Server server(tunnel.get(), ServerOptions{});
+  const std::string socket_path = "serve_test_reap.sock";
+  ASSERT_TRUE(server.Listen(socket_path).ok());
+
+  for (int i = 0; i < 4; ++i) {
+    Result<Client> client = Client::Connect(socket_path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    Result<Client::Reply> reply = client->Stats();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    client->Close();
+  }
+  for (int i = 0; i < 5000 && server.live_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.live_connections(), 0u);
+  server.Shutdown();
 }
 
 }  // namespace
