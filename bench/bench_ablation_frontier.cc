@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_main.h"
 #include "wt/common/macros.h"
 #include "wt/core/frontier.h"
 #include "wt/core/wind_tunnel.h"
@@ -28,7 +29,7 @@ wt::RunFn Model() {
 
 }  // namespace
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   Dimension nic{"nic_gbps", {Value(1), Value(2), Value(5), Value(10),

@@ -15,9 +15,10 @@
 
 #include <cstdio>
 
+#include "bench_main.h"
 #include "wt/soft/availability_static.h"
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   StaticAvailabilityConfig config;

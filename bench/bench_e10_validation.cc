@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_main.h"
 #include "wt/analytics/combinatorics.h"
 #include "wt/analytics/markov.h"
 #include "wt/analytics/queueing.h"
@@ -61,7 +62,7 @@ double MeasureMeanLatencySeconds(int servers, wt::PerfWorkloadSpec spec) {
 
 }  // namespace
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   std::printf("E10: simulator vs closed forms\n\n");

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "bench_main.h"
 #include "wt/obs/wallclock.h"
 #include "wt/sim/event_queue.h"
 
@@ -302,9 +303,9 @@ BENCHMARK(BM_CancelChurn);
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int BenchMain(wt::bench::BenchContext& ctx) {
   RunComparisons();
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&ctx.argc, ctx.argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "bench_main.h"
 #include "wt/common/macros.h"
 #include "wt/common/string_util.h"
 #include "wt/obs/metrics.h"
@@ -72,7 +73,7 @@ double Seconds(int64_t us) { return static_cast<double>(us) * 1e-6; }
 
 }  // namespace
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   obs::MetricsRegistry::Default().set_enabled(true);

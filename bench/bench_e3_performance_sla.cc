@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_main.h"
 #include "wt/analytics/queueing.h"
 #include "wt/workload/perf_sim.h"
 
@@ -27,7 +28,7 @@ wt::PerfWorkloadSpec MakeWorkload(const char* name, double rate,
 
 }  // namespace
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   PerfSimConfig cfg;

@@ -7,10 +7,11 @@
 
 #include <cstdio>
 
+#include "bench_main.h"
 #include "wt/query/builtin_sims.h"
 #include "wt/query/executor.h"
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   WindTunnel tunnel;

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_main.h"
 #include "wt/analytics/markov.h"
 #include "wt/soft/availability_dynamic.h"
 
@@ -48,7 +49,7 @@ wt::Result<wt::AvailabilityMetrics> RunShape(wt::DistributionPtr ttf,
 
 }  // namespace
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   // Node mean lifetime 300 h (busy cluster); hardware replaced in 24 h

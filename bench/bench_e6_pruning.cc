@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_main.h"
 #include "wt/common/macros.h"
 #include "wt/core/early_abort.h"
 #include "wt/core/wind_tunnel.h"
@@ -37,7 +38,7 @@ wt::RunFn LatencyModel() {
 
 }  // namespace
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   std::printf("E6 part 1: dominance pruning on a 4x4x2 design space\n\n");

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "bench_main.h"
 #include "wt/common/macros.h"
 #include "wt/common/result.h"
 #include "wt/core/orchestrator.h"
@@ -313,14 +314,12 @@ BENCHMARK(BM_EventQueueChurn);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  // WT_TRACE / WT_METRICS env vars switch on observability; a traced run
-  // shows work migrating between orchestrator worker lanes as chunks are
-  // claimed and stolen.
-  wt::obs::EnvObsSession obs_session;
-  wt::obs::SetThisThreadLabel("main");
+int BenchMain(wt::bench::BenchContext& ctx) {
+  // A traced run (WT_TRACE, set up by the bench_main.h harness) shows work
+  // migrating between orchestrator worker lanes as chunks are claimed and
+  // stolen.
   SweepWallClock();
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&ctx.argc, ctx.argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -8,9 +8,10 @@
 
 #include <cstdio>
 
+#include "bench_main.h"
 #include "wt/soft/availability_dynamic.h"
 
-int main() {
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
 
   std::printf(

@@ -4,62 +4,47 @@
 // "Another problem often encountered in large DCs is hardware whose
 // performance deteriorates significantly compared to its specification ...
 // This kind of behavior (e.g., an under-performing NIC card) is hard to
-// reproduce in practice." — here it's one line of configuration.
+// reproduce in practice." — here it's a committed scenario file:
+// scenarios/e9_limpware.json sweeps limp_factor over one line of config.
 
 #include <cstdio>
-#include <vector>
 
-#include "wt/workload/perf_sim.h"
+#include "bench_main.h"
+#include "wt/store/table.h"
 
-int main() {
+namespace {
+
+double Num(const wt::Table& t, size_t row, const char* col) {
+  return t.Get(row, col).value().ToNumeric().value();
+}
+
+}  // namespace
+
+int BenchMain(wt::bench::BenchContext&) {
   using namespace wt;
+
+  auto run = bench::RunScenarioQuery("e9_limpware");
+  if (!run.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const Table& t = run->result.satisfying;
 
   std::printf(
       "E9: one node's NIC degraded to a fraction of nominal; primary\n"
-      "workload 400 req/s of 256 KB responses on 4 nodes, 1 Gbps NICs\n\n");
+      "workload 400 req/s of 256 KB responses on 4 nodes, 1 Gbps NICs\n"
+      "— scenario '%s' [%s]\n\n",
+      run->spec.name.c_str(), run->spec.query.scenario_hash.c_str());
   std::printf("%-12s %9s %9s %9s %11s %8s\n", "nic perf", "p50 ms", "p95 ms",
               "p99 ms", "thru/s", "failed");
 
-  for (double perf : {1.0, 0.5, 0.1, 0.01}) {
-    PerfSimConfig cfg;
-    cfg.num_nodes = 4;
-    cfg.cores_per_node = 8;
-    cfg.disks_per_node = 2;
-    cfg.nic_gbps = 1.0;
-    cfg.replication = 3;
-    cfg.duration_s = 600.0;
-    cfg.warmup_s = 60.0;
-    cfg.seed = 4242;
-
-    std::vector<PerfWorkloadSpec> specs;
-    specs.emplace_back();
-    specs[0].name = "primary";
-    specs[0].arrival_rate = 400.0;
-    specs[0].read_fraction = 0.95;
-    specs[0].zipf_s = 0.6;  // mild skew: keep the healthy baseline stable
-    specs[0].request_bytes = 256 * 1024.0;
-    specs[0].disk_service_s = std::make_unique<ExponentialDist>(1000.0 / 2.0);
-    specs[0].cpu_service_s = std::make_unique<ExponentialDist>(1000.0 / 0.5);
-
-    std::vector<DegradeEvent> degrades;
-    if (perf < 1.0) {
-      DegradeEvent ev;
-      ev.at_s = 0.0;
-      ev.node = 0;
-      ev.resource = DegradeEvent::Resource::kNic;
-      ev.perf_factor = perf;
-      degrades.push_back(ev);
-    }
-
-    auto r = RunPerfSim(cfg, specs, {}, degrades);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
-    const WorkloadResult& w = r->workloads.at("primary");
-    std::printf("%-12.2f %9.1f %9.1f %9.1f %11.0f %8lld\n", perf,
-                w.latency_ms.P50(), w.latency_ms.P95(), w.latency_ms.P99(),
-                w.throughput_per_s, static_cast<long long>(w.failed));
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    std::printf("%-12.2f %9.1f %9.1f %9.1f %11.0f %8lld\n",
+                Num(t, row, "limp_factor"), Num(t, row, "latency_p50_ms"),
+                Num(t, row, "latency_p95_ms"), Num(t, row, "latency_p99_ms"),
+                Num(t, row, "throughput_per_s"),
+                static_cast<long long>(Num(t, row, "failed_requests")));
   }
 
   std::printf(

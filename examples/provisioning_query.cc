@@ -1,40 +1,49 @@
-// Hardware provisioning via the declarative query language (§3, §4.1):
+// Hardware provisioning via a committed scenario file (§3, §4.1):
 //
 //   "Should I invest in storage or memory in order to satisfy the SLAs of
 //    95% of my customers and minimize the total operating cost?"
 //
-// The query explores memory sizes and disk technologies, keeps the designs
-// whose p95 latency meets the SLA, and orders them by monthly cost — the
-// whole §4.2 pipeline (grid, SLA filter, ordering) in one statement.
+// The experiment — memory x disk grid, workload, p95 SLA, cost ordering —
+// is declared in scenarios/e4_provisioning.json and compiled by the
+// scenario registry into the same QuerySpec the DSL front end produces
+// (the equivalence is fingerprint-tested). This example loads the file,
+// runs it, and prints the §4.2 pipeline's answer.
 //
-// Run: ./build/examples/example_provisioning_query
+// Run: ./build-release/examples/example_provisioning_query
 
 #include <cstdio>
 
 #include "wt/query/builtin_sims.h"
 #include "wt/query/executor.h"
+#include "wt/scenario/scenario.h"
 
 int main() {
   using namespace wt;
 
-  WindTunnel tunnel;
+  auto path = scenario::FindScenarioPath("e4_provisioning");
+  if (!path.ok()) {
+    std::fprintf(stderr, "%s\n", path.status().ToString().c_str());
+    return 1;
+  }
+  auto spec = scenario::LoadScenarioFile(*path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+
+  WindTunnelOptions options;
+  if (spec->has_seed) options.seed = spec->seed;
+  if (spec->replications > 0) options.replications = spec->replications;
+  WindTunnel tunnel(options);
   if (Status s = RegisterBuiltinSimulations(&tunnel); !s.ok()) {
     std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
     return 1;
   }
 
-  const char* query = R"(
-    EXPLORE memory_gb IN [16, 32, 64, 128, 224],
-            disk IN ['hdd', 'ssd']
-    SIMULATE provisioning
-        WITH working_set_gb = 256, rate = 400,
-             nodes = 4, duration_s = 120
-    WHERE latency_p95_ms <= 30
-    ORDER BY cost_monthly_usd ASC
-  )";
+  std::printf("scenario '%s' [%s]:\n  %s\n\n", spec->name.c_str(),
+              spec->query.scenario_hash.c_str(), spec->description.c_str());
 
-  std::printf("Query:\n%s\n", query);
-  auto result = RunQuery(&tunnel, query, "provisioning_sweep");
+  auto result = ExecuteQuery(&tunnel, spec->query, "provisioning_sweep");
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());

@@ -26,10 +26,20 @@
 //   --connect <socket>  run the shell against a server instead of locally
 //                       (works one-shot with a QUERY argument too)
 //
+// Scenario mode (DESIGN.md §9):
+//   --scenario <ref>    load a scenario file (a name from the scenarios/
+//                       corpus or a path), boot a tunnel with its seed and
+//                       replications, and answer its query end-to-end
+//   --check             with --scenario: compile and validate only, print
+//                       one "ok <name> ..." line, run nothing (CI's
+//                       scenario-corpus job)
+//
 // Useful meta-commands in interactive mode:
 //   \tables          list stored sweep tables
 //   \dump <table>    print a stored table as CSV
 //   \sims            list registered simulations
+//   \scenarios       list the scenario corpus (name + description)
+//   \dims [sim]      the dimension declaration table (defaults, families)
 //   \cache           serve-cache statistics (hit/miss/in-flight; local
 //                    registry in local mode, the server's in --connect)
 //   \profile         toggle per-query profiling (same as --profile)
@@ -43,8 +53,11 @@
 #include "wt/common/string_util.h"
 #include "wt/obs/metrics.h"
 #include "wt/obs/obs.h"
+#include "wt/obs/wallclock.h"
 #include "wt/query/builtin_sims.h"
+#include "wt/query/dimension_spec.h"
 #include "wt/query/executor.h"
+#include "wt/scenario/scenario.h"
 #include "wt/serve/client.h"
 #include "wt/serve/server.h"
 
@@ -52,18 +65,33 @@ namespace {
 
 bool g_profile = false;
 
+void PrintResult(const wt::QueryResult& result) {
+  std::printf("# sweep '%s': %zu points, %zu executed, %zu pruned, %zu errors\n",
+              result.sweep_table.c_str(), result.stats.total_points,
+              result.stats.executed, result.stats.pruned,
+              result.stats.errors);
+  std::printf("%s", result.satisfying.ToCsv().c_str());
+  if (g_profile) std::printf("%s", result.profile.ToText().c_str());
+}
+
 void RunOne(wt::WindTunnel* tunnel, const std::string& text) {
-  auto result = wt::RunQuery(tunnel, text);
+  // Parse, resolve USING SCENARIO references against the corpus, execute.
+  const int64_t t0 = wt::obs::WallMicros();
+  auto spec = wt::ParseQuery(text);
+  if (spec.ok()) spec = wt::scenario::ResolveQuery(*spec);
+  if (!spec.ok()) {
+    std::printf("error: %s\n", spec.status().ToString().c_str());
+    return;
+  }
+  const int64_t parse_us = wt::obs::WallMicros() - t0;
+  auto result = wt::ExecuteQuery(tunnel, *spec);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
-  std::printf("# sweep '%s': %zu points, %zu executed, %zu pruned, %zu errors\n",
-              result->sweep_table.c_str(), result->stats.total_points,
-              result->stats.executed, result->stats.pruned,
-              result->stats.errors);
-  std::printf("%s", result->satisfying.ToCsv().c_str());
-  if (g_profile) std::printf("%s", result->profile.ToText().c_str());
+  result->profile.parse_us = parse_us;
+  result->profile.total_us += parse_us;
+  PrintResult(*result);
 }
 
 // The local \cache view: serve.* instruments from this process's metrics
@@ -109,6 +137,31 @@ void Meta(wt::WindTunnel* tunnel, const std::string& line) {
     }
     return;
   }
+  if (line == "\\scenarios") {
+    const auto files = wt::scenario::ListScenarioFiles();
+    if (files.empty()) {
+      std::printf("(no scenario files under %s)\n",
+                  wt::scenario::ScenarioDir().c_str());
+      return;
+    }
+    for (const std::string& path : files) {
+      auto spec = wt::scenario::LoadScenarioFile(path);
+      if (spec.ok()) {
+        std::printf("%-28s %s\n", spec->name.c_str(),
+                    spec->description.c_str());
+      } else {
+        std::printf("%-28s error: %s\n", path.c_str(),
+                    spec.status().ToString().c_str());
+      }
+    }
+    return;
+  }
+  if (line == "\\dims" || wt::StrStartsWith(line, "\\dims ")) {
+    const std::string sim =
+        line.size() > 5 ? std::string(wt::StrTrim(line.substr(5))) : "";
+    std::printf("%s", wt::RenderDimensionTable(sim).c_str());
+    return;
+  }
   if (line == "\\profile") {
     g_profile = !g_profile;
     std::printf("profile %s\n", g_profile ? "on" : "off");
@@ -127,10 +180,55 @@ void Meta(wt::WindTunnel* tunnel, const std::string& line) {
   std::printf("unknown meta-command: %s\n", line.c_str());
 }
 
+// --scenario: compile a scenario file and (unless --check) answer its
+// query in a tunnel booted with the scenario's seed and replications.
+int RunScenario(const std::string& ref, bool check_only) {
+  auto path = wt::scenario::FindScenarioPath(ref);
+  if (!path.ok()) {
+    std::fprintf(stderr, "scenario: %s\n", path.status().ToString().c_str());
+    return 1;
+  }
+  auto spec = wt::scenario::LoadScenarioFile(*path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "scenario: %s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  if (check_only) {
+    size_t points = 1;
+    for (const wt::Dimension& d : spec->query.dimensions) {
+      points *= d.candidates.size();
+    }
+    std::printf("ok %s sim=%s hash=%s dims=%zu points=%zu ablations=%zu\n",
+                spec->name.c_str(), spec->query.simulation.c_str(),
+                spec->query.scenario_hash.c_str(),
+                spec->query.dimensions.size(), points,
+                spec->available_ablations.size());
+    return 0;
+  }
+  wt::WindTunnelOptions options;
+  if (spec->has_seed) options.seed = spec->seed;
+  if (spec->replications > 0) options.replications = spec->replications;
+  wt::WindTunnel tunnel(options);
+  if (wt::Status s = wt::RegisterBuiltinSimulations(&tunnel); !s.ok()) {
+    std::fprintf(stderr, "init: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto result = wt::ExecuteQuery(&tunnel, spec->query, spec->name);
+  if (!result.ok()) {
+    std::fprintf(stderr, "scenario: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# scenario '%s' (%s)\n", spec->name.c_str(),
+              spec->query.scenario_hash.c_str());
+  PrintResult(*result);
+  return 0;
+}
+
 void PrintHelp() {
   std::printf(
       "usage: example_wtq [--profile] [--trace <file>] [--serve <socket>]\n"
-      "                   [--connect <socket>] [--help] [QUERY]\n"
+      "                   [--connect <socket>] [--scenario <ref> [--check]]\n"
+      "                   [--help] [QUERY]\n"
       "\n"
       "With a QUERY argument, runs it once and prints the satisfying rows\n"
       "as CSV. Without one, starts an interactive shell (queries end with\n"
@@ -147,6 +245,11 @@ void PrintHelp() {
       "  --connect <socket>  run against a --serve process instead of\n"
       "                   simulating locally (one-shot with QUERY, or the\n"
       "                   interactive shell; \\cache asks the server)\n"
+      "  --scenario <ref> load a scenario file (corpus name or path), boot\n"
+      "                   a tunnel with its seed/replications, and answer\n"
+      "                   its query; DSL queries can reference the same\n"
+      "                   files with USING SCENARIO \"<name>\"\n"
+      "  --check          with --scenario: compile and validate only\n"
       "  --help           show this message\n"
       "\n"
       "The WT_TRACE / WT_METRICS environment variables are honored too:\n"
@@ -255,6 +358,8 @@ int main(int argc, char** argv) {
   std::string query_text;
   std::string serve_path;
   std::string connect_path;
+  std::string scenario_ref;
+  bool scenario_check = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -289,6 +394,19 @@ int main(int argc, char** argv) {
       connect_path = argv[++i];
       continue;
     }
+    if (std::strcmp(arg, "--scenario") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--scenario requires a scenario name or file path\n");
+        return 1;
+      }
+      scenario_ref = argv[++i];
+      continue;
+    }
+    if (std::strcmp(arg, "--check") == 0) {
+      scenario_check = true;
+      continue;
+    }
     if (wt::StrStartsWith(arg, "--")) {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
       return 1;
@@ -300,8 +418,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--serve and --connect are mutually exclusive\n");
     return 1;
   }
+  if (scenario_check && scenario_ref.empty()) {
+    std::fprintf(stderr, "--check requires --scenario\n");
+    return 1;
+  }
+  if (!scenario_ref.empty() &&
+      (!serve_path.empty() || !connect_path.empty())) {
+    std::fprintf(stderr,
+                 "--scenario runs locally; under --connect send the query "
+                 "'USING SCENARIO \"<name>\"' instead\n");
+    return 1;
+  }
   if (!serve_path.empty()) return RunServe(serve_path);
   if (!connect_path.empty()) return RunConnect(connect_path, query_text);
+  if (!scenario_ref.empty()) return RunScenario(scenario_ref, scenario_check);
   if (!trace_path.empty()) wt::obs::TraceEmitter::Default().Start();
 
   // Writes the --trace file after the queries below have quiesced.

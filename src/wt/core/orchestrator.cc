@@ -118,6 +118,7 @@ Result<std::vector<RunRecord>> RunOrchestrator::Sweep(
   // time patched at the end), never read by the sweep itself.
   auto manifest = std::make_shared<obs::RunManifest>(obs::CollectRunManifest(
       options_.seed, SweepConfigHash(points, constraints)));
+  manifest->scenario_hash = options_.scenario_hash;
   for (RunRecord& rec : records) rec.manifest = manifest;
 
   // Executes one non-pruned point. Touches only records[idx] and derives

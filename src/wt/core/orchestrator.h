@@ -87,6 +87,11 @@ struct SweepOptions {
   /// judged statistically ("statistically reason about the guarantees",
   /// §1). SLAs are evaluated on the means.
   int replications = 1;
+  /// 16-hex FNV-1a of the scenario file this sweep was built from, or ""
+  /// for sweeps not driven by a scenario. Provenance-only: copied into
+  /// the RunManifest (never read by the sweep), so stored results record
+  /// which scenario content produced them (DESIGN.md §9).
+  std::string scenario_hash;
 };
 
 /// Provenance hash of a sweep configuration: FNV-1a over the ordered design
@@ -122,6 +127,13 @@ class RunOrchestrator {
 
   /// Statistics of the most recent Sweep.
   const SweepStats& last_stats() const { return stats_; }
+
+  /// Sets the scenario provenance hash recorded by subsequent Sweep calls
+  /// (see SweepOptions::scenario_hash). Pass "" to clear. Provenance-only:
+  /// never changes sweep output bytes.
+  void set_scenario_hash(std::string hash) {
+    options_.scenario_hash = std::move(hash);
+  }
 
  private:
   SweepOptions options_;

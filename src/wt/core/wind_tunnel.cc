@@ -52,15 +52,19 @@ Result<std::vector<RunRecord>> WindTunnel::RunSweep(
     const std::string& sweep_name, const DesignSpace& space,
     const std::string& simulation,
     const std::vector<SlaConstraint>& constraints,
-    const std::vector<MonotoneHint>& hints) {
+    const std::vector<MonotoneHint>& hints,
+    const std::string& scenario_hash) {
   WT_ASSIGN_OR_RETURN(RunFn fn, GetSimulation(simulation));
-  return RunSweepWith(sweep_name, space, fn, constraints, hints);
+  return RunSweepWith(sweep_name, space, fn, constraints, hints,
+                      scenario_hash);
 }
 
 Result<std::vector<RunRecord>> WindTunnel::RunSweepWith(
     const std::string& sweep_name, const DesignSpace& space, const RunFn& fn,
     const std::vector<SlaConstraint>& constraints,
-    const std::vector<MonotoneHint>& hints) {
+    const std::vector<MonotoneHint>& hints,
+    const std::string& scenario_hash) {
+  orchestrator_.set_scenario_hash(scenario_hash);
   WT_ASSIGN_OR_RETURN(std::vector<RunRecord> records,
                       orchestrator_.Sweep(space, fn, constraints, hints));
   WT_RETURN_IF_ERROR(StoreRecords(sweep_name, space, records));

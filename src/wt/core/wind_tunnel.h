@@ -56,17 +56,21 @@ class WindTunnel {
 
   /// Runs `simulation` over `space`, evaluates `constraints`, stores one
   /// row per run in result table `sweep_name`, and returns the records.
+  /// `scenario_hash` (16-hex FNV of the scenario file, "" when the sweep
+  /// is not scenario-driven) is recorded in the sweep's RunManifest.
   [[nodiscard]] Result<std::vector<RunRecord>> RunSweep(
       const std::string& sweep_name, const DesignSpace& space,
       const std::string& simulation,
       const std::vector<SlaConstraint>& constraints = {},
-      const std::vector<MonotoneHint>& hints = {});
+      const std::vector<MonotoneHint>& hints = {},
+      const std::string& scenario_hash = "");
 
   /// As above with an inline RunFn.
   [[nodiscard]] Result<std::vector<RunRecord>> RunSweepWith(
       const std::string& sweep_name, const DesignSpace& space,
       const RunFn& fn, const std::vector<SlaConstraint>& constraints = {},
-      const std::vector<MonotoneHint>& hints = {});
+      const std::vector<MonotoneHint>& hints = {},
+      const std::string& scenario_hash = "");
 
   /// Result tables of past sweeps.
   ResultStore& store() { return store_; }

@@ -150,6 +150,7 @@ std::string ManifestToJson(const RunManifest& m, int indent) {
   out += field_pad + StrFormat("\"seed\": %llu,\n",
                                static_cast<unsigned long long>(m.seed));
   field("config_hash", m.config_hash, false);
+  field("scenario_hash", m.scenario_hash, false);
   field("git_commit", m.git_commit, false);
   field("compiler", m.compiler, false);
   field("build_type", m.build_type, false);
@@ -174,6 +175,7 @@ Status StoreManifest(ResultStore* store, const std::string& table,
   };
   WT_RETURN_IF_ERROR(put("seed", StrFormat("%llu", static_cast<unsigned long long>(m.seed))));
   WT_RETURN_IF_ERROR(put("config_hash", m.config_hash));
+  WT_RETURN_IF_ERROR(put("scenario_hash", m.scenario_hash));
   WT_RETURN_IF_ERROR(put("git_commit", m.git_commit));
   WT_RETURN_IF_ERROR(put("compiler", m.compiler));
   WT_RETURN_IF_ERROR(put("build_type", m.build_type));
@@ -206,6 +208,8 @@ Result<RunManifest> LoadManifest(const ResultStore& store,
       m.seed = s;
     } else if (k == "config_hash") {
       m.config_hash = v;
+    } else if (k == "scenario_hash") {
+      m.scenario_hash = v;
     } else if (k == "git_commit") {
       m.git_commit = v;
     } else if (k == "compiler") {

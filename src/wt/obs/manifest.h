@@ -24,6 +24,9 @@ struct RunManifest {
   uint64_t seed = 0;
   /// FNV-1a hex hash of the run configuration (design space + constraints).
   std::string config_hash;
+  /// FNV-1a hex hash of the scenario file the sweep was built from
+  /// (DESIGN.md §9); empty when the sweep was not scenario-driven.
+  std::string scenario_hash;
   /// Git short hash ($WT_BENCH_COMMIT, else `git rev-parse`, else
   /// "unknown").
   std::string git_commit;

@@ -5,6 +5,8 @@
 
 #include "wt/common/string_util.h"
 #include "wt/hw/cost.h"
+#include "wt/query/dimension_spec.h"
+#include "wt/sim/distributions.h"
 #include "wt/soft/availability_dynamic.h"
 #include "wt/soft/availability_static.h"
 #include "wt/workload/perf_sim.h"
@@ -13,18 +15,27 @@ namespace wt {
 
 namespace {
 
-/// Builds a DatacenterConfig from common dimensions.
-Result<DatacenterConfig> DatacenterFromPoint(const DesignPoint& point) {
+/// The declaration-table entry for `simulation` (aborts if missing: every
+/// RunFn below must have a table entry before it can read dimensions).
+const SimulationDims& DimsFor(const char* simulation) {
+  const SimulationDims* dims = FindSimulationDims(simulation);
+  WT_CHECK(dims != nullptr) << "no DimensionSpec table entry for '"
+                            << simulation << "'";
+  return *dims;
+}
+
+/// Builds a DatacenterConfig from the topology dimensions.
+Result<DatacenterConfig> DatacenterFromDims(const DimensionReader& r) {
   DatacenterConfig dc;
-  int64_t nodes = point.GetInt("nodes", 10);
-  int64_t racks = point.GetInt("racks", 1);
+  int64_t nodes = r.Int("nodes");
+  int64_t racks = r.Int("racks");
   if (nodes < 1 || racks < 1 || nodes % racks != 0) {
     return Status::InvalidArgument(
         "nodes must be a positive multiple of racks");
   }
   dc.num_racks = static_cast<int>(racks);
   dc.nodes_per_rack = static_cast<int>(nodes / racks);
-  std::string disk = point.GetString("disk", "hdd");
+  std::string disk = r.Str("disk");
   if (disk == "hdd") {
     dc.node.disk = DiskSpec::Hdd();
   } else if (disk == "ssd") {
@@ -32,12 +43,12 @@ Result<DatacenterConfig> DatacenterFromPoint(const DesignPoint& point) {
   } else {
     return Status::InvalidArgument("disk must be 'hdd' or 'ssd'");
   }
-  double nic = point.GetDouble("nic_gbps", 1.0);
+  double nic = r.Double("nic_gbps");
   if (nic <= 0) return Status::InvalidArgument("nic_gbps must be > 0");
   dc.node.nic.bandwidth_gbps = nic;
   dc.node.nic.model = nic >= 10 ? "10GbE+" : "1GbE";
   dc.node.nic.capex_usd = 30.0 + 17.0 * nic;  // interpolated price curve
-  double mem = point.GetDouble("memory_gb", 32.0);
+  double mem = r.Double("memory_gb");
   if (mem <= 0) return Status::InvalidArgument("memory_gb must be > 0");
   dc.node.mem.capacity_gb = mem;
   return dc;
@@ -46,32 +57,48 @@ Result<DatacenterConfig> DatacenterFromPoint(const DesignPoint& point) {
 }  // namespace
 
 RunFn MakeAvailabilitySim() {
-  return [](const DesignPoint& point, RngStream& rng) -> Result<MetricMap> {
+  const SimulationDims& dims = DimsFor("availability");
+  return [&dims](const DesignPoint& point,
+                 RngStream& rng) -> Result<MetricMap> {
+    const DimensionReader r(dims, point);
     DynamicAvailabilityConfig config;
-    WT_ASSIGN_OR_RETURN(config.datacenter, DatacenterFromPoint(point));
-    config.storage.num_users = point.GetInt("users", 10000);
-    config.storage.object_size_gb = point.GetDouble("object_gb", 10.0);
+    WT_ASSIGN_OR_RETURN(config.datacenter, DatacenterFromDims(r));
+    config.storage.num_users = r.Int("users");
+    config.storage.object_size_gb = r.Double("object_gb");
     config.storage.num_nodes = config.datacenter.num_nodes();
-    config.redundancy = point.GetString("redundancy", "replication(3)");
-    if (point.Has("replication")) {
+    config.redundancy = r.Str("redundancy");
+    if (r.Has("replication")) {
       // Numeric sugar: replication=3 == redundancy="replication(3)".
       config.redundancy = StrFormat(
-          "replication(%d)", static_cast<int>(point.GetInt("replication", 3)));
+          "replication(%d)", static_cast<int>(r.Int("replication")));
     }
-    config.placement = point.GetString("placement", "random");
-    double afr = point.GetDouble("node_afr", 0.10);
-    double shape = point.GetDouble("ttf_shape", 1.0);
+    config.placement = r.Str("placement");
+    double afr = r.Double("node_afr");
+    double shape = r.Double("ttf_shape");
     if (afr <= 0 || afr >= 1) {
       return Status::InvalidArgument("node_afr must be in (0,1)");
     }
     config.node_ttf = MakeTtfFromAfr(afr, shape);
-    config.node_replace = std::make_unique<DeterministicDist>(
-        point.GetDouble("replace_hours", 24.0));
-    config.repair.max_concurrent =
-        static_cast<int>(point.GetInt("repair_parallel", 1));
-    config.repair.detection_delay_s =
-        point.GetDouble("detection_delay_s", 30.0);
-    config.sim_years = point.GetDouble("years", 1.0);
+    const std::string replace_model = r.Str("replace_model");
+    const double replace_hours = r.Double("replace_hours");
+    if (replace_model == "deterministic") {
+      config.node_replace =
+          std::make_unique<DeterministicDist>(replace_hours);
+    } else if (replace_model == "lognormal") {
+      const double sd = r.Double("replace_sd_hours");
+      if (sd <= 0) {
+        return Status::InvalidArgument(
+            "replace_sd_hours must be > 0 with replace_model=lognormal");
+      }
+      config.node_replace = std::make_unique<LogNormalDist>(
+          LogNormalDist::FromMoments(replace_hours, sd));
+    } else {
+      return Status::InvalidArgument(
+          "replace_model must be 'deterministic' or 'lognormal'");
+    }
+    config.repair.max_concurrent = static_cast<int>(r.Int("repair_parallel"));
+    config.repair.detection_delay_s = r.Double("detection_delay_s");
+    config.sim_years = r.Double("years");
     config.seed = rng.NextU64();
 
     WT_ASSIGN_OR_RETURN(AvailabilityMetrics m,
@@ -94,25 +121,25 @@ RunFn MakeAvailabilitySim() {
 }
 
 RunFn MakeStaticAvailabilitySim() {
-  return [](const DesignPoint& point, RngStream& rng) -> Result<MetricMap> {
+  const SimulationDims& dims = DimsFor("static_availability");
+  return [&dims](const DesignPoint& point,
+                 RngStream& rng) -> Result<MetricMap> {
+    const DimensionReader r(dims, point);
     StaticAvailabilityConfig config;
-    config.num_nodes = static_cast<int>(point.GetInt("nodes", 10));
-    config.num_users = point.GetInt("users", 10000);
-    config.placement_samples =
-        static_cast<int>(point.GetInt("placement_samples", 20));
-    config.trials_per_placement =
-        static_cast<int>(point.GetInt("trials", 100));
+    config.num_nodes = static_cast<int>(r.Int("nodes"));
+    config.num_users = r.Int("users");
+    config.placement_samples = static_cast<int>(r.Int("placement_samples"));
+    config.trials_per_placement = static_cast<int>(r.Int("trials"));
     config.seed = rng.NextU64();
 
-    int n = static_cast<int>(point.GetInt("replication", 3));
-    int failures = static_cast<int>(point.GetInt("failures", 1));
+    int n = static_cast<int>(r.Int("replication"));
+    int failures = static_cast<int>(r.Int("failures"));
     if (failures < 0 || failures > config.num_nodes) {
       return Status::InvalidArgument("failures out of [0, nodes]");
     }
     ReplicationScheme scheme = ReplicationScheme::Majority(n);
-    WT_ASSIGN_OR_RETURN(
-        auto placement,
-        PlacementPolicy::Create(point.GetString("placement", "random")));
+    WT_ASSIGN_OR_RETURN(auto placement,
+                        PlacementPolicy::Create(r.Str("placement")));
 
     StaticAvailabilityPoint result =
         EstimateStaticUnavailability(scheme, *placement, config, failures);
@@ -157,37 +184,43 @@ Result<MetricMap> RunPerfPoint(const PerfSimConfig& config,
 }  // namespace
 
 RunFn MakePerformanceSim() {
-  return [](const DesignPoint& point, RngStream& rng) -> Result<MetricMap> {
+  const SimulationDims& dims = DimsFor("performance");
+  return [&dims](const DesignPoint& point,
+                 RngStream& rng) -> Result<MetricMap> {
+    const DimensionReader r(dims, point);
     PerfSimConfig config;
-    config.num_nodes = static_cast<int>(point.GetInt("nodes", 4));
-    config.cores_per_node = static_cast<int>(point.GetInt("cores", 8));
-    config.disks_per_node = static_cast<int>(point.GetInt("disks", 2));
-    config.nic_gbps = point.GetDouble("nic_gbps", 10.0);
-    config.replication = static_cast<int>(point.GetInt("replication", 3));
+    config.num_nodes = static_cast<int>(r.Int("nodes"));
+    config.cores_per_node = static_cast<int>(r.Int("cores"));
+    config.disks_per_node = static_cast<int>(r.Int("disks"));
+    config.nic_gbps = r.Double("nic_gbps");
+    config.replication = static_cast<int>(r.Int("replication"));
     config.replication = std::min(config.replication, config.num_nodes);
-    config.duration_s = point.GetDouble("duration_s", 300.0);
-    config.warmup_s = std::min(30.0, config.duration_s / 10.0);
+    config.duration_s = r.Double("duration_s");
+    const double warmup = r.Double("warmup_s");
+    config.warmup_s =
+        warmup >= 0 ? warmup : std::min(30.0, config.duration_s / 10.0);
     config.seed = rng.NextU64();
 
     std::vector<PerfWorkloadSpec> specs;
     PerfWorkloadSpec primary;
     primary.name = "primary";
-    primary.arrival_rate = point.GetDouble("rate", 200.0);
-    primary.read_fraction = point.GetDouble("read_fraction", 0.9);
-    double disk_ms = point.GetDouble("disk_ms", 5.0);
-    double cpu_ms = point.GetDouble("cpu_ms", 2.0);
+    primary.arrival_rate = r.Double("rate");
+    primary.read_fraction = r.Double("read_fraction");
+    double disk_ms = r.Double("disk_ms");
+    double cpu_ms = r.Double("cpu_ms");
     primary.disk_service_s =
         std::make_unique<ExponentialDist>(1000.0 / disk_ms);
     primary.cpu_service_s = std::make_unique<ExponentialDist>(1000.0 / cpu_ms);
-    primary.zipf_s = point.GetDouble("zipf", 0.99);
+    primary.zipf_s = r.Double("zipf");
+    primary.request_bytes = r.Double("request_kb") * 1024.0;
     specs.push_back(std::move(primary));
 
-    double colocated = point.GetDouble("colocated_rate", 0.0);
+    double colocated = r.Double("colocated_rate");
     if (colocated > 0) {
       PerfWorkloadSpec secondary;
       secondary.name = "secondary";
       secondary.arrival_rate = colocated;
-      secondary.read_fraction = point.GetDouble("colocated_read_fraction", 0.5);
+      secondary.read_fraction = r.Double("colocated_read_fraction");
       secondary.disk_service_s =
           std::make_unique<ExponentialDist>(1000.0 / disk_ms);
       secondary.cpu_service_s =
@@ -196,23 +229,23 @@ RunFn MakePerformanceSim() {
     }
 
     std::vector<OutageEvent> outages;
-    double outage_at = point.GetDouble("outage_at_s", -1.0);
+    double outage_at = r.Double("outage_at_s");
     if (outage_at >= 0) {
       OutageEvent ev;
       ev.at_s = outage_at;
-      ev.node = static_cast<int>(point.GetInt("outage_node", 0));
-      ev.duration_s = point.GetDouble("outage_s", 300.0);
-      ev.repair_disk_jobs_per_s = point.GetDouble("repair_jobs_per_s", 0.0);
+      ev.node = static_cast<int>(r.Int("outage_node"));
+      ev.duration_s = r.Double("outage_s");
+      ev.repair_disk_jobs_per_s = r.Double("repair_jobs_per_s");
       outages.push_back(ev);
     }
     std::vector<DegradeEvent> degrades;
-    int64_t limp_node = point.GetInt("limp_nic_node", -1);
+    int64_t limp_node = r.Int("limp_nic_node");
     if (limp_node >= 0) {
       DegradeEvent ev;
-      ev.at_s = point.GetDouble("limp_at_s", 0.0);
+      ev.at_s = r.Double("limp_at_s");
       ev.node = static_cast<int>(limp_node);
       ev.resource = DegradeEvent::Resource::kNic;
-      ev.perf_factor = point.GetDouble("limp_factor", 0.1);
+      ev.perf_factor = r.Double("limp_factor");
       degrades.push_back(ev);
     }
     return RunPerfPoint(config, specs, outages, degrades);
@@ -220,16 +253,19 @@ RunFn MakePerformanceSim() {
 }
 
 RunFn MakeProvisioningSim() {
-  return [](const DesignPoint& point, RngStream& rng) -> Result<MetricMap> {
+  const SimulationDims& dims = DimsFor("provisioning");
+  return [&dims](const DesignPoint& point,
+                 RngStream& rng) -> Result<MetricMap> {
+    const DimensionReader r(dims, point);
     // Memory buys buffer-cache hits; the disk type sets the miss penalty.
-    double memory_gb = point.GetDouble("memory_gb", 32.0);
-    double working_set_gb = point.GetDouble("working_set_gb", 256.0);
+    double memory_gb = r.Double("memory_gb");
+    double working_set_gb = r.Double("working_set_gb");
     if (memory_gb <= 0 || working_set_gb <= 0) {
       return Status::InvalidArgument("memory_gb/working_set_gb must be > 0");
     }
     double hit_ratio = std::min(0.98, memory_gb / working_set_gb);
 
-    std::string disk = point.GetString("disk", "hdd");
+    std::string disk = r.Str("disk");
     DiskSpec spec = disk == "ssd" ? DiskSpec::Ssd() : DiskSpec::Hdd();
     // Effective disk service: misses pay the device latency, hits ~0.1ms of
     // memory/page handling.
@@ -237,19 +273,19 @@ RunFn MakeProvisioningSim() {
     double eff_disk_ms = hit_ratio * 0.1 + (1.0 - hit_ratio) * miss_ms;
 
     PerfSimConfig config;
-    config.num_nodes = static_cast<int>(point.GetInt("nodes", 4));
-    config.cores_per_node = static_cast<int>(point.GetInt("cores", 8));
-    config.disks_per_node = static_cast<int>(point.GetInt("disks", 2));
+    config.num_nodes = static_cast<int>(r.Int("nodes"));
+    config.cores_per_node = static_cast<int>(r.Int("cores"));
+    config.disks_per_node = static_cast<int>(r.Int("disks"));
     config.replication = std::min(3, config.num_nodes);
-    config.duration_s = point.GetDouble("duration_s", 300.0);
+    config.duration_s = r.Double("duration_s");
     config.warmup_s = std::min(30.0, config.duration_s / 10.0);
     config.seed = rng.NextU64();
 
     std::vector<PerfWorkloadSpec> specs;
     PerfWorkloadSpec w;
     w.name = "primary";
-    w.arrival_rate = point.GetDouble("rate", 200.0);
-    w.read_fraction = point.GetDouble("read_fraction", 0.9);
+    w.arrival_rate = r.Double("rate");
+    w.read_fraction = r.Double("read_fraction");
     w.disk_service_s = std::make_unique<ExponentialDist>(1000.0 / eff_disk_ms);
     w.cpu_service_s = std::make_unique<ExponentialDist>(1000.0 / 1.0);
     specs.push_back(std::move(w));

@@ -16,20 +16,14 @@
 //                            sets the miss penalty (§3, hardware
 //                            provisioning use case)
 //
-// Dimension reference (defaults in parentheses):
-//   common:      nodes(10) racks(1) users(10000) seed(from orchestrator)
-//   availability: redundancy("replication(3)") placement("random")
-//                node_afr(0.10) ttf_shape(1.0) replace_hours(24)
-//                repair_parallel(1) detection_delay_s(30) nic_gbps(1)
-//                years(1) object_gb(10) disk("hdd")
-//   static_availability: replication(3) placement("random") failures(1)
-//                placement_samples(20) trials(100)
-//   performance: cores(8) disks(2) nic_gbps(10) rate(200) read_fraction(0.9)
-//                disk_ms(5) cpu_ms(2) zipf(0.99) duration_s(300)
-//                colocated_rate(0) outage_at_s(-1) outage_s(300)
-//                repair_jobs_per_s(0) limp_nic_node(-1) limp_factor(1)
-//   provisioning: memory_gb(32) disk("hdd") working_set_gb(256) rate(200)
-//                cores(8) duration_s(300)
+// The dimension reference is NOT maintained here: each simulation's
+// dimensions, types, defaults, and builder families are declared in the
+// machine-readable table in wt/query/dimension_spec.h (the single
+// authority — the RunFns read their defaults from it, wtq's \dims renders
+// it, and builtin_sims_dimension_test checks declared defaults against
+// observed engine behavior). Run `wtq` and type `\dims` for the rendered
+// version. The simulation seed always comes from the orchestrator's
+// per-run RngStream, never from a dimension.
 //
 // Metrics produced include: availability, unavailability, objects_lost,
 // repair_bytes_gb, mean_repair_hours, node_failures, cost_monthly_usd,

@@ -1,0 +1,286 @@
+#include "wt/query/dimension_spec.h"
+
+#include <algorithm>
+
+#include "wt/common/macros.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+
+const char* DimFamilyToString(DimFamily family) {
+  switch (family) {
+    case DimFamily::kTopology:     return "topology";
+    case DimFamily::kFailureModel: return "failure_model";
+    case DimFamily::kPlacement:    return "placement";
+    case DimFamily::kWorkloadMix:  return "workload_mix";
+  }
+  return "?";
+}
+
+const DimensionSpec* SimulationDims::Find(const std::string& name) const {
+  for (const DimensionSpec& d : dims) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+namespace {
+
+using F = DimFamily;
+
+DimensionSpec Dim(const char* name, ValueType type, F family, Value fallback,
+                  const char* description) {
+  DimensionSpec d;
+  d.name = name;
+  d.type = type;
+  d.family = family;
+  d.fallback = std::move(fallback);
+  d.description = description;
+  return d;
+}
+
+DimensionSpec Derived(const char* name, ValueType type, F family,
+                      Value sentinel, const char* description) {
+  DimensionSpec d = Dim(name, type, family, std::move(sentinel), description);
+  d.default_kind = DimDefault::kDerived;
+  return d;
+}
+
+std::vector<SimulationDims> BuildTable() {
+  std::vector<SimulationDims> table;
+
+  {
+    SimulationDims s;
+    s.simulation = "availability";
+    s.description =
+        "dynamic failure/repair simulation (wt/soft/availability_dynamic.h)";
+    s.dims = {
+        Dim("nodes", ValueType::kInt, F::kTopology, 10,
+            "total nodes; must be a positive multiple of racks"),
+        Dim("racks", ValueType::kInt, F::kTopology, 1, "rack count"),
+        Dim("disk", ValueType::kString, F::kTopology, "hdd",
+            "node disk type: hdd or ssd"),
+        Dim("nic_gbps", ValueType::kDouble, F::kTopology, 1.0,
+            "per-node NIC bandwidth (also prices the NIC)"),
+        Dim("memory_gb", ValueType::kDouble, F::kTopology, 32.0,
+            "per-node memory (cost model input)"),
+        Dim("users", ValueType::kInt, F::kWorkloadMix, 10000,
+            "stored objects, one per user"),
+        Dim("object_gb", ValueType::kDouble, F::kWorkloadMix, 10.0,
+            "object size in GB"),
+        Dim("years", ValueType::kDouble, F::kWorkloadMix, 1.0,
+            "simulated horizon"),
+        Dim("redundancy", ValueType::kString, F::kPlacement,
+            "replication(3)", "redundancy scheme expression"),
+        Derived("replication", ValueType::kInt, F::kPlacement, 3,
+                "numeric sugar: replication=N rewrites redundancy to "
+                "replication(N); wins when set"),
+        Dim("placement", ValueType::kString, F::kPlacement, "random",
+            "replica placement policy"),
+        Dim("node_afr", ValueType::kDouble, F::kFailureModel, 0.10,
+            "node annual failure rate, in (0,1)"),
+        Dim("ttf_shape", ValueType::kDouble, F::kFailureModel, 1.0,
+            "Weibull shape of time-to-failure (1 = exponential)"),
+        Dim("replace_model", ValueType::kString, F::kFailureModel,
+            "deterministic",
+            "hardware replacement time model: deterministic or lognormal"),
+        Dim("replace_hours", ValueType::kDouble, F::kFailureModel, 24.0,
+            "mean hardware replacement time"),
+        Dim("replace_sd_hours", ValueType::kDouble, F::kFailureModel, 0.0,
+            "replacement-time stddev (lognormal model only; must be > 0 "
+            "there)"),
+        Dim("repair_parallel", ValueType::kInt, F::kFailureModel, 1,
+            "max concurrent re-replication jobs"),
+        Dim("detection_delay_s", ValueType::kDouble, F::kFailureModel, 30.0,
+            "failure detection delay"),
+    };
+    table.push_back(std::move(s));
+  }
+
+  {
+    SimulationDims s;
+    s.simulation = "static_availability";
+    s.description =
+        "Figure 1 snapshot estimate (wt/soft/availability_static.h)";
+    s.dims = {
+        Dim("nodes", ValueType::kInt, F::kTopology, 10, "total nodes"),
+        Dim("users", ValueType::kInt, F::kWorkloadMix, 10000,
+            "stored objects, one per user"),
+        Dim("trials", ValueType::kInt, F::kWorkloadMix, 100,
+            "Monte Carlo trials per placement sample"),
+        Dim("replication", ValueType::kInt, F::kPlacement, 3,
+            "replicas per object (majority quorum)"),
+        Dim("placement", ValueType::kString, F::kPlacement, "random",
+            "replica placement policy"),
+        Dim("placement_samples", ValueType::kInt, F::kPlacement, 20,
+            "independent placement maps averaged over"),
+        Dim("failures", ValueType::kInt, F::kFailureModel, 1,
+            "simultaneous node failures, in [0, nodes]"),
+    };
+    table.push_back(std::move(s));
+  }
+
+  {
+    SimulationDims s;
+    s.simulation = "performance";
+    s.description =
+        "queueing-network latency simulation (wt/workload/perf_sim.h)";
+    s.dims = {
+        Dim("nodes", ValueType::kInt, F::kTopology, 4, "total nodes"),
+        Dim("cores", ValueType::kInt, F::kTopology, 8, "cores per node"),
+        Dim("disks", ValueType::kInt, F::kTopology, 2, "disks per node"),
+        Dim("nic_gbps", ValueType::kDouble, F::kTopology, 10.0,
+            "per-node NIC bandwidth"),
+        Dim("replication", ValueType::kInt, F::kPlacement, 3,
+            "write fan-out (clamped to nodes)"),
+        Dim("duration_s", ValueType::kDouble, F::kWorkloadMix, 300.0,
+            "simulated seconds"),
+        Derived("warmup_s", ValueType::kDouble, F::kWorkloadMix, -1.0,
+                "measurement warmup; -1 derives min(30, duration_s/10)"),
+        Dim("rate", ValueType::kDouble, F::kWorkloadMix, 200.0,
+            "primary workload arrival rate (req/s)"),
+        Dim("read_fraction", ValueType::kDouble, F::kWorkloadMix, 0.9,
+            "primary workload read fraction"),
+        Dim("disk_ms", ValueType::kDouble, F::kWorkloadMix, 5.0,
+            "mean disk service time (exponential)"),
+        Dim("cpu_ms", ValueType::kDouble, F::kWorkloadMix, 2.0,
+            "mean CPU service time (exponential)"),
+        Dim("zipf", ValueType::kDouble, F::kWorkloadMix, 0.99,
+            "key popularity skew (Zipf s)"),
+        Dim("request_kb", ValueType::kDouble, F::kWorkloadMix, 64.0,
+            "primary workload request size in KB"),
+        Dim("colocated_rate", ValueType::kDouble, F::kWorkloadMix, 0.0,
+            "secondary colocated workload rate; 0 disables"),
+        Dim("colocated_read_fraction", ValueType::kDouble, F::kWorkloadMix,
+            0.5, "secondary workload read fraction"),
+        Dim("outage_at_s", ValueType::kDouble, F::kFailureModel, -1.0,
+            "node outage start; -1 disables"),
+        Dim("outage_node", ValueType::kInt, F::kFailureModel, 0,
+            "node taken down by the outage"),
+        Dim("outage_s", ValueType::kDouble, F::kFailureModel, 300.0,
+            "outage duration"),
+        Dim("repair_jobs_per_s", ValueType::kDouble, F::kFailureModel, 0.0,
+            "post-outage re-replication disk jobs per second"),
+        Dim("limp_nic_node", ValueType::kInt, F::kFailureModel, -1,
+            "node whose NIC limps; -1 disables"),
+        Dim("limp_at_s", ValueType::kDouble, F::kFailureModel, 0.0,
+            "limpware onset time"),
+        Dim("limp_factor", ValueType::kDouble, F::kFailureModel, 0.1,
+            "limping NIC performance factor (1 = healthy)"),
+    };
+    table.push_back(std::move(s));
+  }
+
+  {
+    SimulationDims s;
+    s.simulation = "provisioning";
+    s.description =
+        "memory-vs-storage investment model: memory size sets the "
+        "buffer-cache hit ratio, disk choice the miss penalty";
+    s.dims = {
+        Dim("memory_gb", ValueType::kDouble, F::kTopology, 32.0,
+            "per-node memory; buys buffer-cache hits"),
+        Dim("disk", ValueType::kString, F::kTopology, "hdd",
+            "node disk type: hdd or ssd (miss penalty)"),
+        Dim("nodes", ValueType::kInt, F::kTopology, 4, "total nodes"),
+        Dim("cores", ValueType::kInt, F::kTopology, 8, "cores per node"),
+        Dim("disks", ValueType::kInt, F::kTopology, 2, "disks per node"),
+        Dim("working_set_gb", ValueType::kDouble, F::kWorkloadMix, 256.0,
+            "hot data size the cache competes for"),
+        Dim("rate", ValueType::kDouble, F::kWorkloadMix, 200.0,
+            "workload arrival rate (req/s)"),
+        Dim("read_fraction", ValueType::kDouble, F::kWorkloadMix, 0.9,
+            "workload read fraction"),
+        Dim("duration_s", ValueType::kDouble, F::kWorkloadMix, 300.0,
+            "simulated seconds"),
+    };
+    table.push_back(std::move(s));
+  }
+
+  return table;
+}
+
+}  // namespace
+
+const std::vector<SimulationDims>& BuiltinDimensionSpecs() {
+  static const std::vector<SimulationDims>* kTable =
+      new std::vector<SimulationDims>(BuildTable());
+  return *kTable;
+}
+
+const SimulationDims* FindSimulationDims(const std::string& simulation) {
+  for (const SimulationDims& s : BuiltinDimensionSpecs()) {
+    if (s.simulation == simulation) return &s;
+  }
+  return nullptr;
+}
+
+std::string RenderDimensionTable(const std::string& simulation) {
+  std::string out;
+  for (const SimulationDims& s : BuiltinDimensionSpecs()) {
+    if (!simulation.empty() && s.simulation != simulation) continue;
+    out += StrFormat("%s — %s\n", s.simulation.c_str(),
+                     s.description.c_str());
+    size_t name_w = 4, family_w = 6, default_w = 7;
+    for (const DimensionSpec& d : s.dims) {
+      name_w = std::max(name_w, d.name.size());
+      family_w = std::max(family_w, std::string(DimFamilyToString(d.family)).size());
+      default_w = std::max(default_w, d.fallback.ToString().size());
+    }
+    for (const DimensionSpec& d : s.dims) {
+      const std::string def =
+          d.default_kind == DimDefault::kDerived
+              ? StrFormat("%s*", d.fallback.ToString().c_str())
+              : d.fallback.ToString();
+      out += StrFormat("  %-*s  %-6s  %-*s  %-*s  %s\n",
+                       static_cast<int>(name_w), d.name.c_str(),
+                       ValueTypeToString(d.type),
+                       static_cast<int>(family_w), DimFamilyToString(d.family),
+                       static_cast<int>(default_w + 1), def.c_str(),
+                       d.description.c_str());
+    }
+    out += "\n";
+  }
+  if (simulation.empty()) {
+    out += "(* derived default: engine computes it from other dimensions)\n";
+  }
+  return out;
+}
+
+DimensionReader::DimensionReader(const SimulationDims& dims,
+                                 const DesignPoint& point)
+    : dims_(dims), point_(point) {}
+
+const Value& DimensionReader::FallbackFor(const std::string& name) const {
+  const DimensionSpec* spec = dims_.Find(name);
+  WT_CHECK(spec != nullptr)
+      << "simulation '" << dims_.simulation
+      << "' reads undeclared dimension '" << name
+      << "' — declare it in dimension_spec.cc";
+  return spec->fallback;
+}
+
+int64_t DimensionReader::Int(const std::string& name) const {
+  return point_.GetInt(name, FallbackFor(name).AsInt());
+}
+
+double DimensionReader::Double(const std::string& name) const {
+  const Value& fb = FallbackFor(name);
+  const double d =
+      fb.type() == ValueType::kInt ? static_cast<double>(fb.AsInt())
+                                   : fb.AsDouble();
+  return point_.GetDouble(name, d);
+}
+
+std::string DimensionReader::Str(const std::string& name) const {
+  return point_.GetString(name, FallbackFor(name).AsString());
+}
+
+bool DimensionReader::Has(const std::string& name) const {
+  // Still checks the declaration: probing an undeclared dimension is the
+  // same drift bug as reading one.
+  (void)FallbackFor(name);
+  return point_.Has(name);
+}
+
+}  // namespace wt

@@ -93,6 +93,14 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
                                  const std::string& table_name) {
   WT_TRACE_SCOPE("query", "execute");
   const int64_t t_total = obs::WallMicros();
+  if (!spec.scenario_name.empty() && spec.simulation.empty()) {
+    // A parsed USING SCENARIO query that never went through scenario
+    // resolution; the executor is deliberately scenario-file-agnostic.
+    return Status::FailedPrecondition(
+        "query uses scenario '" + spec.scenario_name +
+        "' but was not resolved; pass it through "
+        "wt::scenario::ResolveQuery first");
+  }
   WT_ASSIGN_OR_RETURN(RunFn fn, tunnel->GetSimulation(spec.simulation));
 
   QueryResult result;
@@ -111,7 +119,8 @@ Result<QueryResult> ExecuteQuery(WindTunnel* tunnel, const QuerySpec& spec,
     WT_TRACE_SCOPE("query", "sweep");
     WT_ASSIGN_OR_RETURN(
         std::vector<RunRecord> records,
-        tunnel->RunSweepWith(table, space, fn, spec.constraints, spec.hints));
+        tunnel->RunSweepWith(table, space, fn, spec.constraints, spec.hints,
+                             spec.scenario_hash));
   }
   result.profile.sweep_us = MicrosSince(t0);
 

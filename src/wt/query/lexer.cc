@@ -32,7 +32,8 @@ const std::set<std::string>& Keywords() {
   static const std::set<std::string> kKeywords = {
       "EXPLORE", "IN",    "SIMULATE", "WITH",  "WHERE",  "AND",
       "ORDER",   "BY",    "ASC",      "DESC",  "LIMIT",  "ASSUMING",
-      "HIGHER",  "LOWER", "IS",       "BETTER"};
+      "HIGHER",  "LOWER", "IS",       "BETTER",
+      "USING",   "SCENARIO", "ABLATION"};
   return kKeywords;
 }
 }  // namespace

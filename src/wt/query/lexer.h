@@ -14,7 +14,8 @@ namespace wt {
 /// canonicalized to upper case in Token::text.
 enum class TokenKind {
   kKeyword,   // EXPLORE, IN, SIMULATE, WITH, WHERE, AND, ORDER, BY, ASC,
-              // DESC, LIMIT, ASSUMING, HIGHER, LOWER, IS, BETTER
+              // DESC, LIMIT, ASSUMING, HIGHER, LOWER, IS, BETTER, USING,
+              // SCENARIO, ABLATION
   kIdent,     // dimension / metric / simulation names
   kNumber,    // integer or decimal literal
   kString,    // 'single' or "double" quoted

@@ -14,8 +14,21 @@ class Parser {
 
   Result<QuerySpec> Parse() {
     QuerySpec spec;
-    WT_RETURN_IF_ERROR(ParseExplore(&spec));
-    WT_RETURN_IF_ERROR(ParseSimulate(&spec));
+    if (Peek().IsKeyword("EXPLORE")) {
+      WT_RETURN_IF_ERROR(ParseExplore(&spec));
+    }
+    if (Peek().IsKeyword("USING")) {
+      WT_RETURN_IF_ERROR(ParseUsing(&spec));
+    } else if (Peek().IsKeyword("SIMULATE")) {
+      if (spec.dimensions.empty()) {
+        return Err("SIMULATE requires an EXPLORE clause");
+      }
+      WT_RETURN_IF_ERROR(ParseSimulate(&spec));
+    } else {
+      return Err(spec.dimensions.empty()
+                     ? "expected EXPLORE, SIMULATE, or USING"
+                     : "expected SIMULATE or USING");
+    }
     if (Peek().IsKeyword("ASSUMING")) {
       WT_RETURN_IF_ERROR(ParseAssuming(&spec));
     }
@@ -131,6 +144,34 @@ class Parser {
         }
         break;
       }
+    }
+    return Status::OK();
+  }
+
+  Status ParseUsing(QuerySpec* spec) {
+    WT_RETURN_IF_ERROR(ExpectKeyword("USING"));
+    WT_RETURN_IF_ERROR(ExpectKeyword("SCENARIO"));
+    if (Peek().kind != TokenKind::kString) {
+      return Err("expected scenario name string");
+    }
+    spec->scenario_name = Advance().text;
+    if (spec->scenario_name.empty()) {
+      return Status::ParseError("scenario name must not be empty");
+    }
+    if (Peek().IsKeyword("WITH")) {
+      Advance();
+      WT_RETURN_IF_ERROR(ExpectKeyword("ABLATION"));
+      WT_RETURN_IF_ERROR(ExpectSymbol('('));
+      while (true) {
+        WT_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+        spec->ablations.push_back(std::move(name));
+        if (Peek().IsSymbol(',')) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      WT_RETURN_IF_ERROR(ExpectSymbol(')'));
     }
     return Status::OK();
   }

@@ -2,10 +2,13 @@
 //
 // Grammar (keywords case-insensitive; '#' starts a comment):
 //
-//   query    := explore simulate [assuming] [where] [order] [limit] [';']
+//   query    := [explore] (simulate | using) [assuming] [where] [order]
+//               [limit] [';']
 //   explore  := EXPLORE dim (',' dim)*
 //   dim      := IDENT IN '[' literal (',' literal)* ']'
 //   simulate := SIMULATE IDENT [WITH param (',' param)*]
+//   using    := USING SCENARIO string
+//               [WITH ABLATION '(' IDENT (',' IDENT)* ')']
 //   param    := IDENT '=' literal
 //   assuming := ASSUMING hint (',' hint)*
 //   hint     := (HIGHER | LOWER) IDENT IS BETTER
@@ -23,6 +26,18 @@
 //   WHERE availability >= 0.999 AND cost_monthly_usd <= 20000
 //   ORDER BY cost_monthly_usd ASC
 //   LIMIT 5
+//
+// The USING form pulls everything but the query-level overrides from a
+// scenario file in the committed corpus (wt/scenario/scenario.h):
+//
+//   EXPLORE replication IN [2, 3]
+//   USING SCENARIO "e2_replication_tradeoff" WITH ABLATION(fast_detection)
+//
+// A parsed USING query is NOT directly executable: the executor only sees
+// plain specs, so drivers (wtq, wt::serve) pass it through
+// wt::scenario::ResolveQuery first, which merges the scenario file into
+// the spec and stamps `scenario_hash`. Query-level clauses win over the
+// scenario's (per-name for EXPLORE dimensions).
 
 #ifndef WT_QUERY_PARSER_H_
 #define WT_QUERY_PARSER_H_
@@ -55,6 +70,17 @@ struct QuerySpec {
   bool order_ascending = true;
   /// Row cap; -1 = unlimited.
   int64_t limit = -1;
+
+  // --- scenario fields (USING SCENARIO form) ---
+  /// Scenario named by the query; empty for plain SIMULATE queries.
+  std::string scenario_name;
+  /// Ablations requested via WITH ABLATION(...), in query order.
+  std::vector<std::string> ablations;
+  /// 16-hex FNV-1a over the resolved scenario file's bytes. Stamped by
+  /// wt::scenario::ResolveQuery (never by the parser); flows into
+  /// SweepOptions, the RunManifest, and the serve cache key so provenance
+  /// and caching cover the scenario file content.
+  std::string scenario_hash;
 };
 
 /// Parses `source` into a QuerySpec.

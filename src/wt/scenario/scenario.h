@@ -1,0 +1,201 @@
+// wt::scenario — config-driven scenario construction (DESIGN.md §9).
+//
+// The paper's pitch is an analyst composing topology × failure model ×
+// placement × workload mix and asking what-if questions; before this
+// layer, every such composition in the repo was a hand-written C++
+// binary. A scenario FILE is the declarative replacement: a strict JSON
+// document (parsed by wt/common/json.h, the tree's one JSON reader) that
+// names builders from the ScenarioRegistry and is compiled into the same
+// QuerySpec the DSL produces — so benches, examples, wtq, and wt::serve
+// all run scenario files through the one executor path.
+//
+// File schema (all keys validated; unknown keys are errors):
+//
+//   {
+//     "scenario": "e2_replication_tradeoff",   // required, snake_case
+//     "description": "...",                    // optional
+//     "simulation": "availability",            // required, a built-in sim
+//     "topology":      {"builder": "flat_cluster", ...},   // optional
+//     "failure_model": {"builder": "weibull_afr", ...},    // optional
+//     "placement":     {"builder": "replicated", ...},     // optional
+//     "workload_mix":  {"builder": "object_store", ...},   // optional
+//     "with":    {"years": 2},                 // extra fixed dimensions
+//     "explore": {"replication": [3, 2]},      // swept dimensions (ordered)
+//     "assuming": [{"higher": "replication"}],
+//     "where":    [{"metric": "availability", "at_least": 0.999}],
+//     "order_by": "cost_monthly_usd",
+//     "ascending": true,
+//     "limit": 5,
+//     "seed": 777,                             // driver hint (see below)
+//     "replications": 3,                       // driver hint
+//     "ablations": {
+//       "fast_detection": {"set": {"detection_delay_s": 1.0}}
+//     }
+//   }
+//
+// Builders. Each of the four model families holds named builders
+// (registered in builders.cc; names are unique snake_case per family —
+// enforced here at registration and by wtlint's scenario/builder-name
+// rule at the source level). A family object's "builder" key picks one;
+// the remaining keys are its config. Built-in builders emit fixed
+// dimensions, each validated against the simulation's DimensionSpec
+// table (name declared, type compatible, family matches the builder's).
+// The fifth family, "ablation", holds builders that transform an
+// already-composed draft; entries under "ablations" are named instances
+// ("builder" defaults to set_params), applied only when a caller asks
+// for them by name — SNIPPETS.md's "flags applied to a copied config".
+//
+// Precedence, lowest to highest: family builders → "with" → "explore"
+// (exploring a dimension removes any fixed value for it) → applied
+// ablations → query-level clauses (ResolveQuery).
+//
+// Determinism contract: compiling a scenario is pure — the resulting
+// QuerySpec, and therefore the sweep's RunRecords, are byte-identical to
+// the hand-built setup it replaces (scenario_equivalence_test pins this
+// at 1 and 8 workers). `seed` and `replications` are hints for drivers
+// that BOOT a tunnel from the scenario (wtq --scenario, benches, tests);
+// inside a live REPL or server the session's own seed governs, and the
+// scenario hash in the cache key keeps the answers distinct.
+
+#ifndef WT_SCENARIO_SCENARIO_H_
+#define WT_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wt/common/json.h"
+#include "wt/common/result.h"
+#include "wt/common/status.h"
+#include "wt/query/dimension_spec.h"
+#include "wt/query/parser.h"
+
+namespace wt {
+namespace scenario {
+
+/// A scenario being composed: builders and clauses write here before the
+/// draft is frozen into a QuerySpec.
+struct ScenarioDraft {
+  std::string simulation;
+  /// DimensionSpec table entry for `simulation` (never null once the
+  /// loader calls a builder).
+  const SimulationDims* dims = nullptr;
+  /// Fixed dimension values (the WITH clause of the compiled query).
+  std::map<std::string, Value> params;
+  /// Swept dimensions, in file order.
+  std::vector<Dimension> explore;
+
+  /// Validates (declared dimension, compatible type) and sets a fixed
+  /// dimension value. `origin` names the builder/clause for errors.
+  [[nodiscard]] Status SetParam(const std::string& origin,
+                                const std::string& name,
+                                const json::JsonValue& value);
+  /// As above, restricted to dimensions of `family` — builders use this
+  /// so a topology builder cannot quietly configure the failure model.
+  [[nodiscard]] Status SetFamilyParam(const std::string& origin,
+                                      DimFamily family,
+                                      const std::string& name,
+                                      const json::JsonValue& value);
+  /// Validates `candidates` (a non-empty JSON array, coerced to the
+  /// dimension's declared type) and explores the dimension: replaces a
+  /// same-named swept dimension or appends, and removes any fixed value
+  /// — exploring wins over fixing. Shared by the "explore" clause and
+  /// the override_explore ablation builder.
+  [[nodiscard]] Status ExploreParam(const std::string& origin,
+                                    const std::string& name,
+                                    const json::JsonValue& candidates);
+};
+
+/// A family builder: applies one JSON config object to the draft.
+using BuilderFn =
+    std::function<Status(const json::JsonValue& config, ScenarioDraft* draft)>;
+
+/// Registry of named builders per family. Families are fixed
+/// ("topology", "failure_model", "placement", "workload_mix",
+/// "ablation"); builder names must be unique snake_case within their
+/// family. The global instance carries the built-ins from builders.cc;
+/// tests and embedders may register more (setup-phase only — the
+/// registry is not synchronized against concurrent mutation).
+class ScenarioRegistry {
+ public:
+  /// The five family names, in canonical order.
+  static const std::vector<std::string>& Families();
+
+  /// The process-global registry, built-ins pre-registered.
+  static ScenarioRegistry* Global();
+
+  /// Empty registry (tests).
+  ScenarioRegistry() = default;
+
+  [[nodiscard]] Status Register(const std::string& family,
+                                const std::string& name, BuilderFn fn);
+  [[nodiscard]] Result<BuilderFn> Find(const std::string& family,
+                                       const std::string& name) const;
+  /// Registered builder names of `family`, sorted.
+  std::vector<std::string> Names(const std::string& family) const;
+
+ private:
+  std::map<std::string, std::map<std::string, BuilderFn>> builders_;
+};
+
+/// Registers every built-in builder on `registry` (builders.cc). Global()
+/// calls this once; exposed for tests that build private registries.
+[[nodiscard]] Status RegisterBuiltinBuilders(ScenarioRegistry* registry);
+
+/// A loaded scenario, compiled to a ready-to-execute QuerySpec.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  /// The compiled query: simulation, dimensions, params, hints,
+  /// constraints, order, limit, plus scenario_name/ablations/
+  /// scenario_hash — executable as-is.
+  QuerySpec query;
+  /// Sweep seed pinned by the file (valid iff has_seed).
+  uint64_t seed = 0;
+  bool has_seed = false;
+  /// Replications pinned by the file (0 = unspecified).
+  int replications = 0;
+  /// Every ablation name the file defines (applied or not).
+  std::vector<std::string> available_ablations;
+};
+
+/// Compiles scenario JSON `text` (error messages cite `source_name`),
+/// applying `ablations` by name. The returned spec's scenario_hash is
+/// the 16-hex FNV-1a of `text` — exactly the committed file bytes.
+[[nodiscard]] Result<ScenarioSpec> LoadScenarioText(
+    const std::string& text, const std::string& source_name,
+    const std::vector<std::string>& ablations = {});
+
+/// Reads and compiles a scenario file.
+[[nodiscard]] Result<ScenarioSpec> LoadScenarioFile(
+    const std::string& path, const std::vector<std::string>& ablations = {});
+
+/// The scenario corpus directory: $WT_SCENARIO_DIR if set, else the
+/// compile-time WT_SCENARIO_DIR (the repo's scenarios/ tree), else
+/// "scenarios".
+std::string ScenarioDir();
+
+/// Resolves a scenario reference to a file path: a reference containing
+/// '/' or ending in ".json" is used as a path; otherwise it names
+/// ScenarioDir()/<ref>.json. NotFound if the file does not exist.
+[[nodiscard]] Result<std::string> FindScenarioPath(const std::string& ref);
+
+/// Sorted *.json paths under ScenarioDir() (empty if the directory is
+/// missing).
+std::vector<std::string> ListScenarioFiles();
+
+/// Resolves a parsed `USING SCENARIO` query into a plain executable
+/// QuerySpec: loads the named scenario (with the query's ablations),
+/// then applies the query-level overrides — EXPLORE dimensions replace
+/// same-named scenario dimensions (and win over fixed values), ASSUMING
+/// hints replace same-dimension hints, WHERE constraints append, ORDER
+/// BY and LIMIT override when present. Queries without a scenario pass
+/// through unchanged.
+[[nodiscard]] Result<QuerySpec> ResolveQuery(const QuerySpec& parsed);
+
+}  // namespace scenario
+}  // namespace wt
+
+#endif  // WT_SCENARIO_SCENARIO_H_

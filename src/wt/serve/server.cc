@@ -14,6 +14,7 @@
 #include "wt/obs/metrics.h"
 #include "wt/obs/wallclock.h"
 #include "wt/query/parser.h"
+#include "wt/scenario/scenario.h"
 #include "wt/sim/random.h"
 
 namespace wt {
@@ -67,6 +68,12 @@ std::string Server::CacheKeyFor(const QuerySpec& spec,
   }
   id += StrFormat("\nreplications=%d", options_.replications);
   id += StrFormat("\npruning=%d", options_.enable_pruning ? 1 : 0);
+  if (!spec.scenario_hash.empty()) {
+    // Scenario-driven queries key on the file content too: editing the
+    // scenario file invalidates its cached sweeps even when the resolved
+    // design space happens to coincide.
+    id += "\nscenario=" + spec.scenario_hash;
+  }
   return StrFormat("%016llx",
                    static_cast<unsigned long long>(Fnv1a64(id)));
 }
@@ -80,6 +87,7 @@ Status Server::ColdSweep(const std::string& key,
   opts.seed = options_.seed;
   opts.enable_pruning = options_.enable_pruning;
   opts.replications = options_.replications;
+  opts.scenario_hash = spec.scenario_hash;
   // Private orchestrator: concurrent cold sweeps never share engine state
   // (the tunnel's own orchestrator keeps per-sweep stats).
   RunOrchestrator orch(opts);
@@ -174,6 +182,10 @@ Result<ServeReply> Server::ServeSpec(const QuerySpec& spec) {
 
 Result<ServeReply> Server::Serve(const std::string& query_text) {
   WT_ASSIGN_OR_RETURN(QuerySpec spec, ParseQuery(query_text));
+  // USING SCENARIO queries resolve against the scenario corpus here — the
+  // executor stays scenario-file-agnostic, and the resolved spec carries
+  // the scenario hash that CacheKeyFor and the manifest record.
+  WT_ASSIGN_OR_RETURN(spec, scenario::ResolveQuery(spec));
   return ServeSpec(spec);
 }
 

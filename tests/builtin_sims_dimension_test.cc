@@ -1,0 +1,144 @@
+// Dimension-default drift guard (ISSUE 9 satellite).
+//
+// The DimensionSpec table (wt/query/dimension_spec.h) declares a default
+// for every dimension of every built-in simulation; the RunFns read their
+// defaults from the same table. This test closes the remaining gap:
+// a declared default could still differ from what the engine DOES when
+// the dimension is omitted (the pre-table bug was exactly that — a
+// comment block said nodes defaults to 10 for all sims while the
+// performance engine used 4). For each static-default dimension we run
+// the simulation with the dimension omitted and with it explicitly set
+// to the declared default, from identical RNG states, and require
+// bitwise-identical metrics.
+
+#include <map>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "wt/core/orchestrator.h"
+#include "wt/query/builtin_sims.h"
+#include "wt/query/dimension_spec.h"
+#include "wt/sim/random.h"
+
+namespace wt {
+namespace {
+
+RunFn MakeSim(const std::string& simulation) {
+  if (simulation == "availability") return MakeAvailabilitySim();
+  if (simulation == "static_availability") return MakeStaticAvailabilitySim();
+  if (simulation == "performance") return MakePerformanceSim();
+  if (simulation == "provisioning") return MakeProvisioningSim();
+  ADD_FAILURE() << "unknown simulation " << simulation;
+  return RunFn();
+}
+
+/// Runs `fn` on `point` from a fresh RNG at a fixed seed.
+MetricMap RunAt(const RunFn& fn, const DesignPoint& point) {
+  RngStream rng(20260808);
+  auto result = fn(point, rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : MetricMap{};
+}
+
+void ExpectSameMetrics(const MetricMap& omitted, const MetricMap& explicit_,
+                       const std::string& label) {
+  ASSERT_EQ(omitted.size(), explicit_.size()) << label;
+  for (const auto& [name, value] : omitted) {
+    auto it = explicit_.find(name);
+    ASSERT_NE(it, explicit_.end()) << label << ": metric " << name;
+    // Bitwise equality: the declared default must reproduce the omitted
+    // behavior exactly, not approximately.
+    EXPECT_EQ(value, it->second) << label << ": metric " << name;
+  }
+}
+
+TEST(DimensionDefaults, DeclaredDefaultMatchesOmittedBehavior) {
+  for (const SimulationDims& sim : BuiltinDimensionSpecs()) {
+    const RunFn fn = MakeSim(sim.simulation);
+    ASSERT_TRUE(fn) << sim.simulation;
+    const MetricMap baseline = RunAt(fn, DesignPoint());
+    ASSERT_FALSE(baseline.empty()) << sim.simulation;
+    for (const DimensionSpec& dim : sim.dims) {
+      if (dim.default_kind != DimDefault::kStatic) continue;
+      DesignPoint point;
+      point.Set(dim.name, dim.fallback);
+      const MetricMap with_default = RunAt(fn, point);
+      ExpectSameMetrics(baseline, with_default,
+                        sim.simulation + "." + dim.name);
+    }
+  }
+}
+
+// Derived defaults are engine-computed; their documented derivations are
+// pinned here instead.
+TEST(DimensionDefaults, DerivedReplicationSugarMatchesRedundancyDefault) {
+  // availability: replication=3 rewrites redundancy to "replication(3)",
+  // which is also the redundancy dimension's declared default.
+  const RunFn fn = MakeAvailabilitySim();
+  DesignPoint point;
+  point.Set("replication", Value(3));
+  ExpectSameMetrics(RunAt(fn, DesignPoint()), RunAt(fn, point),
+                    "availability.replication");
+}
+
+TEST(DimensionDefaults, DerivedWarmupMatchesDurationRule) {
+  // performance: omitted warmup_s derives min(30, duration_s/10) = 30 at
+  // the default duration of 300 s.
+  const RunFn fn = MakePerformanceSim();
+  DesignPoint point;
+  point.Set("warmup_s", Value(30.0));
+  ExpectSameMetrics(RunAt(fn, DesignPoint()), RunAt(fn, point),
+                    "performance.warmup_s");
+}
+
+TEST(DimensionDefaults, TableIsWellFormed) {
+  std::map<std::string, int> seen;
+  for (const SimulationDims& sim : BuiltinDimensionSpecs()) {
+    EXPECT_FALSE(sim.simulation.empty());
+    EXPECT_FALSE(sim.description.empty());
+    ++seen[sim.simulation];
+    std::map<std::string, int> dims_seen;
+    for (const DimensionSpec& dim : sim.dims) {
+      ++dims_seen[dim.name];
+      EXPECT_NE(dim.type, ValueType::kNull) << dim.name;
+      EXPECT_FALSE(dim.description.empty()) << dim.name;
+      EXPECT_FALSE(dim.fallback.is_null()) << dim.name;
+      // Declared type matches the fallback's runtime type (doubles may be
+      // declared with an integral literal).
+      if (dim.type == ValueType::kString) {
+        EXPECT_EQ(dim.fallback.type(), ValueType::kString) << dim.name;
+      } else {
+        EXPECT_TRUE(dim.fallback.type() == ValueType::kInt ||
+                    dim.fallback.type() == ValueType::kDouble)
+            << dim.name;
+      }
+    }
+    for (const auto& [name, count] : dims_seen) {
+      EXPECT_EQ(count, 1) << sim.simulation << " declares " << name
+                          << " twice";
+    }
+  }
+  for (const auto& [name, count] : seen) {
+    EXPECT_EQ(count, 1) << name << " appears twice in the table";
+  }
+  EXPECT_NE(FindSimulationDims("availability"), nullptr);
+  EXPECT_EQ(FindSimulationDims("no_such_sim"), nullptr);
+}
+
+TEST(DimensionDefaults, RenderedTableMentionsEverything) {
+  const std::string all = RenderDimensionTable();
+  for (const SimulationDims& sim : BuiltinDimensionSpecs()) {
+    EXPECT_NE(all.find(sim.simulation), std::string::npos);
+    for (const DimensionSpec& dim : sim.dims) {
+      EXPECT_NE(all.find(dim.name), std::string::npos)
+          << sim.simulation << "." << dim.name;
+    }
+  }
+  const std::string one = RenderDimensionTable("performance");
+  EXPECT_NE(one.find("request_kb"), std::string::npos);
+  EXPECT_EQ(one.find("node_afr"), std::string::npos);
+  EXPECT_TRUE(RenderDimensionTable("no_such_sim").empty());
+}
+
+}  // namespace
+}  // namespace wt

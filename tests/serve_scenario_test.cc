@@ -1,0 +1,62 @@
+// wt::serve x wt::scenario: USING SCENARIO queries resolve against the
+// committed corpus inside the server, and the sweep cache key includes the
+// scenario file hash — a repeated scenario query is a hit, a query with a
+// different ablation set is its own entry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wt/query/builtin_sims.h"
+#include "wt/serve/server.h"
+
+namespace wt {
+namespace {
+
+constexpr const char* kQuery =
+    "EXPLORE nodes IN [10] "
+    "USING SCENARIO \"fig1_unavailability\" "
+    "WITH ABLATION(round_robin_only) LIMIT 5";
+
+TEST(ServeScenario, RepeatedScenarioQueryHitsCache) {
+  WindTunnel tunnel;
+  ASSERT_TRUE(RegisterBuiltinSimulations(&tunnel).ok());
+  serve::ServerOptions options;
+  options.num_workers = 1;
+  options.seed = 2014;
+  serve::Server server(&tunnel, options);
+
+  auto cold = server.Serve(kQuery);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->cache, serve::CacheOutcome::kMiss);
+  EXPECT_GT(cold->rows, 0u);
+
+  auto warm = server.Serve(kQuery);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->cache, serve::CacheOutcome::kHit);
+  // Cached answers must be byte-identical to the cold answer.
+  EXPECT_EQ(warm->csv, cold->csv);
+
+  // Same scenario, different ablation set → different resolved sweep →
+  // its own cache entry (miss), not a collision with the first.
+  auto other = server.Serve(
+      "EXPLORE nodes IN [10] "
+      "USING SCENARIO \"fig1_unavailability\" LIMIT 5");
+  ASSERT_TRUE(other.ok()) << other.status().ToString();
+  EXPECT_EQ(other->cache, serve::CacheOutcome::kMiss);
+  EXPECT_NE(other->csv, cold->csv);
+
+  server.Shutdown();
+}
+
+TEST(ServeScenario, UnknownScenarioFailsCleanly) {
+  WindTunnel tunnel;
+  ASSERT_TRUE(RegisterBuiltinSimulations(&tunnel).ok());
+  serve::Server server(&tunnel, serve::ServerOptions{});
+  auto reply = server.Serve("USING SCENARIO \"no_such_scenario\"");
+  EXPECT_FALSE(reply.ok());
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace wt

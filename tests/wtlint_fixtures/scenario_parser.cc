@@ -1,0 +1,10 @@
+// Seeded scenario/single-parser violation: an ad-hoc scenario-file parse
+// outside wt/common and wt/scenario.
+
+namespace wt {
+
+Result<JsonValue> SneakyLoad(const std::string& text) {
+  return json::ParseJson(text);
+}
+
+}  // namespace wt

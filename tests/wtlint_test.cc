@@ -45,6 +45,8 @@ const std::map<std::string, std::string>& FixtureMap() {
       {"hygiene.h", "src/wt/obs/fixture_hygiene.h"},
       {"suppression.cc", "src/wt/sim/fixture_suppression.cc"},
       {"allowlist.cc", "src/wt/obs/wallclock.cc"},
+      {"scenario_builders.cc", "src/wt/scenario/fixture_builders.cc"},
+      {"scenario_parser.cc", "src/wt/query/fixture_parser.cc"},
   };
   return kMap;
 }
@@ -125,6 +127,23 @@ TEST(WtlintRules, HygieneFamilyFires) {
   EXPECT_EQ(CountRule(r, "hygiene/include-guard"), 1);
   EXPECT_EQ(CountRule(r, "hygiene/using-namespace-header"), 1);
   EXPECT_EQ(CountRule(r, "hygiene/unordered-serialization"), 1);
+}
+
+TEST(WtlintRules, ScenarioFamilyFires) {
+  AnalysisResult r = AnalyzeAll();
+  // fixture_builders.cc: one non-snake_case name, one duplicate pair (the
+  // wrapped multi-line registration is extracted, not skipped), and one
+  // suppressed grandfathered name.
+  EXPECT_EQ(CountRule(r, "scenario/builder-name"), 2);
+  EXPECT_EQ(CountRule(r, "scenario/builder-name", /*suppressed=*/true), 1);
+  // ParseJson fires only outside wt/common + wt/scenario: the call in the
+  // scenario fixture is exempt, the one in the query fixture is not.
+  EXPECT_EQ(CountRule(r, "scenario/single-parser"), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule == "scenario/single-parser") {
+      EXPECT_EQ(f.file, "src/wt/query/fixture_parser.cc");
+    }
+  }
 }
 
 TEST(WtlintRules, SuppressionsWork) {

@@ -1,6 +1,8 @@
 #include "tools/wtlint/rules.h"
 
 #include <algorithm>
+#include <cctype>
+#include <map>
 #include <set>
 #include <string_view>
 
@@ -27,6 +29,8 @@ constexpr const char* kIncludeGuard = "hygiene/include-guard";
 constexpr const char* kUnorderedSer = "hygiene/unordered-serialization";
 constexpr const char* kBadSuppression = "hygiene/bad-suppression";
 constexpr const char* kUnusedSuppression = "hygiene/unused-suppression";
+constexpr const char* kBuilderName = "scenario/builder-name";
+constexpr const char* kSingleParser = "scenario/single-parser";
 
 bool PathEndsWith(const std::string& path, const std::string& suffix) {
   return StrEndsWith(path, suffix);
@@ -56,6 +60,8 @@ struct FileCtx {
   bool determinism_exempt = false;
   bool hot = false;
   bool serialization = false;
+  bool scenario = false;
+  bool json_parser_exempt = false;
   std::vector<Finding>* findings = nullptr;
 
   void Add(const char* rule, int line, std::string message,
@@ -447,6 +453,128 @@ void CheckHygiene(const FileCtx& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// scenario
+// ---------------------------------------------------------------------------
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// The naming contract for registered builders: lowercase snake_case, no
+// leading/trailing or doubled underscores.
+bool IsSnakeCase(std::string_view s) {
+  if (s.empty() || s.front() < 'a' || s.front() > 'z' || s.back() == '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  return s.find("__") == std::string_view::npos;
+}
+
+struct BuilderReg {
+  std::string family;
+  std::string name;
+  int line = 0;
+};
+
+// Extracts literal `Register("family", "name"` registrations from raw
+// source text. Raw, not the token stream, because the lexer drops string
+// contents; a whitespace-tolerant matcher, because clang-format wraps the
+// argument list across lines. Commented-out registrations count too —
+// delete dead registrations, don't comment them out.
+std::vector<BuilderReg> ExtractBuilderRegs(const std::string& src) {
+  std::vector<BuilderReg> regs;
+  auto skip_ws = [&](size_t k) {
+    while (k < src.size() &&
+           std::isspace(static_cast<unsigned char>(src[k])) != 0) {
+      ++k;
+    }
+    return k;
+  };
+  auto read_string = [&](size_t k, std::string* out) -> size_t {
+    // Returns one past the closing quote, or 0 if not a plain "..." literal.
+    if (k >= src.size() || src[k] != '"') return 0;
+    for (size_t e = k + 1; e < src.size() && src[e] != '\n'; ++e) {
+      if (src[e] == '\\') return 0;  // escapes never appear in builder ids
+      if (src[e] == '"') {
+        *out = src.substr(k + 1, e - k - 1);
+        return e + 1;
+      }
+    }
+    return 0;
+  };
+  constexpr std::string_view kWord = "Register";
+  int line = 1;
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') {
+      ++line;
+      continue;
+    }
+    if (src.compare(i, kWord.size(), kWord) != 0) continue;
+    if (i > 0 && IsIdentChar(src[i - 1])) continue;
+    size_t k = i + kWord.size();
+    if (k < src.size() && IsIdentChar(src[k])) continue;  // RegisterFoo(...)
+    k = skip_ws(k);
+    if (k >= src.size() || src[k] != '(') continue;
+    BuilderReg reg;
+    reg.line = line;
+    k = read_string(skip_ws(k + 1), &reg.family);
+    if (k == 0) continue;  // first argument is not a string literal
+    k = skip_ws(k);
+    if (k >= src.size() || src[k] != ',') continue;
+    if (read_string(skip_ws(k + 1), &reg.name) == 0) continue;
+    regs.push_back(std::move(reg));
+    // Keep scanning from i + 1 so the newline counter stays in sync; the
+    // matched span cannot contain another registration start.
+  }
+  return regs;
+}
+
+// builder_sites maps "family/name" -> "file:line" of the first
+// registration, accumulated across every scanned file so collisions are
+// caught no matter which translation unit re-registers the name.
+void CheckScenario(const FileCtx& ctx,
+                   std::map<std::string, std::string>* builder_sites) {
+  if (ctx.scenario) {
+    for (const BuilderReg& reg : ExtractBuilderRegs(ctx.file->content)) {
+      bool named_ok = true;
+      for (const std::string& part : {reg.family, reg.name}) {
+        if (!IsSnakeCase(part)) {
+          ctx.Add(kBuilderName, reg.line,
+                  "builder id '" + reg.family + "/" + reg.name +
+                      "': '" + part + "' is not snake_case "
+                      "([a-z][a-z0-9_]*, no trailing or doubled '_')");
+          named_ok = false;
+        }
+      }
+      const std::string id = reg.family + "/" + reg.name;
+      const std::string site =
+          ctx.file->path + ":" + std::to_string(reg.line);
+      auto [it, inserted] = builder_sites->emplace(id, site);
+      if (!inserted && named_ok) {
+        ctx.Add(kBuilderName, reg.line,
+                "duplicate builder '" + id + "': first registered at " +
+                    it->second);
+      }
+    }
+  }
+
+  if (!ctx.json_parser_exempt) {
+    for (const Token& t : ctx.lexed->tokens) {
+      if (t.kind == TokKind::kIdent && t.text == "ParseJson") {
+        ctx.Add(kSingleParser, t.line,
+                "ParseJson outside wt/common and wt/scenario: the strict "
+                "JSON reader is the only scenario-file parser; load files "
+                "via scenario::LoadScenarioFile");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // suppression application
 // ---------------------------------------------------------------------------
 
@@ -462,8 +590,8 @@ bool KnownRuleOrFamily(const std::string& pattern) {
       kRawRandom,    kWallClock,      kSleep,          kStdFunction,
       kThrow,        kDynamicCast,    kIostream,       kNodiscard,
       kDroppedStatus, kUsingNamespace, kIncludeGuard,  kUnorderedSer,
-      kBadSuppression, kUnusedSuppression, "determinism", "hotpath",
-      "error",       "hygiene"};
+      kBadSuppression, kUnusedSuppression, kBuilderName, kSingleParser,
+      "determinism", "hotpath", "error", "hygiene", "scenario"};
   return kKnown.count(pattern) != 0;
 }
 
@@ -547,6 +675,9 @@ AnalysisResult Analyze(const std::vector<FileInput>& files,
     ctx.hot = PathStartsWithAny(files[i].path, config.hot_paths);
     ctx.serialization =
         PathStartsWithAny(files[i].path, config.serialization_paths);
+    ctx.scenario = PathStartsWithAny(files[i].path, config.scenario_paths);
+    ctx.json_parser_exempt =
+        PathStartsWithAny(files[i].path, config.json_parser_allowlist);
     return ctx;
   };
 
@@ -558,7 +689,10 @@ AnalysisResult Analyze(const std::vector<FileInput>& files,
     ScanStatusDecls(ctx, /*report=*/true, &status_fns);
   }
 
-  // Pass 2: everything else, then per-file suppression resolution.
+  // Pass 2: everything else, then per-file suppression resolution. Files
+  // arrive sorted by path, so the "first registered at" site recorded for
+  // each builder id is deterministic.
+  std::map<std::string, std::string> builder_sites;
   for (size_t i = 0; i < files.size(); ++i) {
     FileCtx ctx = make_ctx(i);
     const size_t first = [&] {
@@ -573,6 +707,7 @@ AnalysisResult Analyze(const std::vector<FileInput>& files,
     CheckHotPath(ctx);
     CheckDroppedStatus(ctx, status_fns);
     CheckHygiene(ctx);
+    CheckScenario(ctx, &builder_sites);
     ApplySuppressions(ctx, &result.findings, first);
   }
 

@@ -23,6 +23,14 @@
 //                              iteration order could leak into artifacts
 //   hygiene/bad-suppression    wtlint suppression without a reason
 //   hygiene/unused-suppression suppression that matched no finding
+//   scenario/builder-name      a Register("family", "name", ...) builder
+//                              registration (src/wt/scenario/) whose name is
+//                              not snake_case, or whose family/name pair
+//                              collides with an earlier registration
+//   scenario/single-parser     ParseJson called outside wt/common and
+//                              wt/scenario: the strict JSON reader is the
+//                              only scenario-file parser; everything else
+//                              loads through scenario::LoadScenarioFile
 //
 // Determinism rules are skipped entirely for files on the allowlist
 // (default: exactly src/wt/obs/wallclock.cc — see that header's contract).
@@ -59,6 +67,13 @@ struct Config {
   // Path prefixes where unordered containers may not feed serialized output.
   std::vector<std::string> serialization_paths = {"src/wt/obs/",
                                                   "src/wt/store/"};
+  // Path prefixes holding scenario builder registrations
+  // (scenario/builder-name scans their raw text).
+  std::vector<std::string> scenario_paths = {"src/wt/scenario/"};
+  // Path prefixes allowed to call the strict JSON reader directly; every
+  // other caller must go through the scenario layer (scenario/single-parser).
+  std::vector<std::string> json_parser_allowlist = {"src/wt/common/",
+                                                    "src/wt/scenario/"};
 };
 
 struct FileInput {
