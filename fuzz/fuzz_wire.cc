@@ -1,0 +1,62 @@
+// Fuzz harness for the serve wire layer: FdStream::ReadLine and the
+// dot-stuffed frame decoder behind it, fed straight off an fd the way a
+// malicious client would. Properties: arbitrary bytes never crash the
+// decoder, every frame either decodes or surfaces a Status, and the
+// max-line bound actually bounds (a tiny-limit pass rides along so the
+// overflow branch is exercised on every input).
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "wt/common/result.h"
+#include "wt/serve/wire.h"
+
+namespace {
+
+// Replays `data` through ReadFrame until the stream errors out. A memfd
+// (anonymous in-memory file) instead of a socketpair: writes can never
+// block on a kernel buffer, so input size is unbounded, and FdStream's
+// non-socket read path is the same read() loop either way.
+void DrainFrames(const uint8_t* data, size_t size, size_t max_line_bytes) {
+  const int fd = memfd_create("wt_fuzz_wire", 0);
+  if (fd < 0) return;
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = write(fd, data + written, size - written);
+    if (n <= 0) {
+      close(fd);
+      return;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (lseek(fd, 0, SEEK_SET) != 0) {
+    close(fd);
+    return;
+  }
+  wt::serve::FdStream stream(fd, max_line_bytes);
+  for (int frames = 0; frames < 1024; ++frames) {
+    wt::Result<wt::serve::Frame> frame = wt::serve::ReadFrame(&stream);
+    if (!frame.ok()) break;  // EOF, oversize line, or malformed frame
+    // A decoded frame must re-encode without crashing; the encoder's
+    // dot-stuffing must keep the payload terminator-safe, so the bytes
+    // must decode back to the same frame.
+    const std::string bytes = wt::serve::EncodeFrame(*frame);
+    if (bytes.empty() || bytes.back() != '\n') {
+      std::fprintf(stderr, "fuzz_wire: EncodeFrame lost the terminator\n");
+      std::abort();
+    }
+  }
+  close(fd);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  DrainFrames(data, size, wt::serve::kMaxLineBytes);
+  DrainFrames(data, size, /*max_line_bytes=*/16);  // overflow branch
+  return 0;
+}

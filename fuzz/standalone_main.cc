@@ -1,0 +1,121 @@
+// Fallback driver for toolchains without libFuzzer (GCC builds; the CI
+// fuzz-smoke job uses Clang's real -fsanitize=fuzzer). Replays every
+// corpus file handed on the command line (directories recurse), then runs
+// WT_FUZZ_MUTANTS (default 64) deterministic xorshift mutants of each
+// seed, so the harness still explores a neighborhood of the corpus — the
+// same property checks run either way, and a crash is a real finding.
+//
+// No wall clock, no global RNG: the mutant stream is a pure function of
+// the seed bytes, so a failure reproduces by re-running the same command.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+void RunInput(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+}
+
+// Byte-level mutations in the classic fuzzer repertoire: flip, overwrite,
+// insert, erase, truncate. Small and dumb on purpose — the corpus carries
+// the structure, the mutants probe its edges.
+std::string Mutate(const std::string& seed, uint64_t* rng) {
+  std::string m = seed;
+  const int edits = 1 + static_cast<int>(XorShift(rng) % 4);
+  for (int e = 0; e < edits; ++e) {
+    const uint64_t op = XorShift(rng) % 5;
+    const size_t pos = m.empty() ? 0 : XorShift(rng) % m.size();
+    switch (op) {
+      case 0:
+        if (!m.empty()) m[pos] ^= static_cast<char>(1u << (XorShift(rng) % 8));
+        break;
+      case 1:
+        if (!m.empty()) m[pos] = static_cast<char>(XorShift(rng) % 256);
+        break;
+      case 2:
+        m.insert(pos, 1, static_cast<char>(XorShift(rng) % 256));
+        break;
+      case 3:
+        if (!m.empty()) m.erase(pos, 1);
+        break;
+      default:
+        m.resize(pos);
+        break;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int mutants = 64;
+  if (const char* env = std::getenv("WT_FUZZ_MUTANTS")) {
+    mutants = std::atoi(env);
+  }
+
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg = argv[i];
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(arg)) {
+      inputs.push_back(arg);
+    } else {
+      std::fprintf(stderr, "fuzz: no such input: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  long executed = 0;
+  for (const fs::path& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string seed = ss.str();
+    RunInput(seed);
+    ++executed;
+    uint64_t rng = Fnv1a(seed) | 1u;  // never the all-zero xorshift orbit
+    for (int k = 0; k < mutants; ++k) {
+      RunInput(Mutate(seed, &rng));
+      ++executed;
+    }
+  }
+  std::printf("fuzz: %ld input(s) executed (%zu seed(s), %d mutant(s) "
+              "each), no crashes\n",
+              executed, inputs.size(), mutants);
+  return 0;
+}

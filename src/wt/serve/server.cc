@@ -274,7 +274,9 @@ void Server::AcceptLoop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       const int err = errno;
-      if (shutting_down_.load()) return;  // shutdown(listen_fd_) woke us
+      if (shutting_down_.load(std::memory_order_acquire)) {
+        return;  // shutdown(listen_fd_) woke us
+      }
       if (err == EINTR || err == ECONNABORTED) continue;
       if (err == EMFILE || err == ENFILE) {
         // Descriptor exhaustion is transient (a connection closing frees
@@ -291,7 +293,7 @@ void Server::AcceptLoop() {
           StrFormat("accept: %s (listener stopped)", std::strerror(err));
       return;
     }
-    if (shutting_down_.load()) {
+    if (shutting_down_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
     }
@@ -342,7 +344,10 @@ size_t Server::live_connections() const {
 }
 
 void Server::Shutdown() {
-  if (shutting_down_.exchange(true)) {
+  // acq_rel: the winning caller's prior writes (e.g. handler teardown in
+  // subclasses) are visible to a losing second caller, which returns
+  // believing shutdown is complete.
+  if (shutting_down_.exchange(true, std::memory_order_acq_rel)) {
     // Second caller (e.g. the destructor after an explicit Shutdown):
     // everything below already ran.
     return;

@@ -1,0 +1,43 @@
+// Seeded violations for the concurrency/ family. Scanned as
+// src/wt/serve/fixture_concurrency.cc: an atomic-order-scoped path that is
+// NOT on the raw-thread allowlist (serve/server is; this fixture is not).
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace wt {
+
+void ImplicitOrders(std::atomic<int>& counter) {
+  counter.load();                                   // implicit-seq-cst
+  counter.store(1);                                 // implicit-seq-cst
+  counter.exchange(2);                              // implicit-seq-cst
+  counter.fetch_add(1);                             // implicit-seq-cst
+  counter.load(std::memory_order_acquire);          // ok: order named
+  counter.fetch_add(1, std::memory_order_relaxed);  // ok: order named
+  bool expected = false;
+  std::atomic<bool> flag{false};
+  flag.compare_exchange_strong(expected, true,
+                               std::memory_order_acq_rel);  // ok
+}
+
+struct Accessors {
+  int store_ = 0;
+  int store() const { return store_; }  // a getter, not an atomic store
+};
+
+int NotAtomic(const Accessors& a) { return a.store(); }  // zero-arg: clean
+
+void ManualLocks(std::mutex& mu) {
+  mu.lock();    // manual-lock
+  mu.unlock();  // manual-lock
+  std::lock_guard<std::mutex> guard(mu);  // ok: RAII
+}
+
+void Threads() {
+  std::thread worker([] {});  // raw-thread
+  worker.detach();            // thread-detach
+  std::thread licensed([] {});  // wtlint: allow(concurrency/raw-thread) -- fixture: grandfathered construction site
+  licensed.join();
+}
+
+}  // namespace wt

@@ -1,0 +1,22 @@
+// Seeded violations for determinism-flow/unordered-sink. Scanned as
+// src/wt/query/fixture_flow.cc — outside the serialization layers (where
+// hygiene/unordered-serialization already fires unconditionally) but a TU
+// that both uses unordered containers and reaches a serialization sink.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wt {
+
+std::string ToJson(const std::unordered_map<int, int>& m);  // unordered-sink
+
+std::string DumpCounts(
+    const std::unordered_map<int, int>& counts) {  // unordered-sink
+  std::unordered_set<int> seen;                    // unordered-sink
+  (void)seen;
+  std::unordered_map<int, int> audited;  // wtlint: allow(determinism-flow) -- fixture: family suppression on a flow finding
+  (void)audited;
+  return ToJson(counts);
+}
+
+}  // namespace wt

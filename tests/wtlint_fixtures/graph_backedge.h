@@ -1,0 +1,9 @@
+// Layering fixture: a sim/ header (layer 3) including serve/ (layer 9) —
+// the DES kernel reaching up into the query server. deps/layer-back-edge
+// must fire on the include line.
+#ifndef WT_SIM_FIXTURE_BACKEDGE_H_
+#define WT_SIM_FIXTURE_BACKEDGE_H_
+
+#include "wt/serve/fixture_cycle_x.h"
+
+#endif  // WT_SIM_FIXTURE_BACKEDGE_H_

@@ -1,0 +1,10 @@
+// Include-cycle fixture: x -> y -> z -> x, scanned under
+// src/wt/serve/ virtual paths (same module, so only deps/include-cycle
+// fires; z's closing edge is behind an #ifdef to prove conditional
+// includes count).
+#ifndef WT_SERVE_FIXTURE_CYCLE_X_H_
+#define WT_SERVE_FIXTURE_CYCLE_X_H_
+
+#include "wt/serve/fixture_cycle_y.h"
+
+#endif  // WT_SERVE_FIXTURE_CYCLE_X_H_

@@ -1,0 +1,7 @@
+// Middle hop of the x -> y -> z -> x include-cycle fixture.
+#ifndef WT_SERVE_FIXTURE_CYCLE_Y_H_
+#define WT_SERVE_FIXTURE_CYCLE_Y_H_
+
+#include "wt/serve/fixture_cycle_z.h"
+
+#endif  // WT_SERVE_FIXTURE_CYCLE_Y_H_

@@ -1,0 +1,11 @@
+// Closes the x -> y -> z -> x cycle — conditionally. The edge exists only
+// when WT_WIND_TUNNEL_EXPERIMENTAL is defined, and the analyzer must still
+// count it: a gated cycle is still a cycle when the gate flips.
+#ifndef WT_SERVE_FIXTURE_CYCLE_Z_H_
+#define WT_SERVE_FIXTURE_CYCLE_Z_H_
+
+#ifdef WT_WIND_TUNNEL_EXPERIMENTAL
+#include "wt/serve/fixture_cycle_x.h"
+#endif
+
+#endif  // WT_SERVE_FIXTURE_CYCLE_Z_H_

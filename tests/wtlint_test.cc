@@ -17,6 +17,7 @@
 
 #include "tools/wtlint/lexer.h"
 #include "tools/wtlint/rules.h"
+#include "wt/core/thread_pool.h"
 #include "wt/obs/json_lint.h"
 
 namespace wt {
@@ -38,7 +39,13 @@ std::string ReadFixture(const std::string& name) {
 // Fixture file -> the virtual repo path it is scanned under.
 const std::map<std::string, std::string>& FixtureMap() {
   static const std::map<std::string, std::string> kMap = {
+      {"concurrency.cc", "src/wt/serve/fixture_concurrency.cc"},
       {"determinism.cc", "src/wt/core/fixture_determinism.cc"},
+      {"flow.cc", "src/wt/query/fixture_flow.cc"},
+      {"graph_backedge.h", "src/wt/sim/fixture_backedge.h"},
+      {"graph_cycle_x.h", "src/wt/serve/fixture_cycle_x.h"},
+      {"graph_cycle_y.h", "src/wt/serve/fixture_cycle_y.h"},
+      {"graph_cycle_z.h", "src/wt/serve/fixture_cycle_z.h"},
       {"hotpath.cc", "src/wt/sim/fixture_hotpath.cc"},
       {"error.h", "src/wt/core/fixture_error.h"},
       {"error_drop.cc", "src/wt/core/fixture_error_drop.cc"},
@@ -144,6 +151,146 @@ TEST(WtlintRules, ScenarioFamilyFires) {
       EXPECT_EQ(f.file, "src/wt/query/fixture_parser.cc");
     }
   }
+}
+
+TEST(WtlintRules, ConcurrencyFamilyFires) {
+  AnalysisResult r = AnalyzeAll();
+  // load() / store(1) / exchange(2) / fetch_add(1); every order-carrying
+  // call in the fixture passes.
+  EXPECT_EQ(CountRule(r, "concurrency/implicit-seq-cst"), 4);
+  EXPECT_EQ(CountRule(r, "concurrency/manual-lock"), 2);
+  EXPECT_EQ(CountRule(r, "concurrency/thread-detach"), 1);
+  EXPECT_EQ(CountRule(r, "concurrency/raw-thread"), 1);
+  EXPECT_EQ(CountRule(r, "concurrency/raw-thread", /*suppressed=*/true), 1);
+}
+
+TEST(WtlintRules, ImplicitSeqCstScopedToConfiguredPaths) {
+  // The same atomic access outside sim/core/serve is legal: the rule
+  // encodes a review policy for the concurrent layers, not a style ban.
+  const char* src =
+      "#include <atomic>\n"
+      "int f(std::atomic<int>& a) { return a.load(); }\n";
+  AnalysisResult r = Analyze({{"src/wt/stats/fixture.cc", src}}, Config{});
+  EXPECT_EQ(CountRule(r, "concurrency/implicit-seq-cst"), 0);
+  AnalysisResult scoped = Analyze({{"src/wt/sim/fixture.cc", src}}, Config{});
+  EXPECT_EQ(CountRule(scoped, "concurrency/implicit-seq-cst"), 1);
+}
+
+TEST(WtlintRules, WeakPtrLockInMutexFreeTuIsClean) {
+  // weak_ptr::lock() is a shared_ptr factory, not a lock acquisition;
+  // manual-lock only arms in TUs that name a mutex type.
+  const char* src =
+      "#include <memory>\n"
+      "std::shared_ptr<int> f(const std::weak_ptr<int>& w) {\n"
+      "  return w.lock();\n"
+      "}\n";
+  AnalysisResult r = Analyze({{"src/wt/core/fixture.cc", src}}, Config{});
+  EXPECT_EQ(CountRule(r, "concurrency/manual-lock"), 0);
+}
+
+TEST(WtlintRules, DeterminismFlowFamilyFires) {
+  AnalysisResult r = AnalyzeAll();
+  EXPECT_EQ(CountRule(r, "determinism-flow/unordered-sink"), 3);
+  EXPECT_EQ(CountRule(r, "determinism-flow/unordered-sink",
+                      /*suppressed=*/true),
+            1);
+  for (const Finding& f : r.findings) {
+    if (f.rule == "determinism-flow/unordered-sink") {
+      EXPECT_EQ(f.file, "src/wt/query/fixture_flow.cc");
+      EXPECT_NE(f.message.find("ToJson"), std::string::npos);
+    }
+  }
+}
+
+TEST(WtlintRules, DeterminismFlowNeedsBothContainerAndSink) {
+  const char* container_only =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> counts;\n";
+  AnalysisResult r =
+      Analyze({{"src/wt/query/fixture.cc", container_only}}, Config{});
+  EXPECT_EQ(CountRule(r, "determinism-flow/unordered-sink"), 0);
+}
+
+TEST(WtlintDeps, LayerBackEdgeFires) {
+  AnalysisResult r = AnalyzeAll();
+  ASSERT_EQ(CountRule(r, "deps/layer-back-edge"), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule != "deps/layer-back-edge") continue;
+    EXPECT_EQ(f.file, "src/wt/sim/fixture_backedge.h");
+    EXPECT_EQ(f.line, 7);  // the #include line, not the file head
+    EXPECT_NE(f.message.find("sim"), std::string::npos);
+    EXPECT_NE(f.message.find("serve"), std::string::npos);
+  }
+}
+
+TEST(WtlintDeps, IncludeCycleReportedOnceWithFullPath) {
+  AnalysisResult r = AnalyzeAll();
+  ASSERT_EQ(CountRule(r, "deps/include-cycle"), 1);
+  for (const Finding& f : r.findings) {
+    if (f.rule != "deps/include-cycle") continue;
+    // The closing edge lives in z — inside an #ifdef, which must count.
+    EXPECT_EQ(f.file, "src/wt/serve/fixture_cycle_z.h");
+    EXPECT_NE(f.message.find("fixture_cycle_x.h"), std::string::npos);
+    EXPECT_NE(f.message.find("fixture_cycle_y.h"), std::string::npos);
+    EXPECT_NE(f.message.find("fixture_cycle_z.h"), std::string::npos);
+  }
+}
+
+TEST(WtlintDeps, UnknownModuleFires) {
+  Config config;
+  config.layer_config = LayerConfig{{{"common"}}};
+  AnalysisResult r = Analyze(
+      {{"src/wt/mystery/box.h",
+        "#ifndef WT_MYSTERY_BOX_H_\n#define WT_MYSTERY_BOX_H_\n"
+        "#endif  // WT_MYSTERY_BOX_H_\n"}},
+      config);
+  EXPECT_EQ(CountRule(r, "deps/unknown-module"), 1);
+}
+
+TEST(WtlintDeps, SameLayerCrossModuleIncludeIsBackEdge) {
+  // stats and store share rank 1: peer modules stay independent.
+  const char* src =
+      "#ifndef WT_STATS_PEEK_H_\n#define WT_STATS_PEEK_H_\n"
+      "#include \"wt/store/db.h\"\n"
+      "#endif  // WT_STATS_PEEK_H_\n";
+  const char* dep =
+      "#ifndef WT_STORE_DB_H_\n#define WT_STORE_DB_H_\n"
+      "#endif  // WT_STORE_DB_H_\n";
+  AnalysisResult r = Analyze(
+      {{"src/wt/stats/peek.h", src}, {"src/wt/store/db.h", dep}}, Config{});
+  EXPECT_EQ(CountRule(r, "deps/layer-back-edge"), 1);
+}
+
+TEST(WtlintDeps, CommittedLayersJsonMatchesCompiledDefault) {
+  std::ifstream in(WTLINT_REPO_LAYERS, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing " << WTLINT_REPO_LAYERS;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  Result<LayerConfig> parsed = ParseLayersJson(ss.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->layers, DefaultLayerConfig().layers)
+      << "tools/wtlint/layers.json and DefaultLayerConfig() drifted; "
+         "edit them together (and the DESIGN.md section 7 diagram)";
+}
+
+TEST(WtlintDeps, ParseLayersJsonRejectsMalformedConfigs) {
+  EXPECT_FALSE(ParseLayersJson("[]").ok());
+  EXPECT_FALSE(ParseLayersJson("{}").ok());
+  EXPECT_FALSE(ParseLayersJson("{\"layers\": []}").ok());
+  EXPECT_FALSE(ParseLayersJson("{\"layers\": [[]]}").ok());
+  EXPECT_FALSE(ParseLayersJson("{\"layers\": [[42]]}").ok());
+  EXPECT_FALSE(
+      ParseLayersJson("{\"layers\": [[\"a\"], [\"a\"]]}").ok());  // dup
+  EXPECT_TRUE(ParseLayersJson("{\"layers\": [[\"a\"], [\"b\"]]}").ok());
+}
+
+TEST(WtlintRules, ParallelAnalysisMatchesSerialByteForByte) {
+  const std::vector<FileInput> files = LoadAllFixtures();
+  const AnalysisResult serial = Analyze(files, Config{});
+  ThreadPool pool(3);
+  const AnalysisResult parallel = Analyze(files, Config{}, &pool);
+  EXPECT_EQ(ResultToJson(parallel), ResultToJson(serial));
+  EXPECT_EQ(ResultToText(parallel), ResultToText(serial));
 }
 
 TEST(WtlintRules, SuppressionsWork) {

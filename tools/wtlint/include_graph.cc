@@ -1,0 +1,259 @@
+#include "tools/wtlint/include_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "tools/wtlint/rules.h"
+#include "wt/common/json.h"
+#include "wt/common/string_util.h"
+
+namespace wt {
+namespace wtlint {
+
+namespace {
+
+constexpr const char* kIncludeCycle = "deps/include-cycle";
+constexpr const char* kLayerBackEdge = "deps/layer-back-edge";
+constexpr const char* kUnknownModule = "deps/unknown-module";
+
+// Lexically normalizes a '/'-separated path: collapses "." and "..".
+std::string NormalizePath(const std::string& path) {
+  std::vector<std::string> out;
+  for (const std::string& part : StrSplit(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !out.empty() && out.back() != "..") {
+      out.pop_back();
+      continue;
+    }
+    out.push_back(part);
+  }
+  return StrJoin(out, "/");
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// Extracts the target of an `#include "..."` directive, or "" for system
+// includes and non-include directives. `text` is a whole logical
+// preprocessor line (continuations already joined by the lexer).
+std::string QuotedIncludeTarget(const std::string& text) {
+  std::string_view s = StrTrim(text);
+  if (s.empty() || s.front() != '#') return "";
+  s = StrTrim(s.substr(1));
+  if (!StrStartsWith(s, "include")) return "";
+  s = StrTrim(s.substr(7));
+  if (s.empty() || s.front() != '"') return "";
+  const size_t close = s.find('"', 1);
+  if (close == std::string_view::npos) return "";
+  return std::string(s.substr(1, close - 1));
+}
+
+struct Edge {
+  int to = -1;
+  int line = 0;           // line of the #include in the including file
+  std::string spelling;   // the quoted path as written
+};
+
+}  // namespace
+
+LayerConfig DefaultLayerConfig() {
+  // Mirrors tools/wtlint/layers.json (wtlint_test diffs the two; edit both
+  // together, plus the DESIGN.md section 7 diagram).
+  return LayerConfig{{
+      {"common"},
+      {"sla", "stats", "store"},
+      {"obs"},
+      {"sim"},
+      {"analytics", "hw"},
+      {"soft", "workload"},
+      {"core"},
+      {"query"},
+      {"scenario"},
+      {"serve"},
+  }};
+}
+
+Result<LayerConfig> ParseLayersJson(std::string_view text) {
+  using json::JsonValue;
+  Result<JsonValue> doc = json::ParseJson(text);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) {
+    return Status::ParseError("layers.json: top level must be an object");
+  }
+  const JsonValue* layers = doc->Find("layers");
+  if (layers == nullptr || !layers->is_array() || layers->size() == 0) {
+    return Status::ParseError(
+        "layers.json: required member 'layers' must be a non-empty array");
+  }
+  LayerConfig config;
+  std::set<std::string> seen;
+  for (size_t i = 0; i < layers->size(); ++i) {
+    const JsonValue& rank = layers->At(i);
+    if (!rank.is_array() || rank.size() == 0) {
+      return Status::ParseError(StrFormat(
+          "layers.json: layers[%zu] must be a non-empty array of modules",
+          i));
+    }
+    std::vector<std::string> modules;
+    for (size_t j = 0; j < rank.size(); ++j) {
+      if (!rank.At(j).is_string() || rank.At(j).AsString().empty()) {
+        return Status::ParseError(StrFormat(
+            "layers.json: layers[%zu][%zu] must be a module name", i, j));
+      }
+      const std::string& name = rank.At(j).AsString();
+      if (!seen.insert(name).second) {
+        return Status::ParseError(
+            StrFormat("layers.json: module '%s' appears twice",
+                      name.c_str()));
+      }
+      modules.push_back(name);
+    }
+    config.layers.push_back(std::move(modules));
+  }
+  return config;
+}
+
+std::string ModuleOf(const std::string& path) {
+  constexpr std::string_view kPrefix = "src/wt/";
+  if (!StrStartsWith(path, kPrefix)) return "";
+  const size_t start = kPrefix.size();
+  const size_t slash = path.find('/', start);
+  if (slash == std::string::npos) return "";  // a file directly in src/wt/
+  return path.substr(start, slash - start);
+}
+
+void CheckDependencies(const std::vector<FileInput>& files,
+                       const std::vector<LexedFile>& lexed,
+                       const LayerConfig& layer_config,
+                       std::vector<std::vector<Finding>>* per_file_findings) {
+  auto add = [&](size_t i, const char* rule, int line, std::string message) {
+    Finding f;
+    f.rule = rule;
+    f.file = files[i].path;
+    f.line = line;
+    f.message = std::move(message);
+    (*per_file_findings)[i].push_back(std::move(f));
+  };
+
+  std::map<std::string, int> path_to_index;
+  for (size_t i = 0; i < files.size(); ++i) {
+    path_to_index[files[i].path] = static_cast<int>(i);
+  }
+
+  std::map<std::string, int> module_rank;
+  for (size_t r = 0; r < layer_config.layers.size(); ++r) {
+    for (const std::string& m : layer_config.layers[r]) {
+      module_rank[m] = static_cast<int>(r);
+    }
+  }
+
+  // Resolve every quoted include against the project's include roots:
+  // the including file's own directory (bench/-style local includes),
+  // then src/ (the "wt/..." convention), then the repo root ("tools/...").
+  std::vector<std::vector<Edge>> adj(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    for (const Token& t : lexed[i].tokens) {
+      if (t.kind != TokKind::kPreproc) continue;
+      const std::string target = QuotedIncludeTarget(t.text);
+      if (target.empty()) continue;
+      int to = -1;
+      const std::string local =
+          NormalizePath(DirName(files[i].path) + "/" + target);
+      for (const std::string& candidate :
+           {local, "src/" + target, target}) {
+        auto it = path_to_index.find(NormalizePath(candidate));
+        if (it != path_to_index.end()) {
+          to = it->second;
+          break;
+        }
+      }
+      if (to < 0 || to == static_cast<int>(i)) continue;
+      adj[i].push_back(Edge{to, t.line, target});
+    }
+  }
+
+  // --- deps/unknown-module + deps/layer-back-edge ---------------------------
+  std::set<std::string> unknown_reported;
+  for (size_t i = 0; i < files.size(); ++i) {
+    const std::string from_mod = ModuleOf(files[i].path);
+    if (!from_mod.empty() && module_rank.count(from_mod) == 0 &&
+        unknown_reported.insert(files[i].path).second) {
+      add(i, kUnknownModule, 1,
+          "module '" + from_mod + "' is not in tools/wtlint/layers.json; "
+          "add it to a layer (the DAG is maintained with the tree)");
+    }
+    for (const Edge& e : adj[i]) {
+      const std::string to_mod = ModuleOf(files[e.to].path);
+      if (from_mod.empty()) continue;  // scan roots sit above every layer
+      if (to_mod == from_mod) continue;
+      if (module_rank.count(from_mod) == 0) continue;  // already reported
+      if (to_mod.empty()) {
+        add(i, kLayerBackEdge, e.line,
+            "'" + e.spelling + "': src/wt module '" + from_mod +
+                "' may not include scan-root code (" + files[e.to].path +
+                "); tools/bench/examples sit above every layer");
+        continue;
+      }
+      if (module_rank.count(to_mod) == 0) continue;  // reported at its file
+      const int from_rank = module_rank[from_mod];
+      const int to_rank = module_rank[to_mod];
+      if (to_rank >= from_rank) {
+        add(i, kLayerBackEdge, e.line,
+            StrFormat("'%s': back-edge %s (layer %d) -> %s (layer %d); "
+                      "edges must point strictly downward in "
+                      "tools/wtlint/layers.json",
+                      e.spelling.c_str(), from_mod.c_str(), from_rank,
+                      to_mod.c_str(), to_rank));
+      }
+    }
+  }
+
+  // --- deps/include-cycle ---------------------------------------------------
+  // Iterative DFS, files in path-sorted order (the caller sorts), adjacency
+  // in include order: the first back-edge discovered for a cycle reports
+  // it, anchored at the include directive that closes it. `done` nodes
+  // cannot be on any new cycle, so each cycle is reported exactly once.
+  std::vector<int> state(files.size(), 0);  // 0 new, 1 on stack, 2 done
+  struct Frame {
+    int node;
+    size_t next_edge = 0;
+  };
+  for (size_t start = 0; start < files.size(); ++start) {
+    if (state[start] != 0) continue;
+    std::vector<Frame> stack{{static_cast<int>(start)}};
+    state[start] = 1;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_edge >= adj[frame.node].size()) {
+        state[frame.node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const Edge& e = adj[frame.node][frame.next_edge++];
+      if (state[e.to] == 2) continue;
+      if (state[e.to] == 1) {
+        // Cycle: the stack suffix from e.to up to frame.node, closed by e.
+        std::string path;
+        bool in_cycle = false;
+        for (const Frame& f : stack) {
+          if (f.node == e.to) in_cycle = true;
+          if (in_cycle) path += files[f.node].path + " -> ";
+        }
+        path += files[e.to].path;
+        add(static_cast<size_t>(frame.node), kIncludeCycle, e.line,
+            "include cycle: " + path +
+                "; break it with a forward declaration or an interface "
+                "split");
+        continue;
+      }
+      state[e.to] = 1;
+      stack.push_back(Frame{e.to});
+    }
+  }
+}
+
+}  // namespace wtlint
+}  // namespace wt

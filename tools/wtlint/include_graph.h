@@ -1,0 +1,80 @@
+// wtlint's whole-program project model: the include graph.
+//
+// Single-file token rules cannot see cross-file failure modes — dependency
+// cycles, layering inversions (sim/ reaching into serve/), a second JSON
+// parser growing in a leaf. This module parses every `#include "..."`
+// directive in the scanned file set, resolves it against the project's
+// include roots (src/ for "wt/..." paths, the repo root for "tools/...",
+// the including file's own directory for local includes), maps files to
+// modules (src/wt/<module>/...), and checks two structural invariants:
+//
+//   deps/include-cycle    the file-level include graph must be acyclic;
+//                         every cycle is reported once, with the full
+//                         offending path a.h -> b.h -> ... -> a.h
+//   deps/layer-back-edge  module-level edges must point strictly downward
+//                         in the committed layering DAG
+//                         (tools/wtlint/layers.json): rank(includee) <
+//                         rank(includer). Same-rank cross-module edges are
+//                         back-edges too (peer modules stay independent),
+//                         and src/wt code may never include scan-root code
+//                         (tools/, bench/, examples/, fuzz/).
+//   deps/unknown-module   a src/wt/<module>/ file whose module is missing
+//                         from layers.json: the DAG must be maintained
+//                         alongside the tree.
+//
+// Includes inside preprocessor conditionals count unconditionally: an edge
+// that exists in any configuration is an edge the layering must license
+// (a gated back-edge is still a back-edge when the gate flips).
+//
+// Unresolvable quoted includes (system headers, third-party) are ignored:
+// the graph covers exactly the files handed to Analyze().
+
+#ifndef WT_TOOLS_WTLINT_INCLUDE_GRAPH_H_
+#define WT_TOOLS_WTLINT_INCLUDE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/wtlint/lexer.h"
+#include "wt/common/result.h"
+
+namespace wt {
+namespace wtlint {
+
+struct Finding;
+struct FileInput;
+
+/// The layering DAG: layers[i] lists the modules at rank i; edges must
+/// point strictly downward in rank. Compiled-in default == the committed
+/// tools/wtlint/layers.json (wtlint_test diffs the two).
+struct LayerConfig {
+  std::vector<std::vector<std::string>> layers;
+};
+
+/// The DAG the tree is held to (mirrors tools/wtlint/layers.json).
+[[nodiscard]] LayerConfig DefaultLayerConfig();
+
+/// Parses a layers.json document ({"layers": [["common"], ...]}; a
+/// top-level "comment" member is ignored). Malformed input is an error —
+/// wtlint exits 2 (internal), it does not report findings, for a broken
+/// config.
+[[nodiscard]] Result<LayerConfig> ParseLayersJson(std::string_view text);
+
+/// Module of a root-relative path: "src/wt/<m>/..." -> "<m>"; anything
+/// else (tools/, bench/, examples/, fuzz/, generated TUs) -> "" — a
+/// scan-root file, above every layer.
+[[nodiscard]] std::string ModuleOf(const std::string& path);
+
+/// Builds the include graph over `files` (parallel-indexed by `lexed`) and
+/// appends deps/ findings to per_file_findings[i] for the *including*
+/// file i — cycle findings anchor at the include directive that closes the
+/// cycle, layering findings at the offending #include line.
+void CheckDependencies(const std::vector<FileInput>& files,
+                       const std::vector<LexedFile>& lexed,
+                       const LayerConfig& layer_config,
+                       std::vector<std::vector<Finding>>* per_file_findings);
+
+}  // namespace wtlint
+}  // namespace wt
+
+#endif  // WT_TOOLS_WTLINT_INCLUDE_GRAPH_H_

@@ -6,8 +6,9 @@
 #include <set>
 #include <string_view>
 
-#include "wt/common/string_util.h"
 #include "tools/wtlint/lexer.h"
+#include "wt/common/string_util.h"
+#include "wt/core/thread_pool.h"
 
 namespace wt {
 namespace wtlint {
@@ -31,6 +32,11 @@ constexpr const char* kBadSuppression = "hygiene/bad-suppression";
 constexpr const char* kUnusedSuppression = "hygiene/unused-suppression";
 constexpr const char* kBuilderName = "scenario/builder-name";
 constexpr const char* kSingleParser = "scenario/single-parser";
+constexpr const char* kImplicitSeqCst = "concurrency/implicit-seq-cst";
+constexpr const char* kManualLock = "concurrency/manual-lock";
+constexpr const char* kRawThread = "concurrency/raw-thread";
+constexpr const char* kThreadDetach = "concurrency/thread-detach";
+constexpr const char* kUnorderedSink = "determinism-flow/unordered-sink";
 
 bool PathEndsWith(const std::string& path, const std::string& suffix) {
   return StrEndsWith(path, suffix);
@@ -53,7 +59,8 @@ bool IsPunct(const Token& t, std::string_view text) {
   return t.kind == TokKind::kPunct && t.text == text;
 }
 
-// Shared scan state for one file.
+// Shared scan state for one file. Findings go into the file's own buffer
+// so per-file checks can run concurrently (Analyze merges in path order).
 struct FileCtx {
   const FileInput* file = nullptr;
   const LexedFile* lexed = nullptr;
@@ -62,6 +69,8 @@ struct FileCtx {
   bool serialization = false;
   bool scenario = false;
   bool json_parser_exempt = false;
+  bool atomic_order_scoped = false;
+  bool raw_thread_allowed = false;
   std::vector<Finding>* findings = nullptr;
 
   void Add(const char* rule, int line, std::string message,
@@ -101,6 +110,17 @@ bool IsCallPosition(const std::vector<Token>& toks, size_t i) {
     return IsIdent(qual, "std") || qual.kind != TokKind::kIdent;
   }
   return true;
+}
+
+// True if tokens[i] is the method of a member call: `x.name(` / `x->name(`.
+bool IsMemberCall(const std::vector<Token>& toks, size_t i) {
+  if (toks[i].kind != TokKind::kIdent) return false;
+  if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) return false;
+  if (i == 0) return false;
+  const Token& prev = toks[i - 1];
+  if (IsPunct(prev, ".")) return true;
+  return prev.kind == TokKind::kPunct && prev.text == ">" && i >= 2 &&
+         IsPunct(toks[i - 2], "-");
 }
 
 // ---------------------------------------------------------------------------
@@ -453,6 +473,183 @@ void CheckHygiene(const FileCtx& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// concurrency
+// ---------------------------------------------------------------------------
+
+// Scans the argument list opened at toks[open] == "(". Reports the number
+// of top-level arguments and whether any token names a std::memory_order
+// (enum value `memory_order_acquire` or scoped `memory_order::acquire`).
+// Returns false when the parens never balance (macro soup): the caller
+// skips the site rather than guess.
+bool ScanCallArgs(const std::vector<Token>& toks, size_t open, int* num_args,
+                  bool* has_memory_order) {
+  *num_args = 0;
+  *has_memory_order = false;
+  int depth = 0;
+  for (size_t j = open; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (t.text == ")" || t.text == "]" || t.text == "}") {
+        if (--depth == 0) return true;
+        continue;
+      }
+      if (t.text == "," && depth == 1 && *num_args > 0) {
+        continue;  // separator inside the top-level list
+      }
+      if (t.text == ";") return false;  // unbalanced; statement ended
+    }
+    if (depth >= 1 && *num_args == 0 && !IsPunct(t, ")")) *num_args = 1;
+    if (t.kind == TokKind::kPunct && t.text == "," && depth == 1) {
+      ++*num_args;
+    }
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "memory_order" || StrStartsWith(t.text, "memory_order_"))) {
+      *has_memory_order = true;
+    }
+  }
+  return false;
+}
+
+void CheckConcurrency(const FileCtx& ctx) {
+  const std::vector<Token>& toks = ctx.lexed->tokens;
+
+  // manual-lock only applies where a mutex type is in scope; weak_ptr's
+  // .lock() (a shared_ptr factory, not a lock acquisition) stays legal in
+  // mutex-free TUs.
+  static const std::set<std::string> kMutexTypes = {
+      "mutex",       "shared_mutex",       "recursive_mutex",
+      "timed_mutex", "shared_timed_mutex", "recursive_timed_mutex"};
+  bool names_mutex = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent && kMutexTypes.count(t.text) != 0) {
+      names_mutex = true;
+      break;
+    }
+  }
+
+  static const std::set<std::string> kAtomicOps = {
+      "load",      "store",     "exchange",  "fetch_add",
+      "fetch_sub", "fetch_and", "fetch_or",  "fetch_xor",
+      "test_and_set", "compare_exchange_weak", "compare_exchange_strong"};
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+
+    // concurrency/raw-thread: std::thread/jthread object creation in
+    // src/wt outside the licensed TUs. References, vector elements, and
+    // qualified names (std::thread::id) pass; `std::thread t(...)`,
+    // members, and temporaries do not.
+    if ((t.text == "thread" || t.text == "jthread") && i >= 2 &&
+        IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2], "std") &&
+        StrStartsWith(ctx.file->path, "src/") && !ctx.raw_thread_allowed) {
+      if (i + 1 < toks.size() &&
+          (toks[i + 1].kind == TokKind::kIdent || IsPunct(toks[i + 1], "(") ||
+           IsPunct(toks[i + 1], "{"))) {
+        ctx.Add(kRawThread, t.line,
+                "std::" + t.text + " construction outside core/thread_pool "
+                "and serve/server: borrow workers from wt::ThreadPool (or "
+                "serve's connection threads) so shutdown and observability "
+                "stay centralized");
+        continue;
+      }
+    }
+
+    if (!IsMemberCall(toks, i)) continue;
+    int num_args = 0;
+    bool has_order = false;
+    const bool balanced = ScanCallArgs(toks, i + 1, &num_args, &has_order);
+
+    // concurrency/thread-detach: tree-wide; a detached thread outlives
+    // every join/shutdown guarantee the server and pool make.
+    if (t.text == "detach" && balanced && num_args == 0) {
+      ctx.Add(kThreadDetach, t.line,
+              ".detach(): detached threads outlive Shutdown() and TSan "
+              "coverage; keep the handle and join it (see serve/server's "
+              "reap list)");
+      continue;
+    }
+
+    // concurrency/manual-lock: RAII-only lock discipline.
+    if ((t.text == "lock" || t.text == "unlock") && names_mutex && balanced &&
+        num_args == 0) {
+      ctx.Add(kManualLock, t.line,
+              "." + t.text + "(): manual lock discipline leaks on early "
+              "return; use std::lock_guard / std::unique_lock / "
+              "std::shared_lock");
+      continue;
+    }
+
+    // concurrency/implicit-seq-cst: every atomic access in the scoped
+    // paths names its order. Zero-argument .store()/.exchange()/.fetch_*()
+    // cannot be atomic accesses (they all take a value), so accessors like
+    // wind_tunnel.store() pass untouched.
+    if (ctx.atomic_order_scoped && kAtomicOps.count(t.text) != 0 &&
+        balanced && !has_order) {
+      const bool atomic_shaped =
+          t.text == "load" ? true : num_args >= 1;
+      if (atomic_shaped) {
+        ctx.Add(kImplicitSeqCst, t.line,
+                "." + t.text + "() without a memory order defaults to "
+                "seq_cst: name the order (and the reasoning it encodes) "
+                "explicitly, e.g. std::memory_order_relaxed/acquire/"
+                "release/acq_rel");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism-flow
+// ---------------------------------------------------------------------------
+
+// Generalizes hygiene/unordered-serialization tree-wide: a TU that both
+// uses an unordered container and calls (or defines) a serialization/hash
+// sink can leak iteration order into bytes that must be reproducible. The
+// serialization layers themselves are excluded — there the unconditional
+// hygiene rule already fires.
+void CheckDeterminismFlow(const FileCtx& ctx,
+                          const std::vector<std::string>& sinks) {
+  if (ctx.serialization) return;
+  const std::vector<Token>& toks = ctx.lexed->tokens;
+
+  std::vector<const Token*> unordered;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "unordered_map" || t.text == "unordered_set" ||
+         t.text == "unordered_multimap" || t.text == "unordered_multiset")) {
+      unordered.push_back(&t);
+    }
+  }
+  if (unordered.empty()) return;
+
+  const Token* sink = nullptr;
+  for (size_t i = 0; i < toks.size() && sink == nullptr; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) continue;
+    for (const std::string& s : sinks) {
+      if (toks[i].text == s) {
+        sink = &toks[i];
+        break;
+      }
+    }
+  }
+  if (sink == nullptr) return;
+
+  for (const Token* t : unordered) {
+    ctx.Add(kUnorderedSink, t->line,
+            "std::" + t->text + " in a TU that serializes or hashes (" +
+                sink->text + "() at line " + std::to_string(sink->line) +
+                "): iteration order can reach reproducible bytes; use "
+                "std::map/set or sort before the sink");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // scenario
 // ---------------------------------------------------------------------------
 
@@ -478,6 +675,7 @@ struct BuilderReg {
   std::string family;
   std::string name;
   int line = 0;
+  bool named_ok = true;  // snake_case passed (set by the per-file pass)
 };
 
 // Extracts literal `Register("family", "name"` registrations from raw
@@ -533,31 +731,21 @@ std::vector<BuilderReg> ExtractBuilderRegs(const std::string& src) {
   return regs;
 }
 
-// builder_sites maps "family/name" -> "file:line" of the first
-// registration, accumulated across every scanned file so collisions are
-// caught no matter which translation unit re-registers the name.
-void CheckScenario(const FileCtx& ctx,
-                   std::map<std::string, std::string>* builder_sites) {
+// Per-file scenario pass: snake_case naming + the single-parser rule.
+// Registration extraction is returned for the sequential collision pass.
+std::vector<BuilderReg> CheckScenarioLocal(const FileCtx& ctx) {
+  std::vector<BuilderReg> regs;
   if (ctx.scenario) {
-    for (const BuilderReg& reg : ExtractBuilderRegs(ctx.file->content)) {
-      bool named_ok = true;
+    regs = ExtractBuilderRegs(ctx.file->content);
+    for (BuilderReg& reg : regs) {
       for (const std::string& part : {reg.family, reg.name}) {
         if (!IsSnakeCase(part)) {
           ctx.Add(kBuilderName, reg.line,
                   "builder id '" + reg.family + "/" + reg.name +
                       "': '" + part + "' is not snake_case "
                       "([a-z][a-z0-9_]*, no trailing or doubled '_')");
-          named_ok = false;
+          reg.named_ok = false;
         }
-      }
-      const std::string id = reg.family + "/" + reg.name;
-      const std::string site =
-          ctx.file->path + ":" + std::to_string(reg.line);
-      auto [it, inserted] = builder_sites->emplace(id, site);
-      if (!inserted && named_ok) {
-        ctx.Add(kBuilderName, reg.line,
-                "duplicate builder '" + id + "': first registered at " +
-                    it->second);
       }
     }
   }
@@ -570,6 +758,26 @@ void CheckScenario(const FileCtx& ctx,
                 "JSON reader is the only scenario-file parser; load files "
                 "via scenario::LoadScenarioFile");
       }
+    }
+  }
+  return regs;
+}
+
+// builder_sites maps "family/name" -> "file:line" of the first
+// registration, accumulated across every scanned file (in path order) so
+// collisions are caught no matter which translation unit re-registers the
+// name.
+void CheckBuilderCollisions(const FileCtx& ctx,
+                            const std::vector<BuilderReg>& regs,
+                            std::map<std::string, std::string>* builder_sites) {
+  for (const BuilderReg& reg : regs) {
+    const std::string id = reg.family + "/" + reg.name;
+    const std::string site = ctx.file->path + ":" + std::to_string(reg.line);
+    auto [it, inserted] = builder_sites->emplace(id, site);
+    if (!inserted && reg.named_ok) {
+      ctx.Add(kBuilderName, reg.line,
+              "duplicate builder '" + id + "': first registered at " +
+                  it->second);
     }
   }
 }
@@ -591,16 +799,19 @@ bool KnownRuleOrFamily(const std::string& pattern) {
       kThrow,        kDynamicCast,    kIostream,       kNodiscard,
       kDroppedStatus, kUsingNamespace, kIncludeGuard,  kUnorderedSer,
       kBadSuppression, kUnusedSuppression, kBuilderName, kSingleParser,
-      "determinism", "hotpath", "error", "hygiene", "scenario"};
+      "deps/include-cycle", "deps/layer-back-edge", "deps/unknown-module",
+      kImplicitSeqCst, kManualLock, kRawThread, kThreadDetach,
+      kUnorderedSink,
+      "determinism", "hotpath", "error", "hygiene", "scenario", "deps",
+      "concurrency", "determinism-flow"};
   return kKnown.count(pattern) != 0;
 }
 
-void ApplySuppressions(const FileCtx& ctx, std::vector<Finding>* all,
-                       size_t first_finding) {
+// Resolves suppressions against the file's complete finding buffer (every
+// pass for this file, cross-file ones included, has run by now).
+void ApplySuppressions(const FileCtx& ctx, std::vector<Finding>* findings) {
   std::vector<bool> used(ctx.lexed->suppressions.size(), false);
-  for (size_t fi = first_finding; fi < all->size(); ++fi) {
-    Finding& f = (*all)[fi];
-    if (f.file != ctx.file->path) continue;
+  for (Finding& f : *findings) {
     for (size_t si = 0; si < ctx.lexed->suppressions.size(); ++si) {
       const Suppression& sup = ctx.lexed->suppressions[si];
       if (sup.malformed || sup.target_line != f.line) continue;
@@ -653,22 +864,41 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// Runs body(i) for i in [0, n) — on the pool when provided, else inline.
+// Bodies write only to per-index slots, so scheduling cannot reorder
+// results.
+void ForEachFile(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool->ParallelFor(0, n, body);
+}
+
 }  // namespace
 
 AnalysisResult Analyze(const std::vector<FileInput>& files,
-                       const Config& config) {
+                       const Config& config, ThreadPool* pool) {
   AnalysisResult result;
   result.files_scanned = static_cast<int>(files.size());
+  const size_t n = files.size();
 
-  std::vector<LexedFile> lexed;
-  lexed.reserve(files.size());
-  for (const FileInput& f : files) lexed.push_back(Lex(f.content));
+  // Per-file state: everything below writes only to its own index, which
+  // is what makes the parallel passes race-free and the merge
+  // deterministic.
+  std::vector<LexedFile> lexed(n);
+  std::vector<std::vector<Finding>> per_file(n);
+  std::vector<std::set<std::string>> per_file_status_fns(n);
+  std::vector<std::vector<BuilderReg>> per_file_regs(n);
+
+  ForEachFile(pool, n, [&](size_t i) { lexed[i] = Lex(files[i].content); });
 
   auto make_ctx = [&](size_t i) {
     FileCtx ctx;
     ctx.file = &files[i];
     ctx.lexed = &lexed[i];
-    ctx.findings = &result.findings;
+    ctx.findings = &per_file[i];
     for (const std::string& suffix : config.determinism_allowlist) {
       if (PathEndsWith(files[i].path, suffix)) ctx.determinism_exempt = true;
     }
@@ -678,40 +908,59 @@ AnalysisResult Analyze(const std::vector<FileInput>& files,
     ctx.scenario = PathStartsWithAny(files[i].path, config.scenario_paths);
     ctx.json_parser_exempt =
         PathStartsWithAny(files[i].path, config.json_parser_allowlist);
+    ctx.atomic_order_scoped =
+        PathStartsWithAny(files[i].path, config.atomic_order_paths);
+    ctx.raw_thread_allowed =
+        PathStartsWithAny(files[i].path, config.raw_thread_allowlist);
     return ctx;
   };
 
-  // Pass 1: headers, to learn which function names return Status/Result.
-  std::set<std::string> status_fns;
-  for (size_t i = 0; i < files.size(); ++i) {
-    if (!IsHeader(files[i].path)) continue;
+  // Pass 1 (parallel): headers, to learn which function names return
+  // Status/Result; nodiscard findings ride along.
+  ForEachFile(pool, n, [&](size_t i) {
+    if (!IsHeader(files[i].path)) return;
     FileCtx ctx = make_ctx(i);
-    ScanStatusDecls(ctx, /*report=*/true, &status_fns);
+    ScanStatusDecls(ctx, /*report=*/true, &per_file_status_fns[i]);
+  });
+  std::set<std::string> status_fns;
+  for (const std::set<std::string>& fns : per_file_status_fns) {
+    status_fns.insert(fns.begin(), fns.end());
   }
 
-  // Pass 2: everything else, then per-file suppression resolution. Files
-  // arrive sorted by path, so the "first registered at" site recorded for
-  // each builder id is deterministic.
-  std::map<std::string, std::string> builder_sites;
-  for (size_t i = 0; i < files.size(); ++i) {
+  // Pass 2 (parallel): every per-file rule.
+  ForEachFile(pool, n, [&](size_t i) {
     FileCtx ctx = make_ctx(i);
-    const size_t first = [&] {
-      // Findings for this file may already exist from pass 1; suppressions
-      // must see those too, so start from the earliest.
-      for (size_t fi = 0; fi < result.findings.size(); ++fi) {
-        if (result.findings[fi].file == files[i].path) return fi;
-      }
-      return result.findings.size();
-    }();
     CheckDeterminism(ctx);
     CheckHotPath(ctx);
     CheckDroppedStatus(ctx, status_fns);
     CheckHygiene(ctx);
-    CheckScenario(ctx, &builder_sites);
-    ApplySuppressions(ctx, &result.findings, first);
-  }
+    CheckConcurrency(ctx);
+    CheckDeterminismFlow(ctx, config.flow_sinks);
+    per_file_regs[i] = CheckScenarioLocal(ctx);
+  });
 
-  // Deterministic report order regardless of rule execution order.
+  // Pass 3 (sequential): cross-file checks. Files arrive sorted by path,
+  // so the "first registered at" site recorded for each builder id — and
+  // the include-graph traversal order — are deterministic.
+  std::map<std::string, std::string> builder_sites;
+  for (size_t i = 0; i < n; ++i) {
+    FileCtx ctx = make_ctx(i);
+    CheckBuilderCollisions(ctx, per_file_regs[i], &builder_sites);
+  }
+  CheckDependencies(files, lexed, config.layer_config, &per_file);
+
+  // Pass 4 (parallel): per-file suppression resolution over the complete
+  // per-file buffers.
+  ForEachFile(pool, n, [&](size_t i) {
+    FileCtx ctx = make_ctx(i);
+    ApplySuppressions(ctx, &per_file[i]);
+  });
+
+  // Merge in path order, then sort for a report independent of rule
+  // execution order.
+  for (std::vector<Finding>& findings : per_file) {
+    for (Finding& f : findings) result.findings.push_back(std::move(f));
+  }
   std::stable_sort(result.findings.begin(), result.findings.end(),
                    [](const Finding& a, const Finding& b) {
                      if (a.file != b.file) return a.file < b.file;
@@ -728,7 +977,7 @@ std::string ResultToJson(const AnalysisResult& result) {
     (f.suppressed ? suppressed : unsuppressed)++;
   }
   std::string out = "{\n";
-  out += StrFormat("  \"tool\": \"wtlint\",\n  \"version\": 1,\n");
+  out += StrFormat("  \"tool\": \"wtlint\",\n  \"version\": 2,\n");
   out += StrFormat("  \"files_scanned\": %d,\n", result.files_scanned);
   out += StrFormat("  \"unsuppressed\": %d,\n", unsuppressed);
   out += StrFormat("  \"suppressed\": %d,\n", suppressed);

@@ -1,38 +1,59 @@
 // wtlint — the wind tunnel's in-tree static analyzer.
 //
-// Scans src/, bench/, examples/, and tools/ for violations of the project
-// invariants that make sweep results reproducible and the DES hot path
-// allocation-free (rule catalog in rules.h; suppression syntax:
+// Scans src/, bench/, examples/, tools/, and fuzz/ for violations of the
+// project invariants that make sweep results reproducible and the DES hot
+// path allocation-free, plus whole-program structure checks over the
+// include graph (rule catalog in rules.h; suppression syntax:
 // `// wtlint: allow(<rule>) -- <reason>`). CI runs `wtlint --json` from the
 // repo root and fails on any unsuppressed finding.
 //
 // Usage:
-//   wtlint [--root <dir>] [--json] [--fix-nodiscard] [paths...]
+//   wtlint [--root <dir>] [--json] [--fix-nodiscard] [--changed-only]
+//          [--serial] [paths...]
 //
 //   --root <dir>      repo root for path-relative rule config (default: .)
 //   --json            emit the strict-JSON report (self-checked against
 //                     wt::obs::ValidateJson before printing):
-//                       { "tool": "wtlint", "version": 1,
+//                       { "tool": "wtlint", "version": 2,
 //                         "files_scanned": N, "unsuppressed": N,
 //                         "suppressed": N,
 //                         "findings": [{rule, file, line, message}...],
 //                         "suppressions": [{rule, file, line, reason}...] }
 //   --fix-nodiscard   rewrite headers in place, inserting [[nodiscard]] on
 //                     every flagged Status/Result-returning declaration
-//   paths...          scan exactly these files (default: the four roots)
+//   --changed-only    report findings only for files changed vs. git HEAD
+//                     (plus untracked files). The whole tree is still
+//                     scanned — cross-file rules (deps/, builder
+//                     collisions) need the full graph — only the report
+//                     and exit code are filtered. Made for pre-commit
+//                     hooks; see README.
+//   --serial          disable the worker pool (per-file passes run on the
+//                     calling thread; output is byte-identical either way)
+//   paths...          scan exactly these files (default: the five roots)
 //
-// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+// The layering DAG is read from <root>/tools/wtlint/layers.json when
+// present (exit 2 if unparseable — a broken config is an internal error,
+// not a finding); otherwise the compiled-in default (the same DAG) is
+// used, so fixture-driven invocations work from any directory.
+//
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/config/I-O error.
+
+#include <cstdio>
 
 #include <algorithm>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "tools/wtlint/rules.h"
+#include "wt/common/string_util.h"
+#include "wt/core/thread_pool.h"
 #include "wt/obs/json_lint.h"
 
 namespace fs = std::filesystem;
@@ -60,11 +81,46 @@ std::string RelPath(const fs::path& p, const fs::path& root) {
   return rel.generic_string();
 }
 
+// Runs `git -C <root> <args>` and appends one entry per non-empty output
+// line. Returns false (with stderr already written) when git fails —
+// --changed-only without a usable repo is an internal error, not "no
+// changes".
+bool GitLines(const fs::path& root, const std::string& args,
+              std::vector<std::string>* lines) {
+  const std::string cmd =
+      "git -C '" + root.string() + "' " + args + " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "wtlint: cannot run git for --changed-only\n");
+    return false;
+  }
+  std::string output;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    output.append(buf, got);
+  }
+  const int rc = pclose(pipe);
+  if (rc != 0) {
+    std::fprintf(stderr,
+                 "wtlint: 'git %s' failed (rc=%d); --changed-only needs a "
+                 "git checkout\n",
+                 args.c_str(), rc);
+    return false;
+  }
+  for (const std::string& line : wt::StrSplit(output, '\n')) {
+    if (!line.empty()) lines->push_back(line);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   bool fix_nodiscard = false;
+  bool changed_only = false;
+  bool serial = false;
   fs::path root = ".";
   std::vector<std::string> explicit_paths;
 
@@ -74,6 +130,10 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--fix-nodiscard") {
       fix_nodiscard = true;
+    } else if (arg == "--changed-only") {
+      changed_only = true;
+    } else if (arg == "--serial") {
+      serial = true;
     } else if (arg == "--root") {
       if (++i >= argc) {
         std::fprintf(stderr, "wtlint: --root needs a directory\n");
@@ -83,7 +143,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: wtlint [--root <dir>] [--json] [--fix-nodiscard] "
-          "[paths...]\n");
+          "[--changed-only] [--serial] [paths...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "wtlint: unknown flag '%s'\n", arg.c_str());
@@ -99,7 +159,7 @@ int main(int argc, char** argv) {
   if (!explicit_paths.empty()) {
     for (const std::string& p : explicit_paths) paths.emplace_back(p);
   } else {
-    for (const char* dir : {"src", "bench", "examples", "tools"}) {
+    for (const char* dir : {"src", "bench", "examples", "tools", "fuzz"}) {
       const fs::path base = root / dir;
       if (!fs::exists(base)) continue;
       for (const auto& entry : fs::recursive_directory_iterator(base)) {
@@ -127,8 +187,50 @@ int main(int argc, char** argv) {
             [](const wt::wtlint::FileInput& a,
                const wt::wtlint::FileInput& b) { return a.path < b.path; });
 
-  const wt::wtlint::Config config;
-  wt::wtlint::AnalysisResult result = wt::wtlint::Analyze(files, config);
+  wt::wtlint::Config config;
+  const fs::path layers_path = root / "tools" / "wtlint" / "layers.json";
+  if (fs::exists(layers_path)) {
+    std::string layers_text;
+    if (!ReadFile(layers_path, &layers_text)) {
+      std::fprintf(stderr, "wtlint: cannot read %s\n",
+                   layers_path.string().c_str());
+      return 2;
+    }
+    wt::Result<wt::wtlint::LayerConfig> parsed =
+        wt::wtlint::ParseLayersJson(layers_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "wtlint: %s: %s\n", layers_path.string().c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    config.layer_config = *std::move(parsed);
+  }
+
+  // The per-file passes parallelize well (one buffer per file, merged in
+  // path order), so default to a pool sized for the host.
+  std::unique_ptr<wt::ThreadPool> pool;
+  if (!serial && files.size() > 1) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int workers = std::max(1, static_cast<int>(hw == 0 ? 2 : hw) - 1);
+    pool = std::make_unique<wt::ThreadPool>(workers);
+  }
+  wt::wtlint::AnalysisResult result =
+      wt::wtlint::Analyze(files, config, pool.get());
+
+  if (changed_only) {
+    std::vector<std::string> changed;
+    if (!GitLines(root, "diff --name-only HEAD", &changed) ||
+        !GitLines(root, "ls-files --others --exclude-standard", &changed)) {
+      return 2;
+    }
+    const std::set<std::string> changed_set(changed.begin(), changed.end());
+    auto untouched = [&](const wt::wtlint::Finding& f) {
+      return changed_set.count(f.file) == 0;
+    };
+    result.findings.erase(std::remove_if(result.findings.begin(),
+                                         result.findings.end(), untouched),
+                          result.findings.end());
+  }
 
   if (fix_nodiscard) {
     int fixed_files = 0;
